@@ -1,0 +1,61 @@
+"""Search baselines vs the indexes (the paper's Section 2 motivation).
+
+Index-free methods need no construction or maintenance but "are very
+inefficient in query processing" — this bench quantifies the gap between
+Dijkstra / bidirectional Dijkstra / A* (Euclidean and ALT) and the
+label-based indexes on the same pairs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.astar import ALTHeuristic, astar_distance
+from repro.baselines.dijkstra import bidirectional_dijkstra, dijkstra_distance
+
+
+@pytest.fixture(scope="module")
+def alt_heuristics(graphs):
+    return {name: ALTHeuristic(g, k=4, seed=0) for name, g in graphs.items()}
+
+
+@pytest.mark.benchmark(group="search-baselines")
+@pytest.mark.parametrize(
+    "method", ["dijkstra", "bidirectional", "astar-euclid", "astar-alt", "dhl"]
+)
+def test_point_to_point(
+    benchmark, method, dataset, graphs, dhl_indexes, alt_heuristics, query_pairs
+):
+    graph = graphs[dataset]
+    pairs = query_pairs[dataset][:25]  # search methods are slow
+
+    if method == "dijkstra":
+        run = lambda: [dijkstra_distance(graph, s, t) for s, t in pairs]
+    elif method == "bidirectional":
+        run = lambda: [bidirectional_dijkstra(graph, s, t) for s, t in pairs]
+    elif method == "astar-euclid":
+        run = lambda: [astar_distance(graph, s, t) for s, t in pairs]
+    elif method == "astar-alt":
+        alt = alt_heuristics[dataset]
+        run = lambda: [
+            astar_distance(graph, s, t, heuristic=alt.heuristic(t))
+            for s, t in pairs
+        ]
+    else:
+        index = dhl_indexes[dataset]
+        run = lambda: [index.distance(s, t) for s, t in pairs]
+
+    benchmark.extra_info["pairs"] = len(pairs)
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="path-reconstruction")
+def test_shortest_path_reconstruction(benchmark, dataset, dhl_indexes, query_pairs):
+    """Route extraction on top of distance labels (library extension)."""
+    index = dhl_indexes[dataset]
+    pairs = [
+        (s, t)
+        for s, t in query_pairs[dataset][:25]
+        if index.distance(s, t) != float("inf")
+    ]
+    benchmark(lambda: [index.shortest_path(s, t) for s, t in pairs])

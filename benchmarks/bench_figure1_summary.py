@@ -1,0 +1,70 @@
+"""Figure 1 (summary table): DCH vs IncH2H vs DHL on the largest networks.
+
+Paper shape to reproduce: DCH updates are the fastest but its queries are
+orders of magnitude slower; DHL beats IncH2H on updates (~3-4x) and
+queries (~2-4x).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.workloads import double_weights, restore_weights
+
+
+def _inc(index, batch):
+    return lambda: index.increase(double_weights(batch))
+
+
+def _restore(index, batch):
+    return lambda: index.decrease(restore_weights(batch))
+
+
+@pytest.mark.benchmark(group="figure1-query")
+@pytest.mark.parametrize("method", ["DHL", "IncH2H", "DCH"])
+def test_query(
+    benchmark, method, large_dataset, dhl_indexes, inch2h_indexes, dch_indexes,
+    query_pairs,
+):
+    index = {
+        "DHL": dhl_indexes,
+        "IncH2H": inch2h_indexes,
+        "DCH": dch_indexes,
+    }[method][large_dataset]
+    pairs = query_pairs[large_dataset]
+    pairs = pairs[:100] if method == "DCH" else pairs[:1000]
+
+    def run():
+        distance = index.distance
+        for s, t in pairs:
+            distance(s, t)
+
+    benchmark.extra_info["queries"] = len(pairs)
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="figure1-update")
+@pytest.mark.parametrize("direction", ["increase", "decrease"])
+@pytest.mark.parametrize("method", ["DHL", "IncH2H", "DCH"])
+def test_update(
+    benchmark, method, direction, large_dataset,
+    dhl_indexes, inch2h_indexes, dch_indexes, update_batches,
+):
+    index = {
+        "DHL": dhl_indexes,
+        "IncH2H": inch2h_indexes,
+        "DCH": dch_indexes,
+    }[method][large_dataset]
+    batch = update_batches[large_dataset]
+    if direction == "increase":
+        target, reset = _inc(index, batch), _restore(index, batch)
+    else:
+        target, reset = _restore(index, batch), _inc(index, batch)
+
+    def setup():
+        reset()  # bring weights to the pre-measurement state
+
+    benchmark.extra_info["batch_size"] = len(batch)
+    benchmark.pedantic(target, setup=setup, rounds=5, iterations=1)
+    restore_state = _restore(index, batch)
+    restore_state()

@@ -1,0 +1,40 @@
+"""Figure 5: update time as the weight multiplier grows, t+1 in 2..10.
+
+Paper shape to reproduce: both methods' update times grow slowly with the
+multiplier; DHL stays well below IncH2H across the sweep; increases cost
+more than decreases.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import quiet
+
+from repro.experiments.workloads import restore_weights, scale_weights
+
+MULTIPLIER_STEPS = [1, 5, 9]  # t values from the paper's x-axis (subset)
+
+
+@pytest.mark.benchmark(group="figure5")
+@pytest.mark.parametrize("t", MULTIPLIER_STEPS)
+@pytest.mark.parametrize("method", ["DHL", "IncH2H"])
+@pytest.mark.parametrize("direction", ["increase", "decrease"])
+def test_weight_sweep(
+    benchmark, method, direction, t, dataset,
+    dhl_indexes, inch2h_indexes, update_batches,
+):
+    index = (dhl_indexes if method == "DHL" else inch2h_indexes)[dataset]
+    batch = update_batches[dataset]
+    factor = float(t + 1)
+    inc = scale_weights(batch, factor)
+    dec = restore_weights(batch)
+    if direction == "increase":
+        target = lambda: index.increase(inc)
+        setup = quiet(lambda: index.decrease(dec))
+    else:
+        target = lambda: index.decrease(dec)
+        setup = quiet(lambda: index.increase(inc))
+    benchmark.extra_info["multiplier"] = factor
+    benchmark.pedantic(target, setup=setup, rounds=3, iterations=1)
+    index.decrease(dec)

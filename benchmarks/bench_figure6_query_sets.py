@@ -1,0 +1,44 @@
+"""Figure 6: query time over distance-stratified query sets Q1..Q10.
+
+Paper shape to reproduce: DHL and IncH2H are comparable on short-range
+queries; DHL pulls ahead as query distance grows (fewer common ancestors
+at higher hierarchy levels).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.workloads import distance_stratified_queries
+
+QUERY_SETS = [1, 5, 10]  # Q1 (short), Q5 (medium), Q10 (diameter-scale)
+
+
+@pytest.fixture(scope="module")
+def stratified(dhl_indexes, graphs):
+    out = {}
+    for name, index in dhl_indexes.items():
+        out[name] = distance_stratified_queries(
+            index.distance, graphs[name].num_vertices, per_set=200, seed=6
+        )
+    return out
+
+
+@pytest.mark.benchmark(group="figure6")
+@pytest.mark.parametrize("q", QUERY_SETS)
+@pytest.mark.parametrize("method", ["DHL", "IncH2H"])
+def test_query_set(
+    benchmark, method, q, dataset, dhl_indexes, inch2h_indexes, stratified
+):
+    index = (dhl_indexes if method == "DHL" else inch2h_indexes)[dataset]
+    pairs = stratified[dataset][q - 1]
+    if not pairs:
+        pytest.skip(f"{dataset} has no pairs in distance bucket Q{q}")
+
+    def run():
+        distance = index.distance
+        for s, t in pairs:
+            distance(s, t)
+
+    benchmark.extra_info["pairs"] = len(pairs)
+    benchmark(run)

@@ -1,0 +1,64 @@
+"""Figure 7: batch-update time vs batch size against reconstruction.
+
+Paper shape to reproduce: even the largest batches (5x the standard
+batch) update far faster than rebuilding the index from scratch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import quiet
+
+from repro.core.config import DHLConfig
+from repro.core.index import DHLIndex
+from repro.experiments.workloads import (
+    restore_weights,
+    sample_update_batches,
+    scale_weights,
+)
+
+BATCH_FACTORS = [1, 3, 5]  # multiples of the standard batch size
+
+
+@pytest.fixture(scope="module")
+def update_pools(graphs):
+    pools = {}
+    for name, g in graphs.items():
+        base = max(10, min(1_000, g.num_edges // 13))
+        size = min(5 * base, g.num_edges)
+        pools[name] = sample_update_batches(g, 1, size, seed=7)[0]
+    return pools
+
+
+@pytest.mark.benchmark(group="figure7-updates")
+@pytest.mark.parametrize("factor", BATCH_FACTORS)
+@pytest.mark.parametrize("direction", ["increase", "decrease"])
+def test_batch_scaling(
+    benchmark, direction, factor, dataset, dhl_indexes, update_pools
+):
+    index = dhl_indexes[dataset]
+    pool = update_pools[dataset]
+    batch = pool[: max(1, factor * len(pool) // 5)]
+    inc = scale_weights(batch, 2.0)
+    dec = restore_weights(batch)
+    if direction == "increase":
+        target = lambda: index.increase(inc)
+        setup = quiet(lambda: index.decrease(dec))
+    else:
+        target = lambda: index.decrease(dec)
+        setup = quiet(lambda: index.increase(inc))
+    benchmark.extra_info["batch_size"] = len(batch)
+    benchmark.pedantic(target, setup=setup, rounds=3, iterations=1)
+    index.decrease(dec)
+
+
+@pytest.mark.benchmark(group="figure7-reconstruction")
+def test_reconstruction_reference(benchmark, dataset, graphs):
+    """The reference line: full index reconstruction."""
+    graph = graphs[dataset]
+    benchmark.pedantic(
+        lambda: DHLIndex.build(graph.copy(), DHLConfig(seed=0)),
+        rounds=2,
+        iterations=1,
+    )

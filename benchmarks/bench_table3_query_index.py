@@ -1,0 +1,89 @@
+"""Table 3: query time, labelling/shortcut sizes, construction time.
+
+Paper shape to reproduce: DHL queries ~2-4x faster than IncH2H; DHL
+labelling is a small fraction of IncH2H's (10-20% at paper scale);
+shortcut storage ~3x smaller; construction faster.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.inch2h import IncH2HIndex
+from repro.core.config import DHLConfig
+from repro.core.index import DHLIndex
+
+
+@pytest.mark.benchmark(group="table3-query")
+@pytest.mark.parametrize("method", ["DHL", "IncH2H"])
+def test_query_time(
+    benchmark, method, dataset, dhl_indexes, inch2h_indexes, query_pairs
+):
+    index = (dhl_indexes if method == "DHL" else inch2h_indexes)[dataset]
+    pairs = query_pairs[dataset]
+
+    def run():
+        distance = index.distance
+        for s, t in pairs:
+            distance(s, t)
+
+    benchmark.extra_info["queries"] = len(pairs)
+    # Size columns of Table 3, attached to the benchmark record:
+    if method == "DHL":
+        stats = index.stats()
+        benchmark.extra_info["label_bytes"] = stats.label_bytes
+        benchmark.extra_info["shortcut_bytes"] = stats.shortcut_bytes
+        benchmark.extra_info["label_entries"] = stats.label_entries
+        benchmark.extra_info["height"] = stats.height
+    else:
+        benchmark.extra_info["label_bytes"] = index.memory_bytes()
+        benchmark.extra_info["shortcut_bytes"] = index.shortcut_bytes()
+        benchmark.extra_info["label_entries"] = index.label_entries()
+        benchmark.extra_info["height"] = index.height
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="table3-construction")
+@pytest.mark.parametrize("method", ["DHL", "IncH2H"])
+def test_construction_time(benchmark, method, dataset, graphs):
+    graph = graphs[dataset]
+    if method == "DHL":
+        benchmark.pedantic(
+            lambda: DHLIndex.build(graph.copy(), DHLConfig(seed=0)),
+            rounds=2,
+            iterations=1,
+        )
+    else:
+        benchmark.pedantic(
+            lambda: IncH2HIndex.build(graph.copy()), rounds=2, iterations=1
+        )
+
+
+@pytest.mark.benchmark(group="table3-affected-labels")
+@pytest.mark.parametrize("method", ["DHL", "IncH2H"])
+def test_affected_labels(
+    benchmark, method, dataset, dhl_indexes, inch2h_indexes, update_batches
+):
+    """L-delta: distinct label entries changed by one doubled batch."""
+    from repro.experiments.workloads import double_weights, restore_weights
+
+    index = (dhl_indexes if method == "DHL" else inch2h_indexes)[dataset]
+    batch = update_batches[dataset]
+    inc, dec = double_weights(batch), restore_weights(batch)
+
+    changed = []
+
+    def run():
+        stats = index.increase(inc)
+        changed.append(stats.labels_changed)
+        index.decrease(dec)
+
+    benchmark(run)
+    total = (
+        index.stats().label_entries
+        if method == "DHL"
+        else index.label_entries()
+    )
+    benchmark.extra_info["labels_changed"] = changed[-1]
+    benchmark.extra_info["label_entries"] = total
+    benchmark.extra_info["fraction"] = round(changed[-1] / max(1, total), 4)

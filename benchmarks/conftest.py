@@ -1,0 +1,100 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks run on a *quick profile* of the dataset suite by default (the
+four smallest networks at the default 1/1000 scale) so that
+``pytest benchmarks/ --benchmark-only`` completes in minutes. Set
+``REPRO_BENCH_DATASETS=NY,CAL,USA`` and/or ``REPRO_SCALE`` to rescale —
+at full DIMACS scale these benches regenerate the paper's tables
+directly. The experiment CLI (``repro-experiments``) runs the complete
+protocol; these benches regenerate each table/figure's measurement in
+pytest-benchmark form.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.baselines.dch import DCHIndex
+from repro.baselines.inch2h import IncH2HIndex
+from repro.core.config import DHLConfig
+from repro.core.index import DHLIndex
+from repro.datasets.synthetic import load_dataset
+from repro.experiments.workloads import sample_update_batches
+
+DEFAULT_DATASETS = "NY,BAY,COL,FLA"
+
+
+def quiet(fn):
+    """Wrap a callable so it returns None (pytest-benchmark treats a
+    truthy ``setup`` return value as the target's arguments)."""
+
+    def wrapper():
+        fn()
+
+    return wrapper
+
+
+def bench_dataset_names() -> list[str]:
+    raw = os.environ.get("REPRO_BENCH_DATASETS", DEFAULT_DATASETS)
+    return [name.strip() for name in raw.split(",") if name.strip()]
+
+
+def large_pair() -> list[str]:
+    """The two largest configured datasets (Figure 1's USA/EUR stand-ins)."""
+    names = bench_dataset_names()
+    return names[-2:] if len(names) >= 2 else names
+
+
+@pytest.fixture(scope="session")
+def graphs():
+    return {name: load_dataset(name) for name in bench_dataset_names()}
+
+
+@pytest.fixture(scope="session")
+def dhl_indexes(graphs):
+    return {
+        name: DHLIndex.build(g.copy(), DHLConfig(seed=0))
+        for name, g in graphs.items()
+    }
+
+
+@pytest.fixture(scope="session")
+def inch2h_indexes(graphs):
+    return {name: IncH2HIndex.build(g.copy()) for name, g in graphs.items()}
+
+
+@pytest.fixture(scope="session")
+def dch_indexes(graphs):
+    return {
+        name: DCHIndex.build(g.copy()) for name in large_pair()
+        for g in [graphs[name]]
+    }
+
+
+@pytest.fixture(scope="session")
+def update_batches(graphs):
+    """One representative update batch per dataset (paper: 1000 edges)."""
+    out = {}
+    for name, g in graphs.items():
+        size = max(10, min(1_000, g.num_edges // 13))
+        out[name] = sample_update_batches(g, 1, size, seed=0)[0]
+    return out
+
+
+@pytest.fixture(scope="session")
+def query_pairs(graphs):
+    from repro.experiments.workloads import random_query_pairs
+
+    return {
+        name: random_query_pairs(g.num_vertices, 2_000, seed=1)
+        for name, g in graphs.items()
+    }
+
+
+def pytest_generate_tests(metafunc):
+    if "dataset" in metafunc.fixturenames:
+        metafunc.parametrize("dataset", bench_dataset_names())
+    if "large_dataset" in metafunc.fixturenames:
+        metafunc.parametrize("large_dataset", large_pair())

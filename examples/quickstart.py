@@ -1,0 +1,64 @@
+"""Quickstart: build a DHL index, query it, update it, persist it.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro import DHLConfig, DHLIndex, delaunay_network
+from repro.baselines.dijkstra import dijkstra_distance
+
+
+def main() -> None:
+    # 1. A synthetic road network: 2,000 intersections, integer travel
+    #    times (use repro.datasets.load_dataset("NY") for the paper suite,
+    #    or repro.datasets.load_dimacs_pair(...) for real DIMACS files).
+    graph = delaunay_network(2_000, seed=7)
+    print(f"network: {graph.num_vertices} vertices, {graph.num_edges} edges")
+
+    # 2. Build the index. The graph is owned by the index afterwards:
+    #    weight changes must go through the index API.
+    start = time.perf_counter()
+    index = DHLIndex.build(graph, DHLConfig(beta=0.2, seed=0))
+    print(f"built in {time.perf_counter() - start:.2f}s")
+    print(index.stats().summary())
+
+    # 3. Distance queries — exact, microseconds each.
+    s, t = 17, 1_904
+    d = index.distance(s, t)
+    assert d == dijkstra_distance(index.graph, s, t)
+    print(f"\nd({s}, {t}) = {d:.0f}  (verified against Dijkstra)")
+
+    hub_distance, hub = index.distance_with_hub(s, t)
+    print(f"shortest route passes the hierarchy hub {hub}")
+
+    # 4. Traffic: double a few roads' travel times, then restore them.
+    edges = list(index.graph.edges())[:25]
+    stats = index.increase([(u, v, 2 * w) for u, v, w in edges])
+    print(
+        f"\ncongestion on {len(edges)} roads: "
+        f"{stats.shortcuts_changed} shortcuts, "
+        f"{stats.labels_changed} label entries updated"
+    )
+    print(f"d({s}, {t}) now = {index.distance(s, t):.0f}")
+
+    stats = index.decrease([(u, v, w) for u, v, w in edges])
+    print(f"traffic cleared: {stats.labels_changed} label entries restored")
+    assert index.distance(s, t) == d
+
+    # 5. Persist and reload.
+    with tempfile.TemporaryDirectory() as tmp:
+        index.save(Path(tmp) / "index")
+        reloaded = DHLIndex.load(Path(tmp) / "index")
+        assert reloaded.distance(s, t) == d
+        print("\nsave/load round-trip OK")
+
+
+if __name__ == "__main__":
+    main()

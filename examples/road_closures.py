@@ -1,0 +1,89 @@
+"""Road closures and structural changes (Section 8 of the paper).
+
+Shows the structural-update toolkit:
+
+* closing roads (weight -> infinity, an incremental DHL+ update);
+* closing a whole intersection (vertex deletion);
+* re-opening (DHL- restore);
+* building a brand-new road (edge insertion with partial repartitioning).
+
+Run with::
+
+    python examples/road_closures.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import DHLConfig, DHLIndex, delaunay_network
+from repro.baselines.dijkstra import dijkstra_distance
+
+
+def check(index: DHLIndex, s: int, t: int) -> float:
+    """Query the index and verify against Dijkstra."""
+    d = index.distance(s, t)
+    expected = dijkstra_distance(index.graph, s, t)
+    assert d == expected, (s, t, d, expected)
+    return d
+
+
+def main() -> None:
+    graph = delaunay_network(1_500, seed=31)
+    index = DHLIndex.build(graph, DHLConfig(seed=0))
+    s, t = 4, 1_362
+
+    baseline = check(index, s, t)
+    print(f"normal conditions: d({s}, {t}) = {baseline:.0f}")
+
+    # 1. Close the first road of the shortest corridor (via the hub).
+    _, hub = index.distance_with_hub(s, t)
+    closed = []
+    for u, w in list(index.graph.neighbors(hub).items())[:2]:
+        if math.isfinite(w):
+            index.delete_edge(hub, u)
+            closed.append((hub, u, w))
+    after_close = check(index, s, t)
+    if math.isinf(after_close):
+        effect = "no route left"
+    elif after_close > baseline:
+        effect = "detour"
+    else:
+        effect = "unaffected"
+    print(f"closed {len(closed)} roads at hub {hub}: d = {after_close:.0f} ({effect})")
+
+    # 2. Close the hub intersection entirely (roadworks).
+    index.delete_vertex(hub)
+    after_vertex = check(index, s, t)
+    print(f"closed intersection {hub} entirely: d = {after_vertex:.0f}")
+    assert math.isinf(index.distance(s, hub)), "closed intersection unreachable"
+
+    # 3. Re-open everything.
+    for u, v, w in closed:
+        index.restore_edge(u, v, w)
+    for u, w in list(graph.neighbors(hub).items()):
+        if index.graph.weight(hub, u) != w:
+            index.restore_edge(hub, u, w)
+    reopened = check(index, s, t)
+    assert reopened == baseline
+    print(f"re-opened: d back to {reopened:.0f}")
+
+    # 4. A new bypass road is built between two suburbs: structural
+    #    insertion repartitions only the affected subtree of H_Q.
+    a, b = 100, 1_400
+    if not index.graph.has_edge(a, b):
+        before = check(index, a, b)
+        bypass_weight = max(1.0, before / 4)
+        index = index.insert_edge(a, b, float(round(bypass_weight)))
+        after = check(index, a, b)
+        print(
+            f"new bypass ({a}, {b}) of length {bypass_weight:.0f}: "
+            f"d({a}, {b}) {before:.0f} -> {after:.0f}"
+        )
+        check(index, s, t)  # rest of the network still exact
+
+    print("\nall queries verified against Dijkstra after every change")
+
+
+if __name__ == "__main__":
+    main()

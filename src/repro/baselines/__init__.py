@@ -1,0 +1,36 @@
+"""Baseline distance oracles the paper compares against.
+
+* :mod:`repro.baselines.dijkstra` — Dijkstra and bidirectional Dijkstra
+  (search baselines and the correctness oracle for every index).
+* :mod:`repro.baselines.astar` — A* with Euclidean and landmark (ALT)
+  heuristics.
+* :mod:`repro.baselines.dch` — Dynamic Contraction Hierarchy [17]:
+  shortcut-only index, upward bidirectional search, fast maintenance.
+* :mod:`repro.baselines.h2h` — static H2H-Index [16]: tree decomposition
+  over a contraction hierarchy with full-graph distance labels.
+* :mod:`repro.baselines.inch2h` — IncH2H [25]: dynamic maintenance of the
+  H2H index (the paper's primary competitor).
+"""
+
+from repro.baselines.dijkstra import (
+    dijkstra,
+    dijkstra_distance,
+    bidirectional_dijkstra,
+    dijkstra_subgraph,
+)
+from repro.baselines.astar import astar_distance, ALTHeuristic
+from repro.baselines.dch import DCHIndex
+from repro.baselines.h2h import H2HIndex
+from repro.baselines.inch2h import IncH2HIndex
+
+__all__ = [
+    "dijkstra",
+    "dijkstra_distance",
+    "bidirectional_dijkstra",
+    "dijkstra_subgraph",
+    "astar_distance",
+    "ALTHeuristic",
+    "DCHIndex",
+    "H2HIndex",
+    "IncH2HIndex",
+]

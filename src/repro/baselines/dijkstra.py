@@ -1,0 +1,161 @@
+"""Dijkstra's algorithm and variants — search baselines and test oracle.
+
+These are the classical index-free methods of the paper's Section 2:
+single-source Dijkstra, early-exit point-to-point, and bidirectional
+Dijkstra [21]. Logically deleted edges (infinite weight) are skipped.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+__all__ = [
+    "dijkstra",
+    "dijkstra_distance",
+    "bidirectional_dijkstra",
+    "dijkstra_subgraph",
+]
+
+
+def dijkstra(
+    graph: Graph,
+    source: int,
+    targets: Iterable[int] | None = None,
+) -> np.ndarray:
+    """Single-source distances from *source* (``inf`` if unreachable).
+
+    With *targets* given, stops once all of them are settled — the
+    classic multi-target early exit.
+    """
+    n = graph.num_vertices
+    dist = np.full(n, math.inf, dtype=np.float64)
+    dist[source] = 0.0
+    remaining = set(targets) if targets is not None else None
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    settled = bytearray(n)
+    while heap:
+        d, v = heapq.heappop(heap)
+        if settled[v]:
+            continue
+        settled[v] = 1
+        if remaining is not None:
+            remaining.discard(v)
+            if not remaining:
+                break
+        for u, w in graph.neighbors(v).items():
+            if settled[u] or math.isinf(w):
+                continue
+            candidate = d + w
+            if candidate < dist[u]:
+                dist[u] = candidate
+                heapq.heappush(heap, (candidate, u))
+    return dist
+
+
+def dijkstra_distance(graph: Graph, source: int, target: int) -> float:
+    """Point-to-point distance with early exit at *target*."""
+    if source == target:
+        return 0.0
+    n = graph.num_vertices
+    dist = np.full(n, math.inf, dtype=np.float64)
+    dist[source] = 0.0
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    settled = bytearray(n)
+    while heap:
+        d, v = heapq.heappop(heap)
+        if settled[v]:
+            continue
+        if v == target:
+            return d
+        settled[v] = 1
+        for u, w in graph.neighbors(v).items():
+            if settled[u] or math.isinf(w):
+                continue
+            candidate = d + w
+            if candidate < dist[u]:
+                dist[u] = candidate
+                heapq.heappush(heap, (candidate, u))
+    return math.inf
+
+
+def bidirectional_dijkstra(graph: Graph, source: int, target: int) -> float:
+    """Bidirectional Dijkstra [21]: alternate forward/backward searches.
+
+    Terminates when the sum of the two frontier minima reaches the best
+    meeting distance found so far.
+    """
+    if source == target:
+        return 0.0
+    n = graph.num_vertices
+    dist = [
+        np.full(n, math.inf, dtype=np.float64),
+        np.full(n, math.inf, dtype=np.float64),
+    ]
+    dist[0][source] = 0.0
+    dist[1][target] = 0.0
+    heaps: list[list[tuple[float, int]]] = [[(0.0, source)], [(0.0, target)]]
+    settled = [bytearray(n), bytearray(n)]
+    best = math.inf
+    side = 0
+    while heaps[0] or heaps[1]:
+        if not heaps[side]:
+            side = 1 - side
+        d, v = heapq.heappop(heaps[side])
+        if settled[side][v]:
+            continue
+        settled[side][v] = 1
+        if settled[1 - side][v]:
+            best = min(best, dist[0][v] + dist[1][v])
+        for u, w in graph.neighbors(v).items():
+            if math.isinf(w):
+                continue
+            candidate = d + w
+            if candidate < dist[side][u]:
+                dist[side][u] = candidate
+                heapq.heappush(heaps[side], (candidate, u))
+            if math.isfinite(dist[1 - side][u]):
+                best = min(best, dist[side][u] + dist[1 - side][u])
+        top = [h[0][0] if h else math.inf for h in heaps]
+        if top[0] + top[1] >= best:
+            break
+        side = 1 - side
+    return best
+
+
+def dijkstra_subgraph(
+    graph: Graph,
+    source: int,
+    target: int,
+    allowed: Callable[[int], bool],
+) -> float:
+    """Point-to-point distance restricted to vertices with ``allowed(v)``.
+
+    The oracle for Definition 4.11 (interval-subgraph distances) and
+    Lemma 6.3/6.6 tests: both endpoints must satisfy *allowed*.
+    """
+    if source == target:
+        return 0.0
+    dist: dict[int, float] = {source: 0.0}
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    settled: set[int] = set()
+    while heap:
+        d, v = heapq.heappop(heap)
+        if v in settled:
+            continue
+        if v == target:
+            return d
+        settled.add(v)
+        for u, w in graph.neighbors(v).items():
+            if u in settled or math.isinf(w) or not allowed(u):
+                continue
+            candidate = d + w
+            if candidate < dist.get(u, math.inf):
+                dist[u] = candidate
+                heapq.heappush(heap, (candidate, u))
+    return math.inf

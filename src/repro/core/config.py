@@ -1,0 +1,56 @@
+"""Build-time configuration for DHL indexes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import IndexBuildError
+
+__all__ = ["DHLConfig"]
+
+
+@dataclass(frozen=True)
+class DHLConfig:
+    """Tunable knobs of index construction.
+
+    Attributes
+    ----------
+    beta:
+        Balance parameter of the query hierarchy (Definition 4.1): each
+        child subtree holds at most ``1 - beta`` of its parent's
+        vertices. The paper selects 0.2.
+    leaf_size:
+        Partition parts at most this large become leaf tree nodes.
+    seed:
+        Seed for the randomised partitioning heuristics; fixed seed means
+        reproducible indexes.
+    coarsest_size:
+        Multilevel coarsening stops at roughly this many vertices.
+    workers:
+        Default worker count for the parallel maintenance variants
+        (Algorithms 6/7). ``None``/1 processes columns sequentially —
+        same results, deterministic order.
+    validate:
+        When True, run the (expensive) structural invariant checks after
+        construction: comparability of shortcut endpoints and the
+        minimum-weight property. Intended for tests and debugging.
+    """
+
+    beta: float = 0.2
+    leaf_size: int = 8
+    seed: int = 0
+    coarsest_size: int = 120
+    workers: int | None = None
+    validate: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.beta <= 0.5:
+            raise IndexBuildError(f"beta must be in (0, 0.5], got {self.beta}")
+        if self.leaf_size < 1:
+            raise IndexBuildError(f"leaf_size must be >= 1, got {self.leaf_size}")
+        if self.coarsest_size < 8:
+            raise IndexBuildError(
+                f"coarsest_size must be >= 8, got {self.coarsest_size}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise IndexBuildError(f"workers must be >= 1, got {self.workers}")

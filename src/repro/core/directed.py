@@ -1,0 +1,415 @@
+"""Directed road networks — the Section 8 extension.
+
+The paper sketches the directed case: keep one pair of hierarchies and
+store *forward and reverse labels* per vertex, maintaining each with the
+same algorithms. Concretely:
+
+* the **structural skeleton** (which pairs are shortcuts) comes from the
+  symmetrised graph — structure is weight-independent, so one skeleton
+  serves both directions;
+* every shortcut pair ``(v, u)`` with ``v`` deeper carries two weights:
+  ``wout[v][u]`` for the ascending arc ``v -> u`` and ``win[v][u]`` for
+  the descending arc ``u -> v``;
+* two labellings are built with Algorithm 1 parameterised by the weight
+  direction: ``L_out[v][i]`` = distance ``v -> ancestor_i`` and
+  ``L_in[v][i]`` = distance ``ancestor_i -> v`` within the interval
+  subgraph;
+* a query is ``d(s, t) = min_i L_out[s][i] + L_in[t][i]`` over the common
+  ancestors — the directed 2-hop cover (the minimum-rank vertex of a
+  directed shortest path is a common ancestor, and both label entries are
+  exact within its descendant subgraph);
+* shortcut maintenance couples the two directions (a triangle through a
+  deeper vertex composes one descending and one ascending weight), so it
+  is implemented here; label maintenance reuses Algorithms 4-7 verbatim
+  through direction views.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.config import DHLConfig
+from repro.core.stats import IndexStats
+from repro.exceptions import IndexBuildError, MaintenanceError
+from repro.graph.digraph import DiGraph
+from repro.graph.graph import Graph
+from repro.hierarchy.query_hierarchy import QueryHierarchy
+from repro.labelling.build import build_labelling
+from repro.labelling.labels import HierarchicalLabelling
+from repro.labelling.maintenance import (
+    MaintenanceStats,
+    maintain_labels_decrease,
+    maintain_labels_increase,
+)
+from repro.labelling.parallel import (
+    maintain_labels_decrease_parallel,
+    maintain_labels_increase_parallel,
+)
+from repro.partition.recursive import recursive_bisection
+from repro.utils.priority_queue import LazyHeap
+from repro.utils.timing import Stopwatch
+
+__all__ = ["DirectedDHLIndex"]
+
+WeightChange = tuple[int, int, float]
+
+_OUT = 0  # deeper -> shallower (ascending arcs)
+_IN = 1  # shallower -> deeper (descending arcs)
+
+
+class _DirectionView:
+    """Duck-typed stand-in for UpdateHierarchy used by label algorithms.
+
+    Exposes exactly the attributes Algorithm 1/4/5/6/7 implementations
+    touch: ``tau``, ``up``, ``down``, ``wup``.
+    """
+
+    __slots__ = ("tau", "up", "down", "wup")
+
+    def __init__(self, tau, up, down, wup):
+        self.tau = tau
+        self.up = up
+        self.down = down
+        self.wup = wup
+
+
+class DirectedDHLIndex:
+    """DHL index over a directed graph with forward and reverse labels."""
+
+    def __init__(
+        self,
+        digraph: DiGraph,
+        hq: QueryHierarchy,
+        rank: np.ndarray,
+        up: list[list[int]],
+        down: list[list[int]],
+        down_sets: list[set[int]],
+        wout: list[dict[int, float]],
+        win: list[dict[int, float]],
+        labels_out: HierarchicalLabelling,
+        labels_in: HierarchicalLabelling,
+        config: DHLConfig,
+        stats: IndexStats,
+    ):
+        self.digraph = digraph
+        self.hq = hq
+        self.rank = rank
+        self.up = up
+        self.down = down
+        self.down_sets = down_sets
+        self.wout = wout
+        self.win = win
+        self.labels_out = labels_out
+        self.labels_in = labels_in
+        self.config = config
+        self._stats = stats
+        self._out_view = _DirectionView(hq.tau, up, down, wout)
+        self._in_view = _DirectionView(hq.tau, up, down, win)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, digraph: DiGraph, config: DHLConfig | None = None) -> "DirectedDHLIndex":
+        config = config or DHLConfig()
+        if digraph.num_vertices == 0:
+            raise IndexBuildError("cannot index an empty graph")
+        n = digraph.num_vertices
+        stats = IndexStats(num_vertices=n, num_edges=digraph.num_arcs)
+
+        watch = Stopwatch()
+        with watch:
+            skeleton = cls._skeleton(digraph)
+            tree = recursive_bisection(
+                skeleton,
+                beta=config.beta,
+                leaf_size=config.leaf_size,
+                seed=config.seed,
+                coarsest_size=config.coarsest_size,
+            )
+            hq = QueryHierarchy.from_partition_tree(tree, n)
+        stats.partition_seconds = watch.laps[-1]
+
+        with watch:
+            rank_, up, down, down_sets, wout, win = cls._contract(digraph, hq)
+        stats.contraction_seconds = watch.laps[-1]
+
+        with watch:
+            labels_out = build_labelling(_DirectionView(hq.tau, up, down, wout))
+            labels_in = build_labelling(_DirectionView(hq.tau, up, down, win))
+        stats.labelling_seconds = watch.laps[-1]
+
+        index = cls(
+            digraph, hq, rank_, up, down, down_sets, wout, win,
+            labels_out, labels_in, config, stats,
+        )
+        index._refresh_size_stats()
+        return index
+
+    @staticmethod
+    def _skeleton(digraph: DiGraph) -> Graph:
+        """Symmetrised structural skeleton used for partitioning."""
+        g = Graph(digraph.num_vertices, digraph.coords)
+        for u, v, w in digraph.arcs():
+            if not g.has_edge(u, v):
+                reverse = digraph.out_neighbors(v).get(u, math.inf)
+                g.add_edge(u, v, min(w, reverse))
+        return g
+
+    @staticmethod
+    def _contract(digraph: DiGraph, hq: QueryHierarchy):
+        """Directed contraction over the symmetric structural skeleton."""
+        n = digraph.num_vertices
+        order = hq.contraction_order()
+        rank = np.empty(n, dtype=np.int64)
+        rank[order] = np.arange(n)
+
+        # Working directed adjacency with symmetric key structure:
+        # b in work[a] iff a in work[b]; missing arcs carry inf.
+        work: list[dict[int, float]] = [{} for _ in range(n)]
+        for a, b, w in digraph.arcs():
+            work[a][b] = min(work[a].get(b, math.inf), w)
+            work[b].setdefault(a, math.inf)
+
+        up: list[list[int]] = [[] for _ in range(n)]
+        wout: list[dict[int, float]] = [{} for _ in range(n)]
+        win: list[dict[int, float]] = [{} for _ in range(n)]
+
+        for v in order.tolist():
+            nbrs = sorted(work[v], key=lambda u: rank[u])
+            up[v] = nbrs
+            wout[v] = {u: work[v][u] for u in nbrs}
+            win[v] = {u: work[u][v] for u in nbrs}
+            for i, a in enumerate(nbrs):
+                va = work[v][a]  # v -> a
+                av = work[a][v]  # a -> v
+                del work[a][v]
+                for b in nbrs[i + 1:]:
+                    vb = work[v][b]
+                    bv = work[b][v]
+                    ab = av + vb  # a -> v -> b
+                    ba = bv + va  # b -> v -> a
+                    row_a, row_b = work[a], work[b]
+                    cur_ab = row_a.get(b, math.inf)
+                    cur_ba = row_b.get(a, math.inf)
+                    row_a[b] = ab if ab < cur_ab else cur_ab
+                    row_b[a] = ba if ba < cur_ba else cur_ba
+            work[v].clear()
+
+        down: list[list[int]] = [[] for _ in range(n)]
+        for v in range(n):
+            for u in up[v]:
+                down[u].append(v)
+        down_sets = [set(d) for d in down]
+        return rank, up, down, down_sets, wout, win
+
+    def _refresh_size_stats(self) -> None:
+        self._stats.label_entries = (
+            self.labels_out.num_entries + self.labels_in.num_entries
+        )
+        self._stats.label_bytes = (
+            self.labels_out.memory_bytes() + self.labels_in.memory_bytes()
+        )
+        self._stats.num_shortcuts = sum(len(w) for w in self.wout)
+        self._stats.shortcut_bytes = 24 * self._stats.num_shortcuts
+        self._stats.hierarchy_bytes = self.hq.memory_bytes()
+        self._stats.height = self.hq.height
+        self._stats.max_up_degree = max((len(u) for u in self.up), default=0)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def distance(self, s: int, t: int) -> float:
+        """Directed shortest-path distance from *s* to *t*."""
+        if s == t:
+            return 0.0
+        k = self.hq.common_ancestor_count(s, t)
+        if k <= 0:
+            return math.inf
+        total = self.labels_out.arrays[s][:k] + self.labels_in.arrays[t][:k]
+        return float(total.min())
+
+    def distances(self, pairs: Iterable[tuple[int, int]]) -> np.ndarray:
+        pairs = list(pairs)
+        out = np.empty(len(pairs), dtype=np.float64)
+        for idx, (s, t) in enumerate(pairs):
+            out[idx] = self.distance(s, t)
+        return out
+
+    # ------------------------------------------------------------------
+    # directional weight helpers
+    # ------------------------------------------------------------------
+    def _key(self, a: int, b: int) -> tuple[int, int, int]:
+        """Orient arc ``a -> b`` onto its shortcut slot.
+
+        Returns ``(lo, hi, direction)`` with ``lo`` the deeper endpoint.
+        """
+        if self.rank[a] < self.rank[b]:
+            return a, b, _OUT
+        return b, a, _IN
+
+    def _w(self, lo: int, hi: int, direction: int) -> float:
+        store = self.wout if direction == _OUT else self.win
+        return store[lo][hi]
+
+    def _set_w(self, lo: int, hi: int, direction: int, value: float) -> float:
+        store = self.wout if direction == _OUT else self.win
+        old = store[lo][hi]
+        store[lo][hi] = value
+        return old
+
+    # ------------------------------------------------------------------
+    # dynamic updates
+    # ------------------------------------------------------------------
+    def decrease(
+        self, changes: Iterable[WeightChange], workers: int | None = None
+    ) -> MaintenanceStats:
+        """Arc-weight decreases: directed Algorithm 2 + Algorithm 4/6 x2."""
+        affected = {_OUT: {}, _IN: {}}
+        heap: LazyHeap[tuple[int, int, int]] = LazyHeap()
+        for a, b, w_new in changes:
+            old_arc = self.digraph.set_weight(a, b, w_new)
+            if w_new > old_arc:
+                raise MaintenanceError(
+                    f"decrease batch contains an increase on arc ({a}, {b})"
+                )
+            lo, hi, direction = self._key(a, b)
+            if self._w(lo, hi, direction) > w_new:
+                affected[direction].setdefault((lo, hi), self._w(lo, hi, direction))
+                self._set_w(lo, hi, direction, w_new)
+                heap.push((lo, hi, direction), float(self.rank[lo]))
+
+        while heap:
+            (lo, hi, direction), _ = heap.pop()
+            w_cur = self._w(lo, hi, direction)
+            for other in self.up[lo]:
+                if other == hi:
+                    continue
+                if direction == _OUT:
+                    # lo->hi changed: affects other->hi via lo.
+                    cand = self.win[lo][other] + w_cur
+                    src, dst = other, hi
+                else:
+                    # hi->lo changed: affects hi->other via lo.
+                    cand = w_cur + self.wout[lo][other]
+                    src, dst = hi, other
+                tlo, thi, tdir = self._key(src, dst)
+                if self._w(tlo, thi, tdir) > cand:
+                    affected[tdir].setdefault((tlo, thi), self._w(tlo, thi, tdir))
+                    self._set_w(tlo, thi, tdir, cand)
+                    heap.push((tlo, thi, tdir), float(self.rank[tlo]))
+
+        if workers and workers > 1:
+            stats = maintain_labels_decrease_parallel(
+                self._out_view, self.labels_out, affected[_OUT], workers
+            )
+            stats = stats.merge(
+                maintain_labels_decrease_parallel(
+                    self._in_view, self.labels_in, affected[_IN], workers
+                )
+            )
+            return stats
+        stats = maintain_labels_decrease(
+            self._out_view, self.labels_out, affected[_OUT]
+        )
+        stats = stats.merge(
+            maintain_labels_decrease(self._in_view, self.labels_in, affected[_IN])
+        )
+        return stats
+
+    def increase(
+        self, changes: Iterable[WeightChange], workers: int | None = None
+    ) -> MaintenanceStats:
+        """Arc-weight increases: directed Algorithm 3 + Algorithm 5/7 x2."""
+        heap: LazyHeap[tuple[int, int, int]] = LazyHeap()
+        for a, b, w_new in changes:
+            old_arc = self.digraph.set_weight(a, b, w_new)
+            if w_new < old_arc:
+                raise MaintenanceError(
+                    f"increase batch contains a decrease on arc ({a}, {b})"
+                )
+            lo, hi, direction = self._key(a, b)
+            if self._w(lo, hi, direction) == old_arc:
+                heap.push((lo, hi, direction), float(self.rank[lo]))
+
+        affected = {_OUT: {}, _IN: {}}
+        digraph = self.digraph
+        while heap:
+            (lo, hi, direction), _ = heap.pop()
+            src, dst = (lo, hi) if direction == _OUT else (hi, lo)
+            w_new = digraph.out_neighbors(src).get(dst, math.inf)
+            small, big = self.down_sets[lo], self.down_sets[hi]
+            if len(small) > len(big):
+                small, big = big, small
+            for x in small:
+                if x in big:
+                    # src -> x -> dst; x is deeper than both endpoints.
+                    cand = self.win[x][src] + self.wout[x][dst]
+                    if cand < w_new:
+                        w_new = cand
+            old = self._w(lo, hi, direction)
+            if old != w_new:
+                for other in self.up[lo]:
+                    if other == hi:
+                        continue
+                    if direction == _OUT:
+                        t_src, t_dst = other, hi
+                        cand_old = self.win[lo][other] + old
+                    else:
+                        t_src, t_dst = hi, other
+                        cand_old = old + self.wout[lo][other]
+                    tlo, thi, tdir = self._key(t_src, t_dst)
+                    if self._w(tlo, thi, tdir) == cand_old:
+                        heap.push((tlo, thi, tdir), float(self.rank[tlo]))
+                affected[direction].setdefault((lo, hi), old)
+                self._set_w(lo, hi, direction, w_new)
+
+        if workers and workers > 1:
+            stats = maintain_labels_increase_parallel(
+                self._out_view, self.labels_out, affected[_OUT], workers
+            )
+            stats = stats.merge(
+                maintain_labels_increase_parallel(
+                    self._in_view, self.labels_in, affected[_IN], workers
+                )
+            )
+            return stats
+        stats = maintain_labels_increase(
+            self._out_view, self.labels_out, affected[_OUT]
+        )
+        stats = stats.merge(
+            maintain_labels_increase(self._in_view, self.labels_in, affected[_IN])
+        )
+        return stats
+
+    def update(
+        self, changes: Iterable[WeightChange], workers: int | None = None
+    ) -> MaintenanceStats:
+        """Mixed batch: increases first, then decreases."""
+        increases: list[WeightChange] = []
+        decreases: list[WeightChange] = []
+        for a, b, w in changes:
+            current = self.digraph.weight(a, b)
+            if w > current:
+                increases.append((a, b, w))
+            elif w < current:
+                decreases.append((a, b, w))
+        stats = MaintenanceStats()
+        if increases:
+            stats = stats.merge(self.increase(increases, workers))
+        if decreases:
+            stats = stats.merge(self.decrease(decreases, workers))
+        return stats
+
+    def stats(self) -> IndexStats:
+        self._refresh_size_stats()
+        return self._stats
+
+    def __repr__(self) -> str:  # pragma: no cover - repr sugar
+        return (
+            f"DirectedDHLIndex(n={self.digraph.num_vertices}, "
+            f"m={self.digraph.num_arcs})"
+        )

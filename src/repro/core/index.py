@@ -1,0 +1,325 @@
+"""The DHL index facade: build, query, update, persist.
+
+This is the library's main entry point, wiring together the paper's three
+components ``(<H_Q, H_U>, L)``:
+
+1. recursive balanced bisection produces the partition tree;
+2. :class:`~repro.hierarchy.QueryHierarchy` derives ranks, bitstrings and
+   the partial order;
+3. :class:`~repro.hierarchy.UpdateHierarchy` contracts the graph in
+   decreasing rank order;
+4. :func:`~repro.labelling.build_labelling` runs Algorithm 1.
+
+Updates go through DHL+/DHL- (Algorithms 2-5) or their parallel variants
+(Algorithms 6/7) depending on configuration.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.config import DHLConfig
+from repro.core.stats import IndexStats
+from repro.exceptions import IndexBuildError, MaintenanceError
+from repro.graph.graph import Graph
+from repro.hierarchy.query_hierarchy import QueryHierarchy
+from repro.hierarchy.update_hierarchy import UpdateHierarchy
+from repro.labelling.build import build_labelling
+from repro.labelling.labels import HierarchicalLabelling
+from repro.labelling.maintenance import (
+    MaintenanceStats,
+    apply_decrease,
+    apply_increase,
+)
+from repro.labelling.parallel import (
+    apply_decrease_parallel,
+    apply_increase_parallel,
+)
+from repro.labelling.query import QueryEngine
+from repro.partition.recursive import recursive_bisection
+from repro.utils.timing import Stopwatch
+
+__all__ = ["DHLIndex"]
+
+WeightChange = tuple[int, int, float]
+
+
+class DHLIndex:
+    """Dual-Hierarchy Labelling distance index over an undirected graph.
+
+    Use :meth:`build` to construct; then :meth:`distance` for queries and
+    :meth:`increase` / :meth:`decrease` / :meth:`update` for edge-weight
+    maintenance. The graph passed to :meth:`build` is owned by the index
+    afterwards: weight updates must go through the index so that the
+    hierarchies and labels stay consistent.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        hq: QueryHierarchy,
+        hu: UpdateHierarchy,
+        labels: HierarchicalLabelling,
+        config: DHLConfig,
+        stats: IndexStats,
+    ):
+        self.graph = graph
+        self.hq = hq
+        self.hu = hu
+        self.labels = labels
+        self.config = config
+        self._stats = stats
+        self._engine = QueryEngine(hq, labels)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, graph: Graph, config: DHLConfig | None = None) -> "DHLIndex":
+        """Construct the index: partition, contract, label.
+
+        Works on disconnected graphs too (cross-component queries return
+        ``inf``); integer edge weights are recommended — the increase-side
+        maintenance prunes via exact path-sum equality.
+        """
+        config = config or DHLConfig()
+        if graph.num_vertices == 0:
+            raise IndexBuildError("cannot index an empty graph")
+        stats = IndexStats(
+            num_vertices=graph.num_vertices, num_edges=graph.num_edges
+        )
+
+        watch = Stopwatch()
+        with watch:
+            tree = recursive_bisection(
+                graph,
+                beta=config.beta,
+                leaf_size=config.leaf_size,
+                seed=config.seed,
+                coarsest_size=config.coarsest_size,
+            )
+            hq = QueryHierarchy.from_partition_tree(tree, graph.num_vertices)
+        stats.partition_seconds = watch.laps[-1]
+
+        with watch:
+            hu = UpdateHierarchy.build(graph, hq)
+        stats.contraction_seconds = watch.laps[-1]
+
+        with watch:
+            labels = build_labelling(hu)
+        stats.labelling_seconds = watch.laps[-1]
+
+        if config.validate:
+            hq.validate_graph(graph)
+            hu.validate_comparability()
+            hu.verify_minimum_weight_property()
+            labels.validate_basic()
+
+        index = cls(graph, hq, hu, labels, config, stats)
+        index._refresh_size_stats()
+        return index
+
+    def _refresh_size_stats(self) -> None:
+        self._stats.label_entries = self.labels.num_entries
+        self._stats.label_bytes = self.labels.memory_bytes()
+        self._stats.num_shortcuts = self.hu.num_shortcuts
+        self._stats.shortcut_bytes = self.hu.memory_bytes()
+        self._stats.hierarchy_bytes = self.hq.memory_bytes()
+        self._stats.height = self.hq.height
+        self._stats.max_up_degree = self.hu.max_up_degree()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def distance(self, s: int, t: int) -> float:
+        """Exact shortest-path distance (``inf`` when disconnected)."""
+        return self._engine.distance(s, t)
+
+    def distances(self, pairs: Sequence[tuple[int, int]]) -> np.ndarray:
+        """Batch distances for ``(s, t)`` pairs."""
+        return self._engine.distances(list(pairs))
+
+    def distance_with_hub(self, s: int, t: int) -> tuple[float, int]:
+        """Distance plus the common-ancestor hub realising it."""
+        return self._engine.distance_with_hub(s, t)
+
+    def shortest_path(self, s: int, t: int) -> list[int]:
+        """Exact shortest path as a vertex sequence (route reconstruction).
+
+        Extracts the shortcut chains behind the winning label entries and
+        unpacks each shortcut through its Property-3.1 witness triangle —
+        no extra storage beyond the index itself.
+        """
+        from repro.labelling.paths import PathReconstructor
+
+        return PathReconstructor(self._engine, self.hu).shortest_path(s, t)
+
+    def distances_from(
+        self, s: int, targets: Sequence[int]
+    ) -> np.ndarray:
+        """One-to-many distances from *s* (e.g. k-nearest-POI workloads)."""
+        return self._engine.distances([(s, t) for t in targets])
+
+    def k_nearest(
+        self, s: int, candidates: Sequence[int], k: int
+    ) -> list[tuple[int, float]]:
+        """The *k* candidates closest to *s* by road distance.
+
+        Unreachable candidates (infinite distance) are excluded; fewer
+        than *k* entries may be returned.
+        """
+        distances = self.distances_from(s, candidates)
+        order = np.argsort(distances, kind="stable")
+        out: list[tuple[int, float]] = []
+        for i in order[: max(0, k)]:
+            if not math.isfinite(distances[i]):
+                break
+            out.append((candidates[int(i)], float(distances[i])))
+        return out
+
+    @property
+    def engine(self) -> QueryEngine:
+        return self._engine
+
+    # ------------------------------------------------------------------
+    # dynamic updates
+    # ------------------------------------------------------------------
+    def decrease(
+        self, changes: Iterable[WeightChange], workers: int | None = None
+    ) -> MaintenanceStats:
+        """Apply edge-weight decreases (DHL- / DHL-p).
+
+        ``changes`` holds ``(u, v, new_weight)`` triples whose new weight
+        is at most the current one.
+        """
+        batch = self._validated(changes, expect="decrease")
+        if not batch:
+            return MaintenanceStats()
+        workers = self.config.workers if workers is None else workers
+        if workers and workers > 1:
+            return apply_decrease_parallel(self.hu, self.labels, batch, workers)
+        return apply_decrease(self.hu, self.labels, batch)
+
+    def increase(
+        self, changes: Iterable[WeightChange], workers: int | None = None
+    ) -> MaintenanceStats:
+        """Apply edge-weight increases (DHL+ / DHL+p)."""
+        batch = self._validated(changes, expect="increase")
+        if not batch:
+            return MaintenanceStats()
+        workers = self.config.workers if workers is None else workers
+        if workers and workers > 1:
+            return apply_increase_parallel(self.hu, self.labels, batch, workers)
+        return apply_increase(self.hu, self.labels, batch)
+
+    def update(
+        self, changes: Iterable[WeightChange], workers: int | None = None
+    ) -> MaintenanceStats:
+        """Apply a mixed batch: splits into increases and decreases.
+
+        Increases are applied first, then decreases, mirroring the
+        paper's experimental protocol. Unchanged weights are skipped.
+        """
+        increases: list[WeightChange] = []
+        decreases: list[WeightChange] = []
+        for u, v, w in changes:
+            current = self.graph.weight(u, v)
+            if w > current:
+                increases.append((u, v, w))
+            elif w < current:
+                decreases.append((u, v, w))
+        stats = MaintenanceStats()
+        if increases:
+            stats = stats.merge(self.increase(increases, workers))
+        if decreases:
+            stats = stats.merge(self.decrease(decreases, workers))
+        return stats
+
+    def _validated(
+        self, changes: Iterable[WeightChange], expect: str
+    ) -> list[WeightChange]:
+        batch: list[WeightChange] = []
+        for u, v, w in changes:
+            current = self.graph.weight(u, v)
+            if w < 0 or math.isnan(w):
+                raise MaintenanceError(f"invalid weight {w!r} for edge ({u}, {v})")
+            if w == current:
+                continue
+            if expect == "decrease" and w > current:
+                raise MaintenanceError(
+                    f"edge ({u}, {v}): {w} is an increase; use increase()/update()"
+                )
+            if expect == "increase" and w < current:
+                raise MaintenanceError(
+                    f"edge ({u}, {v}): {w} is a decrease; use decrease()/update()"
+                )
+            batch.append((u, v, w))
+        return batch
+
+    # ------------------------------------------------------------------
+    # structural updates (Section 8) — implemented in core.structural
+    # ------------------------------------------------------------------
+    def delete_edge(self, u: int, v: int) -> MaintenanceStats:
+        """Logically delete a road: raise its weight to infinity."""
+        from repro.core.structural import delete_edge
+
+        return delete_edge(self, u, v)
+
+    def restore_edge(self, u: int, v: int, weight: float) -> MaintenanceStats:
+        """Restore a logically deleted road with *weight*."""
+        from repro.core.structural import restore_edge
+
+        return restore_edge(self, u, v, weight)
+
+    def delete_vertex(self, v: int) -> MaintenanceStats:
+        """Logically delete an intersection (all incident roads)."""
+        from repro.core.structural import delete_vertex
+
+        return delete_vertex(self, v)
+
+    def insert_edge(self, u: int, v: int, weight: float) -> "DHLIndex":
+        """Insert a brand-new road; returns the (partially rebuilt) index."""
+        from repro.core.structural import insert_edge
+
+        return insert_edge(self, u, v, weight)
+
+    # ------------------------------------------------------------------
+    # persistence and introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> IndexStats:
+        self._refresh_size_stats()
+        return self._stats
+
+    def save(self, path: str | Path) -> None:
+        """Persist the index to a directory (JSON manifest + npz arrays)."""
+        from repro.core.serialization import save_index
+
+        save_index(self, Path(path))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "DHLIndex":
+        """Load an index previously written by :meth:`save`."""
+        from repro.core.serialization import load_index
+
+        return load_index(Path(path))
+
+    def rebuild(self) -> "DHLIndex":
+        """Construct a fresh index over the current graph (same config)."""
+        return DHLIndex.build(self.graph.copy(), self.config)
+
+    def verify(self) -> None:
+        """Run the full invariant suite (slow; for tests/debugging)."""
+        self.hq.validate_graph(self.graph)
+        self.hu.validate_comparability()
+        self.hu.verify_minimum_weight_property()
+        self.labels.validate_basic()
+
+    def __repr__(self) -> str:  # pragma: no cover - repr sugar
+        return (
+            f"DHLIndex(n={self.graph.num_vertices}, m={self.graph.num_edges}, "
+            f"entries={self.labels.num_entries})"
+        )

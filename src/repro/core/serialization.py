@@ -1,0 +1,161 @@
+"""Index persistence: JSON manifest + npz arrays in a directory.
+
+The format is explicit (no pickle): a ``manifest.json`` with scalar
+metadata and the partition-node bitstrings (arbitrary-precision ints are
+stored as decimal strings), plus an ``arrays.npz`` holding every numeric
+table. Ragged structures (labels, shortcut lists, node members) are
+flattened with offset arrays.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import SerializationError
+from repro.graph.io import graph_from_json, graph_to_json
+from repro.hierarchy.contraction import ContractionResult
+from repro.hierarchy.query_hierarchy import QueryHierarchy
+from repro.hierarchy.update_hierarchy import UpdateHierarchy
+from repro.labelling.labels import HierarchicalLabelling
+
+__all__ = ["save_index", "load_index"]
+
+_FORMAT_VERSION = 1
+
+
+def _flatten_ragged(rows: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+    offsets = np.zeros(len(rows) + 1, dtype=np.int64)
+    np.cumsum([len(r) for r in rows], out=offsets[1:])
+    flat = np.concatenate(rows) if rows else np.zeros(0)
+    return flat, offsets
+
+
+def _unflatten(flat: np.ndarray, offsets: np.ndarray) -> list[np.ndarray]:
+    return [flat[offsets[i]:offsets[i + 1]] for i in range(len(offsets) - 1)]
+
+
+def save_index(index, path: Path) -> None:
+    """Write *index* (a :class:`~repro.core.index.DHLIndex`) to *path*."""
+    path.mkdir(parents=True, exist_ok=True)
+    hq = index.hq
+    hu = index.hu
+    labels = index.labels
+
+    label_flat, label_offsets = _flatten_ragged(labels.arrays)
+    up_rows = [np.asarray(u, dtype=np.int64) for u in hu.up]
+    up_flat, up_offsets = _flatten_ragged(up_rows)
+    wup_rows = [
+        np.asarray([hu.wup[v][u] for u in hu.up[v]], dtype=np.float64)
+        for v in range(len(hu.up))
+    ]
+    wup_flat, _ = _flatten_ragged(wup_rows)
+    member_rows = [np.asarray(m, dtype=np.int64) for m in hq.node_members]
+    members_flat, members_offsets = _flatten_ragged(member_rows)
+
+    np.savez_compressed(
+        path / "arrays.npz",
+        tau=hq.tau,
+        node_of=hq.node_of,
+        node_depth=np.asarray(hq.node_depth, dtype=np.int64),
+        node_vstart=np.asarray(hq.node_vstart, dtype=np.int64),
+        node_vend=np.asarray(hq.node_vend, dtype=np.int64),
+        node_parent=np.asarray(hq.node_parent, dtype=np.int64),
+        members_flat=members_flat,
+        members_offsets=members_offsets,
+        order=hu.order,
+        up_flat=up_flat,
+        up_offsets=up_offsets,
+        wup_flat=wup_flat,
+        label_flat=label_flat,
+        label_offsets=label_offsets,
+    )
+    manifest = {
+        "format_version": _FORMAT_VERSION,
+        "n": index.graph.num_vertices,
+        "config": {
+            "beta": index.config.beta,
+            "leaf_size": index.config.leaf_size,
+            "seed": index.config.seed,
+            "coarsest_size": index.config.coarsest_size,
+            "workers": index.config.workers,
+            "validate": index.config.validate,
+        },
+        # Bitstrings can exceed 64 bits for deep trees: store as strings.
+        "node_bits": [str(b) for b in hq.node_bits],
+        "graph": json.loads(graph_to_json(index.graph)),
+    }
+    (path / "manifest.json").write_text(json.dumps(manifest))
+
+
+def load_index(path: Path):
+    """Load a :class:`~repro.core.index.DHLIndex` saved by :func:`save_index`."""
+    from repro.core.config import DHLConfig
+    from repro.core.index import DHLIndex
+    from repro.core.stats import IndexStats
+
+    manifest_path = path / "manifest.json"
+    arrays_path = path / "arrays.npz"
+    if not manifest_path.exists() or not arrays_path.exists():
+        raise SerializationError(f"{path} does not contain a saved DHL index")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"corrupt manifest: {exc}") from exc
+    if manifest.get("format_version") != _FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported format version {manifest.get('format_version')!r}"
+        )
+    data = np.load(arrays_path)
+    graph = graph_from_json(json.dumps(manifest["graph"]))
+    config = DHLConfig(**manifest["config"])
+
+    n = manifest["n"]
+    member_rows = _unflatten(data["members_flat"], data["members_offsets"])
+    node_parent = data["node_parent"].tolist()
+    node_vend = data["node_vend"].tolist()
+    # vend chains are derivable: chain(node) = chain(parent) + [vend].
+    node_vend_chain: list[np.ndarray] = []
+    for nid, parent in enumerate(node_parent):
+        if parent < 0:
+            node_vend_chain.append(np.array([node_vend[nid]], dtype=np.int64))
+        else:
+            node_vend_chain.append(
+                np.append(node_vend_chain[parent], node_vend[nid])
+            )
+    hq = QueryHierarchy(
+        n,
+        data["tau"],
+        data["node_of"],
+        data["node_depth"].tolist(),
+        [int(b) for b in manifest["node_bits"]],
+        data["node_vstart"].tolist(),
+        node_vend,
+        node_parent,
+        [m.tolist() for m in member_rows],
+        node_vend_chain,
+    )
+
+    order = data["order"]
+    rank = np.empty(n, dtype=np.int64)
+    rank[order] = np.arange(n)
+    up_rows = _unflatten(data["up_flat"], data["up_offsets"])
+    up = [row.tolist() for row in up_rows]
+    wup_flat = data["wup_flat"]
+    offsets = data["up_offsets"]
+    wup = [
+        dict(zip(up[v], wup_flat[offsets[v]:offsets[v + 1]].tolist()))
+        for v in range(n)
+    ]
+    base = ContractionResult(graph, order, rank, up, wup)
+    hu = UpdateHierarchy(base, hq)
+
+    label_rows = _unflatten(data["label_flat"], data["label_offsets"])
+    labels = HierarchicalLabelling([np.array(r) for r in label_rows], hq.tau)
+
+    stats = IndexStats(num_vertices=n, num_edges=graph.num_edges)
+    index = DHLIndex(graph, hq, hu, labels, config, stats)
+    index._refresh_size_stats()
+    return index

@@ -1,0 +1,60 @@
+"""Index statistics: the quantities reported in the paper's Table 3."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["IndexStats"]
+
+
+def _format_bytes(num: float) -> str:
+    for unit in ("B", "KB", "MB", "GB"):
+        if num < 1024.0:
+            return f"{num:.1f} {unit}"
+        num /= 1024.0
+    return f"{num:.1f} TB"
+
+
+@dataclass
+class IndexStats:
+    """Sizes, entry counts and construction timings of a DHL index."""
+
+    num_vertices: int = 0
+    num_edges: int = 0
+    label_entries: int = 0
+    label_bytes: int = 0
+    num_shortcuts: int = 0
+    shortcut_bytes: int = 0
+    hierarchy_bytes: int = 0
+    height: int = 0
+    max_up_degree: int = 0
+    partition_seconds: float = 0.0
+    contraction_seconds: float = 0.0
+    labelling_seconds: float = 0.0
+    extra: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def construction_seconds(self) -> float:
+        return self.partition_seconds + self.contraction_seconds + self.labelling_seconds
+
+    @property
+    def total_bytes(self) -> int:
+        return self.label_bytes + self.shortcut_bytes + self.hierarchy_bytes
+
+    def summary(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [
+            f"vertices            {self.num_vertices:>12,}",
+            f"edges               {self.num_edges:>12,}",
+            f"label entries       {self.label_entries:>12,}",
+            f"labelling size      {_format_bytes(self.label_bytes):>12}",
+            f"shortcuts           {self.num_shortcuts:>12,}",
+            f"shortcut size       {_format_bytes(self.shortcut_bytes):>12}",
+            f"hierarchy height    {self.height:>12,}",
+            f"max up-degree       {self.max_up_degree:>12,}",
+            f"partition time      {self.partition_seconds:>11.3f}s",
+            f"contraction time    {self.contraction_seconds:>11.3f}s",
+            f"labelling time      {self.labelling_seconds:>11.3f}s",
+            f"total construction  {self.construction_seconds:>11.3f}s",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,146 @@
+"""Structural updates — Section 8 of the paper.
+
+Road networks rarely change shape, so the paper treats structure as
+stable and handles the rare exceptions as follows:
+
+* **edge deletion** — raise the weight to infinity (a DHL+ update); the
+  shortcut slot stays allocated so structural stability (U1) holds;
+* **vertex deletion** — delete all incident edges;
+* **edge insertion** — repartition the subtree of H_Q rooted at the
+  lowest common ancestor node of the endpoints, then rebuild H_U and L.
+
+For insertion the paper repartitions "the largest affected induced
+subgraph"; we do exactly that for the partition tree (all untouched
+subtrees are reused), then rebuild the contraction and labelling, which
+are the cheaper phases of construction. A brand-new edge can create new
+valley paths between vertices *above* the repartitioned subtree, so the
+shortcut structure outside it is not reusable in general — rebuilding it
+keeps correctness unconditional.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import MaintenanceError
+from repro.graph.graph import Graph
+from repro.hierarchy.query_hierarchy import QueryHierarchy
+from repro.hierarchy.update_hierarchy import UpdateHierarchy
+from repro.labelling.build import build_labelling
+from repro.labelling.maintenance import MaintenanceStats
+from repro.partition.recursive import PartitionTreeNode, recursive_bisection
+
+__all__ = ["delete_edge", "restore_edge", "delete_vertex", "insert_edge"]
+
+
+def delete_edge(index, u: int, v: int) -> MaintenanceStats:
+    """Logically delete edge ``(u, v)`` by increasing its weight to inf."""
+    current = index.graph.weight(u, v)
+    if math.isinf(current):
+        return MaintenanceStats()  # already deleted
+    return index.increase([(u, v, math.inf)])
+
+
+def restore_edge(index, u: int, v: int, weight: float) -> MaintenanceStats:
+    """Restore a logically deleted edge with *weight* (a decrease)."""
+    if not math.isfinite(weight) or weight < 0:
+        raise MaintenanceError(f"restore weight must be finite, got {weight!r}")
+    current = index.graph.weight(u, v)
+    if weight > current:
+        raise MaintenanceError(
+            f"edge ({u}, {v}) currently weighs {current}; restoring to a "
+            "larger weight is an increase — use increase()"
+        )
+    return index.decrease([(u, v, weight)])
+
+
+def delete_vertex(index, v: int) -> MaintenanceStats:
+    """Logically delete vertex *v*: all incident roads become infinite."""
+    changes = [
+        (v, u, math.inf)
+        for u, w in index.graph.neighbors(v).items()
+        if math.isfinite(w)
+    ]
+    if not changes:
+        return MaintenanceStats()
+    return index.increase(changes)
+
+
+def _subtree_vertices(hq: QueryHierarchy, node_id: int) -> list[int]:
+    """All vertices owned by the subtree rooted at H_Q node *node_id*."""
+    children: dict[int, list[int]] = {}
+    for nid, parent in enumerate(hq.node_parent):
+        if parent >= 0:
+            children.setdefault(parent, []).append(nid)
+    vertices: list[int] = []
+    stack = [node_id]
+    while stack:
+        nid = stack.pop()
+        vertices.extend(hq.node_members[nid])
+        stack.extend(children.get(nid, ()))
+    return vertices
+
+
+def insert_edge(index, u: int, v: int, weight: float):
+    """Insert a new road ``(u, v)``; returns a new, consistent index.
+
+    The H_Q subtree rooted at the LCA node of ``l(u)`` and ``l(v)`` is
+    repartitioned over the updated subgraph (other subtrees are reused
+    verbatim); the update hierarchy and labelling are rebuilt.
+    """
+    from repro.core.index import DHLIndex
+
+    graph: Graph = index.graph
+    if graph.has_edge(u, v):
+        raise MaintenanceError(
+            f"edge ({u}, {v}) already exists; use decrease()/increase()"
+        )
+    if not math.isfinite(weight) or weight < 0:
+        raise MaintenanceError(f"weight must be finite and non-negative, got {weight!r}")
+    hq: QueryHierarchy = index.hq
+    if hq.tree_nodes is None:
+        raise MaintenanceError(
+            "index was loaded without its partition tree; rebuild it to "
+            "support edge insertion"
+        )
+
+    graph.add_edge(u, v, weight)
+
+    # Find the LCA node of the endpoints' tree nodes.
+    depth = hq.lca_depth(u, v)
+    nid = int(hq.node_of[u])
+    while hq.node_depth[nid] > depth:
+        nid = hq.node_parent[nid]
+
+    affected = sorted(_subtree_vertices(hq, nid))
+    subgraph, local_to_global = graph.induced_subgraph(affected)
+    sub_tree = recursive_bisection(
+        subgraph,
+        beta=index.config.beta,
+        leaf_size=index.config.leaf_size,
+        seed=index.config.seed,
+        coarsest_size=index.config.coarsest_size,
+    )
+
+    def relabel(node: PartitionTreeNode) -> PartitionTreeNode:
+        return PartitionTreeNode(
+            vertices=[local_to_global[x] for x in node.vertices],
+            children=[relabel(c) for c in node.children],
+        )
+
+    new_subtree = relabel(sub_tree)
+    old_node = hq.tree_nodes[nid]
+    parent_id = hq.node_parent[nid]
+    if parent_id < 0:
+        root = new_subtree
+    else:
+        parent_node = hq.tree_nodes[parent_id]
+        parent_node.children[parent_node.children.index(old_node)] = new_subtree
+        root = hq.tree_nodes[0]
+
+    new_hq = QueryHierarchy.from_partition_tree(root, graph.num_vertices)
+    new_hu = UpdateHierarchy.build(graph, new_hq)
+    labels = build_labelling(new_hu)
+    new_index = DHLIndex(graph, new_hq, new_hu, labels, index.config, index.stats())
+    new_index._refresh_size_stats()
+    return new_index

@@ -1,0 +1,28 @@
+"""Dataset suite: synthetic stand-ins for the paper's 10 road networks.
+
+The paper evaluates on nine DIMACS USA road networks [7] and PTV's
+Western-Europe network [1]. Those files are not redistributable here and
+this environment has no network access, so :mod:`repro.datasets.synthetic`
+generates equivalents with matched topology statistics at a configurable
+scale (default 1/1000 of the paper's vertex counts — pure-Python index
+construction stays in seconds; see DESIGN.md §3). Real DIMACS files drop
+in via :func:`repro.datasets.dimacs.load_dimacs_pair`.
+"""
+
+from repro.datasets.synthetic import (
+    DATASETS,
+    DatasetSpec,
+    dataset_names,
+    load_dataset,
+    suite,
+)
+from repro.datasets.dimacs import load_dimacs_pair
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "dataset_names",
+    "load_dataset",
+    "suite",
+    "load_dimacs_pair",
+]

@@ -1,0 +1,70 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything library-specific with a single ``except`` clause while
+still distinguishing the common failure modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "VertexNotFound",
+    "EdgeNotFound",
+    "GraphFormatError",
+    "PartitionError",
+    "HierarchyError",
+    "IndexBuildError",
+    "MaintenanceError",
+    "SerializationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Problem with a graph's structure or an invalid graph operation."""
+
+
+class VertexNotFound(GraphError, KeyError):
+    """A vertex id referenced by the caller does not exist in the graph."""
+
+    def __init__(self, vertex: int):
+        super().__init__(f"vertex {vertex!r} not in graph")
+        self.vertex = vertex
+
+
+class EdgeNotFound(GraphError, KeyError):
+    """An edge referenced by the caller does not exist in the graph."""
+
+    def __init__(self, u: int, v: int):
+        super().__init__(f"edge ({u!r}, {v!r}) not in graph")
+        self.u = u
+        self.v = v
+
+
+class GraphFormatError(GraphError, ValueError):
+    """Malformed external graph data (DIMACS, edge list, JSON...)."""
+
+
+class PartitionError(ReproError):
+    """A partitioning routine could not produce a valid result."""
+
+
+class HierarchyError(ReproError):
+    """Inconsistent query/update hierarchy state."""
+
+
+class IndexBuildError(ReproError):
+    """Index construction failed (bad configuration or degenerate input)."""
+
+
+class MaintenanceError(ReproError):
+    """A dynamic update could not be applied to an index."""
+
+
+class SerializationError(ReproError):
+    """Saving or loading an index failed."""

@@ -1,0 +1,145 @@
+"""Figure-shaped experiments: Figures 5, 6 and 7 of the paper.
+
+Figures are emitted as data series (one text table per dataset plus a
+JSON payload); plotting is deliberately left to the consumer — the
+reproduction target is the numbers and their shape.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.measure import time_callable, time_queries
+from repro.experiments.report import format_series, fmt_us
+from repro.experiments.workloads import (
+    distance_stratified_queries,
+    restore_weights,
+    sample_update_batches,
+    scale_weights,
+)
+
+__all__ = ["figure5_weight_sweep", "figure6_query_sets", "figure7_scalability"]
+
+
+def figure5_weight_sweep(ctx: ExperimentContext) -> dict:
+    """Figure 5: update time vs weight multiplier (t+1) x w, t = 1..9.
+
+    Batch ``t`` gets its weights scaled to ``(t+1) * w`` (increase), then
+    restored (decrease), exactly the Section 7.2 protocol.
+    """
+    raw = {}
+    texts = []
+    for name in ctx.datasets:
+        graph = ctx.graph(name)
+        batches = sample_update_batches(
+            graph, 9, ctx.batch_size(name), seed=ctx.seed + 5
+        )
+        dhl = ctx.dhl(name)
+        h2h = ctx.inch2h(name)
+        series = {"DHL+": [], "DHL-": [], "IncH2H+": [], "IncH2H-": []}
+        for t, batch in enumerate(batches, start=1):
+            factor = float(t + 1)
+            inc = scale_weights(batch, factor)
+            dec = restore_weights(batch)
+            series["DHL+"].append(time_callable(lambda: dhl.increase(inc)))
+            series["DHL-"].append(time_callable(lambda: dhl.decrease(dec)))
+            series["IncH2H+"].append(time_callable(lambda: h2h.increase(inc)))
+            series["IncH2H-"].append(time_callable(lambda: h2h.decrease(dec)))
+        raw[name] = {k: [v * 1e3 for v in vals] for k, vals in series.items()}
+        texts.append(
+            format_series(
+                f"Figure 5 ({name}): update time [ms] vs weight change t",
+                "t",
+                list(range(1, 10)),
+                series,
+            )
+        )
+    return {"experiment": "figure5", "raw": raw, "text": "\n\n".join(texts)}
+
+
+def figure6_query_sets(ctx: ExperimentContext) -> dict:
+    """Figure 6: query time over 10 distance-stratified sets Q1..Q10.
+
+    Also records the measured search space per set (common-ancestor label
+    entries for DHL, LCA bag width for IncH2H) — the quantity the paper's
+    discussion of this figure appeals to.
+    """
+    from repro.experiments.analytics import query_search_space
+
+    raw = {}
+    texts = []
+    per_set = max(50, min(1_000, ctx.query_count // 10))
+    for name in ctx.datasets:
+        graph = ctx.graph(name)
+        dhl = ctx.dhl(name)
+        h2h = ctx.inch2h(name)
+        sets = distance_stratified_queries(
+            dhl.distance, graph.num_vertices, per_set, seed=ctx.seed + 6
+        )
+        series = {"DHL": [], "IncH2H": [], "pairs": []}
+        search_space = []
+        for pairs in sets:
+            series["DHL"].append(time_queries(dhl.distance, pairs))
+            series["IncH2H"].append(time_queries(h2h.distance, pairs))
+            series["pairs"].append(float(len(pairs)))
+            search_space.append(
+                query_search_space(dhl, h2h, pairs) if pairs else {}
+            )
+        raw[name] = {
+            "DHL_us": [v * 1e6 for v in series["DHL"]],
+            "IncH2H_us": [v * 1e6 for v in series["IncH2H"]],
+            "set_sizes": series["pairs"],
+            "search_space": search_space,
+        }
+        texts.append(
+            format_series(
+                f"Figure 6 ({name}): query time [us] per distance set",
+                "Q",
+                list(range(1, 11)),
+                {"DHL": series["DHL"], "IncH2H": series["IncH2H"]},
+                y_format=fmt_us,
+            )
+        )
+    return {"experiment": "figure6", "raw": raw, "text": "\n\n".join(texts)}
+
+
+def figure7_scalability(ctx: ExperimentContext) -> dict:
+    """Figure 7: batch update time vs batch size against reconstruction.
+
+    Samples ``5 x batch_size`` updates per network and processes prefixes
+    of growing size (the paper's 500..5000 in steps of 500, scaled), with
+    full reconstruction time as the reference line.
+    """
+    raw = {}
+    texts = []
+    for name in ctx.datasets:
+        graph = ctx.graph(name)
+        base = ctx.batch_size(name)
+        pool = sample_update_batches(graph, 1, 5 * base, seed=ctx.seed + 7)[0]
+        dhl = ctx.dhl(name)
+        rebuild_seconds = time_callable(lambda: dhl.rebuild())
+
+        sizes = [max(1, round(f * len(pool))) for f in
+                 (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)]
+        series = {"DHL+": [], "DHL-": [], "Reconstruction": []}
+        for size in sizes:
+            batch = pool[:size]
+            inc = scale_weights(batch, 2.0)
+            dec = restore_weights(batch)
+            series["DHL+"].append(time_callable(lambda: dhl.increase(inc)))
+            series["DHL-"].append(time_callable(lambda: dhl.decrease(dec)))
+            series["Reconstruction"].append(rebuild_seconds)
+        raw[name] = {
+            "sizes": sizes,
+            "DHL+_s": series["DHL+"],
+            "DHL-_s": series["DHL-"],
+            "reconstruction_s": rebuild_seconds,
+        }
+        texts.append(
+            format_series(
+                f"Figure 7 ({name}): batch update time [ms] vs batch size",
+                "batch",
+                sizes,
+                series,
+            )
+        )
+    return {"experiment": "figure7", "raw": raw, "text": "\n\n".join(texts)}

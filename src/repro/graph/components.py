@@ -1,0 +1,50 @@
+"""Connected-component utilities (finite-weight edges only).
+
+Edges whose weight is ``inf`` represent logically deleted roads and do not
+connect their endpoints for component purposes.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+from repro.graph.graph import Graph
+
+__all__ = ["connected_components", "is_connected", "largest_component"]
+
+
+def connected_components(graph: Graph) -> list[list[int]]:
+    """Return the vertex lists of all connected components (BFS)."""
+    n = graph.num_vertices
+    seen = bytearray(n)
+    components: list[list[int]] = []
+    for start in range(n):
+        if seen[start]:
+            continue
+        seen[start] = 1
+        queue = deque([start])
+        comp = [start]
+        while queue:
+            v = queue.popleft()
+            for u, w in graph.neighbors(v).items():
+                if not seen[u] and math.isfinite(w):
+                    seen[u] = 1
+                    comp.append(u)
+                    queue.append(u)
+        components.append(comp)
+    return components
+
+
+def is_connected(graph: Graph) -> bool:
+    """True when the graph has exactly one connected component."""
+    if graph.num_vertices == 0:
+        return True
+    return len(connected_components(graph)) == 1
+
+
+def largest_component(graph: Graph) -> tuple[Graph, list[int]]:
+    """Induced subgraph on the largest component plus the id mapping."""
+    components = connected_components(graph)
+    biggest = max(components, key=len)
+    return graph.induced_subgraph(sorted(biggest))

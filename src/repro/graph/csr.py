@@ -1,0 +1,90 @@
+"""Immutable CSR (compressed sparse row) snapshot of a graph.
+
+The mutable dict-based :class:`~repro.graph.graph.Graph` is convenient for
+weight updates but slow for whole-graph numeric passes. A CSR snapshot
+provides contiguous numpy arrays for the partitioner's coarsening and
+spectral phases, plus a bridge to :mod:`scipy.sparse`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph.graph import Graph
+
+__all__ = ["CSRGraph"]
+
+
+class CSRGraph:
+    """CSR adjacency view: ``indptr``, ``indices``, ``weights`` arrays.
+
+    Neighbour lists of vertex ``v`` live in
+    ``indices[indptr[v]:indptr[v+1]]`` with matching ``weights`` entries.
+    Optional per-vertex weights (``vertex_weights``) carry cluster sizes
+    through the multilevel partitioner.
+    """
+
+    __slots__ = ("indptr", "indices", "weights", "vertex_weights")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: np.ndarray,
+        vertex_weights: np.ndarray | None = None,
+    ):
+        self.indptr = indptr
+        self.indices = indices
+        self.weights = weights
+        if vertex_weights is None:
+            vertex_weights = np.ones(len(indptr) - 1, dtype=np.int64)
+        self.vertex_weights = vertex_weights
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "CSRGraph":
+        n = graph.num_vertices
+        degrees = graph.degree_array()
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(degrees, out=indptr[1:])
+        indices = np.empty(indptr[-1], dtype=np.int64)
+        weights = np.empty(indptr[-1], dtype=np.float64)
+        for v in range(n):
+            start = indptr[v]
+            for k, (u, w) in enumerate(graph.neighbors(v).items()):
+                indices[start + k] = u
+                weights[start + k] = w
+        return cls(indptr, indices, weights)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.indptr) - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Undirected edge count (each edge stored twice)."""
+        return len(self.indices) // 2
+
+    def neighbors(self, v: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(neighbour_ids, weights)`` slices for vertex *v*."""
+        lo, hi = self.indptr[v], self.indptr[v + 1]
+        return self.indices[lo:hi], self.weights[lo:hi]
+
+    def degree(self, v: int) -> int:
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    def to_scipy(self) -> sp.csr_matrix:
+        """Symmetric scipy CSR matrix of edge weights."""
+        n = self.num_vertices
+        return sp.csr_matrix(
+            (self.weights, self.indices, self.indptr), shape=(n, n)
+        )
+
+    def laplacian(self, unit_weights: bool = True) -> sp.csr_matrix:
+        """Graph Laplacian ``D - A`` (unit or actual edge weights)."""
+        adj = self.to_scipy()
+        if unit_weights:
+            adj = adj.copy()
+            adj.data = np.ones_like(adj.data)
+        degrees = np.asarray(adj.sum(axis=1)).ravel()
+        return sp.diags(degrees).tocsr() - adj

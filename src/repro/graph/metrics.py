@@ -1,0 +1,86 @@
+"""Descriptive statistics of road networks.
+
+Used by the dataset reports (Table 1 context) and by tests that assert
+road-likeness of the synthetic generators: sparsity, degree shape,
+approximate diameter and weighted eccentricity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.dijkstra import dijkstra
+from repro.graph.graph import Graph
+from repro.graph.traversal import bfs_distances, eccentric_vertex
+
+__all__ = ["NetworkMetrics", "network_metrics", "approximate_diameter"]
+
+
+@dataclass(frozen=True)
+class NetworkMetrics:
+    """Summary statistics of one network."""
+
+    num_vertices: int
+    num_edges: int
+    edge_vertex_ratio: float
+    mean_degree: float
+    max_degree: int
+    degree_histogram: dict[int, int]
+    hop_diameter_lb: int
+    weighted_diameter_lb: float
+    mean_edge_weight: float
+
+    def as_dict(self) -> dict:
+        return {
+            "num_vertices": self.num_vertices,
+            "num_edges": self.num_edges,
+            "edge_vertex_ratio": self.edge_vertex_ratio,
+            "mean_degree": self.mean_degree,
+            "max_degree": self.max_degree,
+            "degree_histogram": dict(self.degree_histogram),
+            "hop_diameter_lb": self.hop_diameter_lb,
+            "weighted_diameter_lb": self.weighted_diameter_lb,
+            "mean_edge_weight": self.mean_edge_weight,
+        }
+
+
+def approximate_diameter(graph: Graph, sweeps: int = 3) -> tuple[int, float]:
+    """Lower bounds on hop and weighted diameter via double sweeps.
+
+    Returns ``(hop_diameter, weighted_diameter)``; exact on trees, a
+    lower bound in general (the standard heuristic for large graphs).
+    """
+    if graph.num_vertices == 0:
+        return 0, 0.0
+    peripheral = eccentric_vertex(graph, 0, sweeps=sweeps)
+    hops = bfs_distances(graph, peripheral)
+    hop_diameter = max(hops)
+    dist = dijkstra(graph, peripheral)
+    finite = dist[np.isfinite(dist)]
+    weighted = float(finite.max()) if len(finite) else 0.0
+    return hop_diameter, weighted
+
+
+def network_metrics(graph: Graph) -> NetworkMetrics:
+    """Compute the full metrics bundle for *graph*."""
+    degrees = graph.degree_array()
+    histogram: dict[int, int] = {}
+    for d in degrees.tolist():
+        histogram[d] = histogram.get(d, 0) + 1
+    weights = [w for _, _, w in graph.edges() if math.isfinite(w)]
+    hop_diameter, weighted_diameter = approximate_diameter(graph)
+    n = graph.num_vertices
+    return NetworkMetrics(
+        num_vertices=n,
+        num_edges=graph.num_edges,
+        edge_vertex_ratio=graph.num_edges / n if n else 0.0,
+        mean_degree=float(degrees.mean()) if n else 0.0,
+        max_degree=int(degrees.max()) if n else 0,
+        degree_histogram=histogram,
+        hop_diameter_lb=hop_diameter,
+        weighted_diameter_lb=weighted_diameter,
+        mean_edge_weight=float(np.mean(weights)) if weights else 0.0,
+    )

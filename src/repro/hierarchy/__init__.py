@@ -1,0 +1,23 @@
+"""The two hierarchies of the DHL framework.
+
+* :class:`QueryHierarchy` (H_Q) — the static balanced tree from recursive
+  partitioning; induces the vertex partial order, vertex ranks ``tau`` and
+  O(1) common-ancestor computations used at query time (Definition 4.1).
+* :class:`UpdateHierarchy` (H_U) — the weight-independent shortcut graph
+  from contracting vertices in decreasing ``tau`` order (Definition 4.6),
+  maintaining the minimum-weight property (Property 3.1) under updates.
+* :mod:`repro.hierarchy.contraction` — the contraction engine shared by
+  H_U and the DCH baseline.
+"""
+
+from repro.hierarchy.contraction import ContractionResult, contract_in_order, min_degree_order
+from repro.hierarchy.query_hierarchy import QueryHierarchy
+from repro.hierarchy.update_hierarchy import UpdateHierarchy
+
+__all__ = [
+    "ContractionResult",
+    "contract_in_order",
+    "min_degree_order",
+    "QueryHierarchy",
+    "UpdateHierarchy",
+]

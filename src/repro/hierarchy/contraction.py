@@ -1,0 +1,215 @@
+"""Vertex-contraction engine for weight-independent shortcut graphs.
+
+This is the DCH variant of contraction hierarchies [11, 17] used by both
+the DHL update hierarchy and the DCH/IncH2H baselines: contracting a
+vertex adds a shortcut between *every* pair of its not-yet-contracted
+neighbours (no witness search), so the shortcut *structure* depends only
+on the contraction order, never on edge weights — the structural
+stability property (U1) that makes dynamic maintenance cheap.
+
+Shortcut weights satisfy the minimum-weight property (Property 3.1):
+
+    w(u, v) = min( w_G(u, v), min_x w(x, u) + w(x, v) )
+
+over all common "down" neighbours ``x`` (contracted before both).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.utils.priority_queue import LazyHeap
+
+__all__ = ["ContractionResult", "contract_in_order", "min_degree_order"]
+
+
+class ContractionResult:
+    """Shortcut graph produced by contraction.
+
+    Attributes
+    ----------
+    graph:
+        The underlying road network (weights are kept current by the
+        maintenance algorithms; the shortcut structure never changes).
+    order:
+        Vertices in contraction order (earliest first).
+    rank:
+        ``rank[v]`` = position of ``v`` in ``order``. Up-neighbours have
+        larger rank (contracted later).
+    up:
+        ``up[v]`` = list of up-neighbours (N+ in the paper when read
+        through H_U's reversed convention): shortcut partners contracted
+        *after* v.
+    wup:
+        ``wup[v][u]`` = current shortcut weight of ``(v, u)``, stored on
+        the earlier-contracted endpoint.
+    down:
+        ``down[v]`` = shortcut partners contracted *before* v.
+    down_sets:
+        Same as ``down`` but as sets (for triangle intersection).
+    """
+
+    __slots__ = ("graph", "order", "rank", "up", "wup", "down", "down_sets")
+
+    def __init__(
+        self,
+        graph: Graph,
+        order: np.ndarray,
+        rank: np.ndarray,
+        up: list[list[int]],
+        wup: list[dict[int, float]],
+    ):
+        self.graph = graph
+        self.order = order
+        self.rank = rank
+        self.up = up
+        self.wup = wup
+        self.down: list[list[int]] = [[] for _ in range(len(up))]
+        for v in range(len(up)):
+            for u in up[v]:
+                self.down[u].append(v)
+        self.down_sets: list[set[int]] = [set(d) for d in self.down]
+
+    # -- weight access --------------------------------------------------
+    def shortcut_key(self, a: int, b: int) -> tuple[int, int]:
+        """Normalise an endpoint pair to (earlier, later) contraction order."""
+        return (a, b) if self.rank[a] < self.rank[b] else (b, a)
+
+    def has_shortcut(self, a: int, b: int) -> bool:
+        lo, hi = self.shortcut_key(a, b)
+        return hi in self.wup[lo]
+
+    def weight(self, a: int, b: int) -> float:
+        """Current weight of shortcut ``(a, b)``."""
+        lo, hi = self.shortcut_key(a, b)
+        return self.wup[lo][hi]
+
+    def set_weight(self, a: int, b: int, w: float) -> float:
+        """Set shortcut weight; returns the previous value."""
+        lo, hi = self.shortcut_key(a, b)
+        old = self.wup[lo][hi]
+        self.wup[lo][hi] = w
+        return old
+
+    @property
+    def num_shortcuts(self) -> int:
+        return sum(len(w) for w in self.wup)
+
+    def memory_bytes(self) -> int:
+        """Rough footprint of the shortcut store (ids + weights + lists)."""
+        entries = self.num_shortcuts
+        # one dict slot (id + float) per shortcut, plus up/down id lists
+        return 16 * entries + 8 * sum(len(u) for u in self.up) + 8 * sum(
+            len(d) for d in self.down
+        ) + self.order.nbytes + self.rank.nbytes
+
+    # -- invariant checks (used heavily in tests) ------------------------
+    def verify_minimum_weight_property(self, tolerance: float = 0.0) -> None:
+        """Assert Property 3.1 for every shortcut; raises AssertionError."""
+        for v in range(len(self.up)):
+            for u in self.up[v]:
+                expected = self._recomputed_weight(v, u)
+                actual = self.wup[v][u]
+                ok = (
+                    actual == expected
+                    or (math.isinf(actual) and math.isinf(expected))
+                    or abs(actual - expected) <= tolerance
+                )
+                assert ok, (
+                    f"shortcut ({v}, {u}): stored {actual}, recomputed {expected}"
+                )
+
+    def _recomputed_weight(self, v: int, u: int) -> float:
+        graph = self.graph
+        best = graph.weight(v, u) if graph.has_edge(v, u) else math.inf
+        small, big = self.down_sets[v], self.down_sets[u]
+        if len(small) > len(big):
+            small, big = big, small
+        for x in small:
+            if x in big:
+                candidate = self.weight(x, v) + self.weight(x, u)
+                if candidate < best:
+                    best = candidate
+        return best
+
+
+def contract_in_order(graph: Graph, order: Sequence[int]) -> ContractionResult:
+    """Contract *graph* following *order* (earliest contracted first).
+
+    Implements the weight-independent DCH-variant contraction: when a
+    vertex is contracted every pair of its remaining neighbours receives a
+    shortcut whose weight is min-combined with any existing one.
+    """
+    n = graph.num_vertices
+    order = np.asarray(order, dtype=np.int64)
+    if len(order) != n or len(set(order.tolist())) != n:
+        raise ValueError("order must be a permutation of all vertices")
+    rank = np.empty(n, dtype=np.int64)
+    rank[order] = np.arange(n)
+
+    # Working adjacency over uncontracted vertices, seeded with G's edges.
+    work: list[dict[int, float]] = [dict(graph.neighbors(v)) for v in range(n)]
+    up: list[list[int]] = [[] for _ in range(n)]
+    wup: list[dict[int, float]] = [{} for _ in range(n)]
+
+    for v in order.tolist():
+        nbrs = work[v]
+        items = list(nbrs.items())
+        # Record N+(v) sorted by contraction rank (useful determinism).
+        items.sort(key=lambda kv: rank[kv[0]])
+        up[v] = [u for u, _ in items]
+        wup[v] = {u: w for u, w in items}
+        # Add all-pairs shortcuts among the remaining neighbours.
+        for i in range(len(items)):
+            u, wu = items[i]
+            work_u = work[u]
+            del work_u[v]
+            for j in range(i + 1, len(items)):
+                x, wx = items[j]
+                candidate = wu + wx
+                current = work_u.get(x)
+                if current is None or candidate < current:
+                    work_u[x] = candidate
+                    work[x][u] = candidate
+        nbrs.clear()
+    return ContractionResult(graph, order, rank, up, wup)
+
+
+def min_degree_order(graph: Graph) -> list[int]:
+    """Contraction order by the minimum-degree heuristic [4].
+
+    The degree used is the *current* degree in the partially contracted
+    graph (original edges plus already-added shortcuts), the ordering DCH
+    and IncH2H use. Simulates contraction structurally (weights ignored).
+    """
+    n = graph.num_vertices
+    work: list[set[int]] = [set(graph.neighbors(v)) for v in range(n)]
+    heap: LazyHeap[int] = LazyHeap()
+    for v in range(n):
+        heap.push(v, float(len(work[v])))
+    contracted = bytearray(n)
+    order: list[int] = []
+    while len(order) < n:
+        v, key = heap.pop()
+        if contracted[v]:
+            continue
+        if key != float(len(work[v])):
+            heap.push(v, float(len(work[v])))
+            continue
+        contracted[v] = 1
+        order.append(v)
+        nbrs = [u for u in work[v] if not contracted[u]]
+        for i, u in enumerate(nbrs):
+            work[u].discard(v)
+            for x in nbrs[i + 1:]:
+                if x not in work[u]:
+                    work[u].add(x)
+                    work[x].add(u)
+        for u in nbrs:
+            heap.push(u, float(len(work[u])))
+        work[v].clear()
+    return order

@@ -1,0 +1,234 @@
+"""Query hierarchy H_Q (Definition 4.1) and the vertex partial order.
+
+Built from a partition tree, H_Q assigns each vertex:
+
+* ``tau(v)`` — the number of strict ancestors w.r.t. the partial order
+  ``⪯_H`` (Definition 4.3); the ancestors of ``v`` form a chain whose
+  rank-``i`` element has ``tau == i``, so labels can be dense arrays
+  indexed by ``tau``;
+* a tree node with a partition *bitstring* and *depth*, giving O(1)
+  lowest-common-ancestor computations;
+* per-depth cumulative vertex counts (``vend``), giving O(1) computation
+  of ``|anc(s) ∩ anc(t)|`` — the number of label entries a query scans.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.exceptions import HierarchyError
+from repro.graph.graph import Graph
+from repro.partition.recursive import PartitionTreeNode
+
+__all__ = ["QueryHierarchy"]
+
+
+class QueryHierarchy:
+    """Static query hierarchy over ``n`` vertices.
+
+    Construct via :meth:`from_partition_tree`. All per-vertex data lives
+    in numpy arrays; per-node data in Python lists indexed by node id
+    (preorder).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        tau: np.ndarray,
+        node_of: np.ndarray,
+        node_depth: list[int],
+        node_bits: list[int],
+        node_vstart: list[int],
+        node_vend: list[int],
+        node_parent: list[int],
+        node_members: list[list[int]],
+        node_vend_chain: list[np.ndarray],
+        tree_nodes: list[PartitionTreeNode] | None = None,
+    ):
+        self.n = n
+        self.tau = tau
+        self.node_of = node_of
+        self.node_depth = node_depth
+        self.node_bits = node_bits
+        self.node_vstart = node_vstart
+        self.node_vend = node_vend
+        self.node_parent = node_parent
+        self.node_members = node_members
+        self.node_vend_chain = node_vend_chain
+        # Partition tree nodes aligned with node ids (preorder); kept so
+        # structural updates can splice repartitioned subtrees back in.
+        self.tree_nodes = tree_nodes
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_partition_tree(cls, root: PartitionTreeNode, n: int) -> "QueryHierarchy":
+        """Assign ranks, bitstrings and depth tables from a partition tree."""
+        tau = np.full(n, -1, dtype=np.int64)
+        node_of = np.full(n, -1, dtype=np.int64)
+        node_depth: list[int] = []
+        node_bits: list[int] = []
+        node_vstart: list[int] = []
+        node_vend: list[int] = []
+        node_parent: list[int] = []
+        node_members: list[list[int]] = []
+        node_vend_chain: list[np.ndarray] = []
+        tree_nodes: list[PartitionTreeNode] = []
+
+        # Preorder walk carrying (tree node, parent id, bit value, depth).
+        stack: list[tuple[PartitionTreeNode, int, int, int]] = [(root, -1, 1, 0)]
+        while stack:
+            tnode, parent_id, bits, depth = stack.pop()
+            nid = len(node_depth)
+            tree_nodes.append(tnode)
+            vstart = node_vend[parent_id] if parent_id >= 0 else 0
+            vend = vstart + len(tnode.vertices)
+            node_depth.append(depth)
+            node_bits.append(bits)
+            node_vstart.append(vstart)
+            node_vend.append(vend)
+            node_parent.append(parent_id)
+            node_members.append(list(tnode.vertices))
+            if parent_id >= 0:
+                chain = np.append(node_vend_chain[parent_id], vend)
+            else:
+                chain = np.array([vend], dtype=np.int64)
+            node_vend_chain.append(chain)
+            for position, v in enumerate(tnode.vertices):
+                if tau[v] != -1:
+                    raise HierarchyError(f"vertex {v} owned by two tree nodes")
+                tau[v] = vstart + position
+                node_of[v] = nid
+            # Children are pushed in reverse so child 0 is processed first;
+            # the bit value extends the parent's bitstring.
+            for child_index in range(len(tnode.children) - 1, -1, -1):
+                child = tnode.children[child_index]
+                stack.append((child, nid, (bits << 1) | child_index, depth + 1))
+
+        if (tau < 0).any():
+            missing = int((tau < 0).sum())
+            raise HierarchyError(f"{missing} vertices not covered by the partition tree")
+        return cls(
+            n,
+            tau,
+            node_of,
+            node_depth,
+            node_bits,
+            node_vstart,
+            node_vend,
+            node_parent,
+            node_members,
+            node_vend_chain,
+            tree_nodes,
+        )
+
+    # ------------------------------------------------------------------
+    # partial order and LCA
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_depth)
+
+    @property
+    def height(self) -> int:
+        """Maximum number of ancestors of any vertex (paper's ``h``)."""
+        return int(self.tau.max()) + 1 if self.n else 0
+
+    def lca_depth(self, s: int, t: int) -> int:
+        """Tree depth of the LCA of ``l(s)`` and ``l(t)`` (O(1) bit math)."""
+        ns, nt = int(self.node_of[s]), int(self.node_of[t])
+        ds, dt = self.node_depth[ns], self.node_depth[nt]
+        d = ds if ds < dt else dt
+        vs = self.node_bits[ns] >> (ds - d)
+        vt = self.node_bits[nt] >> (dt - d)
+        diff = vs ^ vt
+        return d if diff == 0 else d - diff.bit_length()
+
+    def common_ancestor_count(self, s: int, t: int) -> int:
+        """``|anc(s) ∩ anc(t)|`` — how many leading label entries to scan.
+
+        The common ancestors of ``s`` and ``t`` are exactly the vertices of
+        rank ``0 .. K-1`` on either ancestor chain, where ``K`` is the
+        value returned here.
+        """
+        depth = self.lca_depth(s, t)
+        vend = int(self.node_vend_chain[int(self.node_of[s])][depth])
+        ts, tt = int(self.tau[s]), int(self.tau[t])
+        k = min(ts, tt, vend - 1) + 1
+        return k
+
+    def precedes(self, u: int, v: int) -> bool:
+        """True iff ``u ⪯_H v`` (Definition 4.3, reflexive)."""
+        nu, nv = int(self.node_of[u]), int(self.node_of[v])
+        if nu == nv:
+            return self.tau[u] <= self.tau[v]
+        du, dv = self.node_depth[nu], self.node_depth[nv]
+        if du >= dv:
+            return False
+        return (self.node_bits[nv] >> (dv - du)) == self.node_bits[nu]
+
+    def comparable(self, u: int, v: int) -> bool:
+        return self.precedes(u, v) or self.precedes(v, u)
+
+    def ancestors(self, v: int) -> list[int]:
+        """Ancestor chain of *v* (inclusive) ordered by rank ``tau``.
+
+        The element at index ``i`` has ``tau == i``; the last element is
+        ``v`` itself. O(tau(v)) — intended for tests and maintenance
+        bookkeeping, not the query hot path.
+        """
+        chain: list[int] = []
+        nid = int(self.node_of[v])
+        path = []
+        while nid >= 0:
+            path.append(nid)
+            nid = self.node_parent[nid]
+        for node in reversed(path):
+            members = self.node_members[node]
+            if node == self.node_of[v]:
+                members = members[: int(self.tau[v]) - self.node_vstart[node] + 1]
+            chain.extend(members)
+        return chain
+
+    def contraction_order(self) -> np.ndarray:
+        """Vertices in decreasing ``tau`` (deepest first) for building H_U."""
+        return np.argsort(-self.tau, kind="stable")
+
+    def iter_vertices_by_tau(self) -> Iterator[int]:
+        """Vertices in increasing ``tau`` (top-down), ties in id order."""
+        for v in np.argsort(self.tau, kind="stable"):
+            yield int(v)
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate_graph(self, graph: Graph) -> None:
+        """Check that every edge joins ⪯_H-comparable vertices.
+
+        This is the separator property of Definition 4.1 restricted to
+        paths of length one; it must hold for any partition tree whose
+        node sets are true separators (Lemma 4.8 relies on it).
+        """
+        for u, v, _ in graph.edges():
+            if not self.comparable(u, v):
+                raise HierarchyError(
+                    f"edge ({u}, {v}) joins incomparable vertices; "
+                    "the partition tree is not a valid separator tree"
+                )
+
+    def memory_bytes(self) -> int:
+        """Approximate memory footprint of the per-vertex/per-node tables."""
+        total = self.tau.nbytes + self.node_of.nbytes
+        total += sum(chain.nbytes for chain in self.node_vend_chain)
+        total += 8 * (
+            len(self.node_depth)
+            + len(self.node_bits)
+            + len(self.node_vstart)
+            + len(self.node_vend)
+            + len(self.node_parent)
+        )
+        total += 8 * sum(len(m) for m in self.node_members)
+        return total

@@ -1,0 +1,79 @@
+"""Update hierarchy H_U (Definitions 4.5/4.6).
+
+H_U is the weight-independent shortcut graph obtained by contracting
+vertices in decreasing ``tau`` order (deepest first), so that every
+shortcut joins two ⪯_H-comparable vertices (Lemma 4.8) and
+
+* ``N+(v)`` (``up``) are v's shortcut partners that are *ancestors*
+  (smaller ``tau``, contracted later),
+* ``N-(v)`` (``down``) are descendant partners (larger ``tau``).
+
+Structural stability (U1) holds by construction: weight updates never add
+or remove shortcuts, they only change stored weights, which the dynamic
+algorithms keep consistent with the minimum-weight property (3.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import HierarchyError
+from repro.graph.graph import Graph
+from repro.hierarchy.contraction import ContractionResult, contract_in_order
+from repro.hierarchy.query_hierarchy import QueryHierarchy
+
+__all__ = ["UpdateHierarchy"]
+
+
+class UpdateHierarchy(ContractionResult):
+    """Shortcut graph of G w.r.t. the partial order induced by H_Q.
+
+    Inherits the shortcut store from :class:`ContractionResult`; adds the
+    rank array ``tau`` and the link back to the query hierarchy. Note the
+    reversed rank convention: ancestors have *small* ``tau`` but *large*
+    contraction rank (they are contracted last).
+    """
+
+    __slots__ = ("tau", "hq")
+
+    def __init__(self, base: ContractionResult, hq: QueryHierarchy):
+        super().__init__(base.graph, base.order, base.rank, base.up, base.wup)
+        self.tau = hq.tau
+        self.hq = hq
+
+    @classmethod
+    def build(cls, graph: Graph, hq: QueryHierarchy) -> "UpdateHierarchy":
+        """Contract *graph* in decreasing ``tau`` order (deepest first)."""
+        order = hq.contraction_order()
+        base = contract_in_order(graph, order)
+        return cls(base, hq)
+
+    def validate_comparability(self) -> None:
+        """Check Lemma 4.8: every shortcut joins comparable vertices.
+
+        With a valid separator tree this holds automatically; the check
+        exists for tests and for diagnosing bad partition trees.
+        """
+        for v in range(len(self.up)):
+            for u in self.up[v]:
+                if not self.hq.precedes(u, v):
+                    raise HierarchyError(
+                        f"shortcut ({v}, {u}) joins incomparable vertices "
+                        f"(tau {self.tau[v]}, {self.tau[u]})"
+                    )
+
+    def max_up_degree(self) -> int:
+        """Paper's ``d_max`` (maximum shortcut degree towards ancestors)."""
+        return max((len(u) for u in self.up), default=0)
+
+    def degree_stats(self) -> dict[str, float]:
+        """Summary of shortcut degrees, for the experiment reports."""
+        ups = np.array([len(u) for u in self.up], dtype=np.int64)
+        downs = np.array([len(d) for d in self.down], dtype=np.int64)
+        return {
+            "max_up": int(ups.max(initial=0)),
+            "mean_up": float(ups.mean()) if len(ups) else 0.0,
+            "max_down": int(downs.max(initial=0)),
+            "mean_down": float(downs.mean()) if len(downs) else 0.0,
+            "shortcuts": int(self.num_shortcuts),
+        }

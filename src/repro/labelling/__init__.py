@@ -1,0 +1,50 @@
+"""Hierarchical labelling L: construction, queries and maintenance.
+
+* :class:`HierarchicalLabelling` — the distance map ``gamma`` stored as one
+  dense numpy array per vertex, indexed by ancestor rank ``tau``
+  (Definitions 4.9-4.12).
+* :mod:`repro.labelling.build` — bottom-up construction (Algorithm 1).
+* :mod:`repro.labelling.query` — 2-hop distance queries through H_Q.
+* :mod:`repro.labelling.maintenance` — dynamic maintenance: DH-U
+  decrease/increase (Algorithms 2/3) and DHL-/DHL+ (Algorithms 4/5).
+* :mod:`repro.labelling.parallel` — column-partitioned parallel variants
+  (Algorithms 6/7).
+"""
+
+from repro.labelling.labels import HierarchicalLabelling
+from repro.labelling.build import build_labelling
+from repro.labelling.query import QueryEngine
+from repro.labelling.paths import PathReconstructor
+from repro.labelling.maintenance import (
+    MaintenanceStats,
+    maintain_shortcuts_decrease,
+    maintain_shortcuts_increase,
+    maintain_labels_decrease,
+    maintain_labels_increase,
+    apply_decrease,
+    apply_increase,
+)
+from repro.labelling.parallel import (
+    maintain_labels_decrease_parallel,
+    maintain_labels_increase_parallel,
+    apply_decrease_parallel,
+    apply_increase_parallel,
+)
+
+__all__ = [
+    "HierarchicalLabelling",
+    "build_labelling",
+    "QueryEngine",
+    "PathReconstructor",
+    "MaintenanceStats",
+    "maintain_shortcuts_decrease",
+    "maintain_shortcuts_increase",
+    "maintain_labels_decrease",
+    "maintain_labels_increase",
+    "apply_decrease",
+    "apply_increase",
+    "maintain_labels_decrease_parallel",
+    "maintain_labels_increase_parallel",
+    "apply_decrease_parallel",
+    "apply_increase_parallel",
+]

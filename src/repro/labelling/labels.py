@@ -1,0 +1,108 @@
+"""The hierarchical labelling data structure (distance map gamma).
+
+For each vertex ``v`` the label is a dense ``float64`` array of length
+``tau(v) + 1``: entry ``i`` holds ``L_v[i]``, the distance between ``v``
+and its rank-``i`` ancestor within the ⪯_H-interval subgraph of H_U
+(Definition 4.11); entry ``tau(v)`` is 0 (the vertex itself). The distance
+scheme Gamma (Definitions 4.9/4.10) is purely conceptual — the ancestor
+identities are implied by ranks, so only distances are stored, exactly as
+in the paper.
+"""
+
+from __future__ import annotations
+
+
+import numpy as np
+
+__all__ = ["HierarchicalLabelling"]
+
+
+class HierarchicalLabelling:
+    """Distance map ``gamma`` over the conceptual distance scheme.
+
+    Attributes
+    ----------
+    arrays:
+        ``arrays[v][i] == L_v[i]``; length ``tau[v] + 1`` each.
+    tau:
+        Rank array shared with the hierarchies.
+    """
+
+    __slots__ = ("arrays", "tau")
+
+    def __init__(self, arrays: list[np.ndarray], tau: np.ndarray):
+        self.arrays = arrays
+        self.tau = tau
+
+    # -- element access -------------------------------------------------
+    def entry(self, v: int, i: int) -> float:
+        """``L_v[i]`` — distance from *v* to its rank-``i`` ancestor."""
+        return float(self.arrays[v][i])
+
+    def entry_for(self, v: int, w: int) -> float:
+        """``L_v[w]`` for an ancestor vertex *w* (paper's index-by-vertex)."""
+        return float(self.arrays[v][int(self.tau[w])])
+
+    def set_entry(self, v: int, i: int, value: float) -> None:
+        self.arrays[v][i] = value
+
+    # -- bulk properties --------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self.arrays)
+
+    @property
+    def num_entries(self) -> int:
+        """Total label entries (paper's |L| in Table 3)."""
+        return sum(len(a) for a in self.arrays)
+
+    def memory_bytes(self) -> int:
+        return sum(a.nbytes for a in self.arrays)
+
+    def copy(self) -> "HierarchicalLabelling":
+        return HierarchicalLabelling([a.copy() for a in self.arrays], self.tau)
+
+    def equals(self, other: "HierarchicalLabelling", tolerance: float = 0.0) -> bool:
+        """Exact (or tolerance-bounded) equality of every label entry.
+
+        Because label entries are deterministic interval-subgraph
+        distances, a correctly maintained labelling must *equal* the
+        labelling rebuilt from scratch — the strongest maintenance check.
+        """
+        if len(self.arrays) != len(other.arrays):
+            return False
+        for a, b in zip(self.arrays, other.arrays):
+            if len(a) != len(b):
+                return False
+            finite_a = np.isfinite(a)
+            finite_b = np.isfinite(b)
+            if not np.array_equal(finite_a, finite_b):
+                return False
+            if tolerance == 0.0:
+                if not np.array_equal(a[finite_a], b[finite_b]):
+                    return False
+            elif not np.allclose(a[finite_a], b[finite_b], atol=tolerance, rtol=0.0):
+                return False
+        return True
+
+    def diff_count(self, other: "HierarchicalLabelling") -> int:
+        """Number of entries that differ from *other* (for L-delta stats)."""
+        count = 0
+        for a, b in zip(self.arrays, other.arrays):
+            both_inf = np.isinf(a) & np.isinf(b)
+            count += int((~both_inf & (a != b)).sum())
+        return count
+
+    def validate_basic(self) -> None:
+        """Cheap invariants: diagonal zero, non-negative entries."""
+        for v, a in enumerate(self.arrays):
+            assert len(a) == int(self.tau[v]) + 1, f"label length mismatch at {v}"
+            assert a[-1] == 0.0, f"diagonal entry of {v} is {a[-1]}"
+            assert (a >= 0).all(), f"negative label entry at {v}"
+
+    def __repr__(self) -> str:  # pragma: no cover - repr sugar
+        mb = self.memory_bytes() / 1e6
+        return (
+            f"HierarchicalLabelling(vertices={self.num_vertices}, "
+            f"entries={self.num_entries}, {mb:.2f} MB)"
+        )

@@ -1,0 +1,346 @@
+"""Dynamic maintenance — Algorithms 2-5 of the paper.
+
+Two layers are maintained, in order:
+
+1. **Shortcuts** (update hierarchy H_U): Algorithm 2 (decrease) relaxes
+   triangle inequalities outward from the changed edges; Algorithm 3
+   (increase) re-derives affected shortcut weights from Property 3.1.
+   Both process shortcuts bottom-up (decreasing ``tau`` of the deeper
+   endpoint == increasing contraction rank), so triangle legs are always
+   final before they are used. These run on any
+   :class:`~repro.hierarchy.contraction.ContractionResult`, which lets the
+   DCH baseline reuse them verbatim.
+2. **Labels** (hierarchical labelling L): Algorithm 4 (decrease) relaxes
+   label entries along shortcut chains; Algorithm 5 (increase) recomputes
+   potentially affected entries from up-neighbours, support-free (the
+   paper's deliberate trade-off — Section 8 "Boundedness"). Entries are
+   processed top-down (increasing ``tau``), so ancestor columns are final
+   before descendants read them.
+
+Increase-side pruning tests exact equality of path sums; with integer
+weights (the library default) these comparisons are exact in float64.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import MaintenanceError
+from repro.hierarchy.contraction import ContractionResult
+from repro.hierarchy.update_hierarchy import UpdateHierarchy
+from repro.labelling.labels import HierarchicalLabelling
+from repro.utils.priority_queue import LazyHeap
+
+__all__ = [
+    "MaintenanceStats",
+    "maintain_shortcuts_decrease",
+    "maintain_shortcuts_increase",
+    "maintain_labels_decrease",
+    "maintain_labels_increase",
+    "apply_decrease",
+    "apply_increase",
+]
+
+WeightChange = tuple[int, int, float]
+ShortcutKey = tuple[int, int]
+
+
+@dataclass
+class MaintenanceStats:
+    """Work counters reported by the update algorithms.
+
+    ``shortcuts_changed`` is the paper's |S-delta|; ``labels_changed`` is
+    |L-delta| (distinct label entries whose value changed);
+    ``entries_processed`` counts queue pops (search effort).
+    """
+
+    shortcuts_changed: int = 0
+    labels_changed: int = 0
+    entries_processed: int = 0
+    affected_shortcuts: dict[ShortcutKey, float] = field(default_factory=dict)
+
+    def merge(self, other: "MaintenanceStats") -> "MaintenanceStats":
+        return MaintenanceStats(
+            self.shortcuts_changed + other.shortcuts_changed,
+            self.labels_changed + other.labels_changed,
+            self.entries_processed + other.entries_processed,
+            {**self.affected_shortcuts, **other.affected_shortcuts},
+        )
+
+
+# ---------------------------------------------------------------------------
+# Shortcut maintenance (Algorithms 2 and 3)
+# ---------------------------------------------------------------------------
+
+def maintain_shortcuts_decrease(
+    sc: ContractionResult,
+    changes: list[WeightChange],
+) -> dict[ShortcutKey, float]:
+    """Algorithm 2 — DH-U under edge weight decrease.
+
+    Applies *changes* (``(u, v, new_weight)``) to the underlying graph,
+    propagates decreases through shortcut triangles bottom-up, and returns
+    the affected shortcuts as ``{(deeper, shallower): old_weight}``; the
+    new weights are already stored in *sc*.
+    """
+    graph = sc.graph
+    rank = sc.rank
+    wup = sc.wup
+    heap: LazyHeap[ShortcutKey] = LazyHeap()
+    old_weights: dict[ShortcutKey, float] = {}
+
+    for a, b, w_new in changes:
+        old_edge = graph.set_weight(a, b, w_new)
+        if w_new > old_edge:
+            raise MaintenanceError(
+                f"decrease batch contains an increase on edge ({a}, {b})"
+            )
+        v, w = sc.shortcut_key(a, b)
+        if wup[v][w] > w_new:
+            old_weights.setdefault((v, w), wup[v][w])
+            wup[v][w] = w_new
+            heap.push((v, w), float(rank[v]))
+
+    while heap:
+        (v, w), _ = heap.pop()
+        weight_vw = wup[v][w]
+        row = wup[v]
+        for other in sc.up[v]:
+            if other == w:
+                continue
+            candidate = weight_vw + row[other]
+            lo, hi = sc.shortcut_key(w, other)
+            if wup[lo][hi] > candidate:
+                old_weights.setdefault((lo, hi), wup[lo][hi])
+                wup[lo][hi] = candidate
+                heap.push((lo, hi), float(rank[lo]))
+    return old_weights
+
+
+def maintain_shortcuts_increase(
+    sc: ContractionResult,
+    changes: list[WeightChange],
+) -> dict[ShortcutKey, float]:
+    """Algorithm 3 — DH-U under edge weight increase.
+
+    Applies *changes* to the graph, then recomputes every potentially
+    affected shortcut from Property 3.1 bottom-up. Returns affected
+    shortcuts as ``{(deeper, shallower): old_weight}``.
+    """
+    graph = sc.graph
+    rank = sc.rank
+    wup = sc.wup
+    heap: LazyHeap[ShortcutKey] = LazyHeap()
+    old_weights: dict[ShortcutKey, float] = {}
+
+    for a, b, w_new in changes:
+        old_edge = graph.set_weight(a, b, w_new)
+        if w_new < old_edge:
+            raise MaintenanceError(
+                f"increase batch contains a decrease on edge ({a}, {b})"
+            )
+        v, w = sc.shortcut_key(a, b)
+        # Only shortcuts whose weight was realised by this edge can change.
+        if wup[v][w] == old_edge:
+            heap.push((v, w), float(rank[v]))
+
+    down_sets = sc.down_sets
+    while heap:
+        (v, w), _ = heap.pop()
+        # Recompute the shortcut weight from Equation (1).
+        w_new = graph.weight(v, w) if graph.has_edge(v, w) else math.inf
+        small, big = down_sets[v], down_sets[w]
+        if len(small) > len(big):
+            small, big = big, small
+        for x in small:
+            if x in big:
+                candidate = sc.weight(x, v) + sc.weight(x, w)
+                if candidate < w_new:
+                    w_new = candidate
+        old = wup[v][w]
+        if old != w_new:
+            row = wup[v]
+            for other in sc.up[v]:
+                if other == w:
+                    continue
+                lo, hi = sc.shortcut_key(w, other)
+                # Triangles realising the old weight are potentially hit.
+                if wup[lo][hi] == old + row[other]:
+                    heap.push((lo, hi), float(rank[lo]))
+            old_weights.setdefault((v, w), old)
+            wup[v][w] = w_new
+    return old_weights
+
+
+# ---------------------------------------------------------------------------
+# Label maintenance (Algorithms 4 and 5)
+# ---------------------------------------------------------------------------
+
+def seed_decrease(
+    hu: UpdateHierarchy,
+    labels: HierarchicalLabelling,
+    affected: dict[ShortcutKey, float],
+) -> tuple[list[tuple[int, int]], int]:
+    """Phase 1 of Algorithm 4: apply ancestor-side label improvements.
+
+    For each affected shortcut ``(v, w)`` with new weight ``w_new``,
+    relaxes ``L_v[i] <- w_new + L_w[i]`` over ``i <= tau(w)``. Returns the
+    improved ``(v, i)`` pairs (seeds for the descendant phase) and the
+    number of changed entries.
+    """
+    tau = hu.tau
+    arrays = labels.arrays
+    seeds: list[tuple[int, int]] = []
+    changed = 0
+    for (v, w), _old in affected.items():
+        w_new = hu.wup[v][w]
+        tw = int(tau[w])
+        row = arrays[v]
+        if w_new < row[tw]:
+            candidate = w_new + arrays[w]
+            segment = row[: tw + 1]
+            improved = candidate < segment
+            if improved.any():
+                np.minimum(segment, candidate, out=segment)
+                for i in np.nonzero(improved)[0].tolist():
+                    seeds.append((v, int(i)))
+                changed += int(improved.sum())
+    return seeds, changed
+
+
+def maintain_labels_decrease(
+    hu: UpdateHierarchy,
+    labels: HierarchicalLabelling,
+    affected: dict[ShortcutKey, float],
+) -> MaintenanceStats:
+    """Algorithm 4 — DHL- label maintenance under weight decrease."""
+    tau = hu.tau
+    arrays = labels.arrays
+    seeds, changed = seed_decrease(hu, labels, affected)
+    stats = MaintenanceStats(
+        shortcuts_changed=len(affected),
+        labels_changed=changed,
+        affected_shortcuts=affected,
+    )
+    heap: LazyHeap[tuple[int, int]] = LazyHeap()
+    for v, i in seeds:
+        heap.push((v, i), float(tau[v]))
+
+    down = hu.down
+    while heap:
+        (v, i), _ = heap.pop()
+        stats.entries_processed += 1
+        value = arrays[v][i]
+        tv = int(tau[v])
+        for u in down[v]:
+            row = arrays[u]
+            candidate = row[tv] + value
+            if candidate < row[i]:
+                row[i] = candidate
+                stats.labels_changed += 1
+                heap.push((u, i), float(tau[u]))
+    return stats
+
+
+def seed_increase(
+    hu: UpdateHierarchy,
+    labels: HierarchicalLabelling,
+    affected: dict[ShortcutKey, float],
+) -> list[tuple[int, int]]:
+    """Phase 1 of Algorithm 5: find label entries realised by old weights.
+
+    An entry ``L_v[i]`` is suspect when the chain through affected
+    shortcut ``(v, w)`` with its *old* weight realised the stored value.
+    Labels are not modified here.
+    """
+    tau = hu.tau
+    arrays = labels.arrays
+    seeds: list[tuple[int, int]] = []
+    for (v, w), old in affected.items():
+        tw = int(tau[w])
+        row = arrays[v]
+        if old == row[tw] or (math.isinf(old) and math.isinf(row[tw])):
+            candidate = old + arrays[w]
+            segment = row[: tw + 1]
+            matches = candidate == segment
+            # inf == inf + x: unreachable entries stay suspect as well.
+            matches |= np.isinf(candidate) & np.isinf(segment)
+            for i in np.nonzero(matches)[0].tolist():
+                seeds.append((v, int(i)))
+    return seeds
+
+
+def maintain_labels_increase(
+    hu: UpdateHierarchy,
+    labels: HierarchicalLabelling,
+    affected: dict[ShortcutKey, float],
+) -> MaintenanceStats:
+    """Algorithm 5 — DHL+ label maintenance under weight increase.
+
+    Support-free: every suspect entry is recomputed from up-neighbour
+    labels; strictly increased entries trigger a descendant sweep guarded
+    by path-sum equality.
+    """
+    tau = hu.tau
+    arrays = labels.arrays
+    stats = MaintenanceStats(
+        shortcuts_changed=len(affected), affected_shortcuts=affected
+    )
+    heap: LazyHeap[tuple[int, int]] = LazyHeap()
+    for v, i in seed_increase(hu, labels, affected):
+        heap.push((v, i), float(tau[v]))
+
+    up = hu.up
+    down = hu.down
+    wup = hu.wup
+    while heap:
+        (v, i), _ = heap.pop()
+        stats.entries_processed += 1
+        row = arrays[v]
+        w_new = math.inf
+        weights_v = wup[v]
+        for w in up[v]:
+            if tau[w] >= i:
+                candidate = weights_v[w] + arrays[w][i]
+                if candidate < w_new:
+                    w_new = candidate
+        old = row[i]
+        if w_new > old:
+            tv = int(tau[v])
+            for u in down[v]:
+                urow = arrays[u]
+                chained = urow[tv] + old
+                if chained == urow[i] or (
+                    math.isinf(chained) and math.isinf(urow[i])
+                ):
+                    heap.push((u, i), float(tau[u]))
+            stats.labels_changed += 1
+        row[i] = w_new
+    return stats
+
+
+# ---------------------------------------------------------------------------
+# End-to-end drivers
+# ---------------------------------------------------------------------------
+
+def apply_decrease(
+    hu: UpdateHierarchy,
+    labels: HierarchicalLabelling,
+    changes: list[WeightChange],
+) -> MaintenanceStats:
+    """Full DHL- update: maintain H_U (Alg. 2) then L (Alg. 4)."""
+    affected = maintain_shortcuts_decrease(hu, changes)
+    return maintain_labels_decrease(hu, labels, affected)
+
+
+def apply_increase(
+    hu: UpdateHierarchy,
+    labels: HierarchicalLabelling,
+    changes: list[WeightChange],
+) -> MaintenanceStats:
+    """Full DHL+ update: maintain H_U (Alg. 3) then L (Alg. 5)."""
+    affected = maintain_shortcuts_increase(hu, changes)
+    return maintain_labels_increase(hu, labels, affected)

@@ -1,0 +1,178 @@
+"""Parallel label maintenance — Algorithms 6 and 7 of the paper.
+
+The descendant phase of Algorithms 4/5 partitions cleanly by ancestor
+column ``i``: every queue entry generated while processing ``(v, i)`` is
+again ``(*, i)``, and with the paper's substitution of the shortcut weight
+``w(u, v)`` for the label entry ``L_u[v]`` in the relaxation, each column
+touches only its own label slots. Columns are therefore processed
+independently — sequentially (deterministic, default) or on a thread pool
+(the paper uses 28 hardware threads; CPython's GIL limits the speed-up
+here, which EXPERIMENTS.md discusses).
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.hierarchy.update_hierarchy import UpdateHierarchy
+from repro.labelling.labels import HierarchicalLabelling
+from repro.labelling.maintenance import (
+    MaintenanceStats,
+    ShortcutKey,
+    WeightChange,
+    maintain_shortcuts_decrease,
+    maintain_shortcuts_increase,
+    seed_decrease,
+    seed_increase,
+)
+from repro.utils.priority_queue import LazyHeap
+
+__all__ = [
+    "maintain_labels_decrease_parallel",
+    "maintain_labels_increase_parallel",
+    "apply_decrease_parallel",
+    "apply_increase_parallel",
+]
+
+
+def _group_by_column(seeds: list[tuple[int, int]]) -> dict[int, list[int]]:
+    columns: dict[int, list[int]] = {}
+    for v, i in seeds:
+        columns.setdefault(i, []).append(v)
+    return columns
+
+
+def _run_columns(worker, columns: dict[int, list[int]], workers: int | None) -> list:
+    items = sorted(columns.items())
+    if workers is None or workers <= 1 or len(items) <= 1:
+        return [worker(i, vs) for i, vs in items]
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(lambda kv: worker(kv[0], kv[1]), items))
+
+
+def maintain_labels_decrease_parallel(
+    hu: UpdateHierarchy,
+    labels: HierarchicalLabelling,
+    affected: dict[ShortcutKey, float],
+    workers: int | None = None,
+) -> MaintenanceStats:
+    """Algorithm 6 — column-partitioned DHL- label maintenance.
+
+    Phase 1 (ancestor-side seeding) is sequential as in the paper; the
+    descendant sweep runs per ancestor column ``i`` using the
+    thread-safe relaxation ``w(u, v) + L_v[i]`` (shortcut weight instead
+    of the label entry ``L_u[v]``, justified by Lemma 6.3).
+    """
+    tau = hu.tau
+    arrays = labels.arrays
+    down = hu.down
+    wup = hu.wup
+    seeds, changed = seed_decrease(hu, labels, affected)
+    stats = MaintenanceStats(
+        shortcuts_changed=len(affected),
+        labels_changed=changed,
+        affected_shortcuts=affected,
+    )
+
+    def process_column(i: int, starts: list[int]) -> tuple[int, int]:
+        heap: LazyHeap[int] = LazyHeap()
+        for v in starts:
+            heap.push(v, float(tau[v]))
+        changed_here = 0
+        processed = 0
+        while heap:
+            v, _ = heap.pop()
+            processed += 1
+            value = arrays[v][i]
+            for u in down[v]:
+                candidate = wup[u][v] + value
+                row = arrays[u]
+                if candidate < row[i]:
+                    row[i] = candidate
+                    changed_here += 1
+                    heap.push(u, float(tau[u]))
+        return changed_here, processed
+
+    for changed_here, processed in _run_columns(
+        process_column, _group_by_column(seeds), workers
+    ):
+        stats.labels_changed += changed_here
+        stats.entries_processed += processed
+    return stats
+
+
+def maintain_labels_increase_parallel(
+    hu: UpdateHierarchy,
+    labels: HierarchicalLabelling,
+    affected: dict[ShortcutKey, float],
+    workers: int | None = None,
+) -> MaintenanceStats:
+    """Algorithm 7 — column-partitioned DHL+ label maintenance."""
+    tau = hu.tau
+    arrays = labels.arrays
+    up = hu.up
+    down = hu.down
+    wup = hu.wup
+    stats = MaintenanceStats(
+        shortcuts_changed=len(affected), affected_shortcuts=affected
+    )
+
+    def process_column(i: int, starts: list[int]) -> tuple[int, int]:
+        heap: LazyHeap[int] = LazyHeap()
+        for v in starts:
+            heap.push(v, float(tau[v]))
+        changed_here = 0
+        processed = 0
+        while heap:
+            v, _ = heap.pop()
+            processed += 1
+            row = arrays[v]
+            weights_v = wup[v]
+            w_new = math.inf
+            for w in up[v]:
+                if tau[w] >= i:
+                    candidate = weights_v[w] + arrays[w][i]
+                    if candidate < w_new:
+                        w_new = candidate
+            old = row[i]
+            if w_new > old:
+                for u in down[v]:
+                    urow = arrays[u]
+                    chained = wup[u][v] + old
+                    if chained == urow[i] or (
+                        math.isinf(chained) and math.isinf(urow[i])
+                    ):
+                        heap.push(u, float(tau[u]))
+                changed_here += 1
+            row[i] = w_new
+        return changed_here, processed
+
+    for changed_here, processed in _run_columns(
+        process_column, _group_by_column(seed_increase(hu, labels, affected)), workers
+    ):
+        stats.labels_changed += changed_here
+        stats.entries_processed += processed
+    return stats
+
+
+def apply_decrease_parallel(
+    hu: UpdateHierarchy,
+    labels: HierarchicalLabelling,
+    changes: list[WeightChange],
+    workers: int | None = None,
+) -> MaintenanceStats:
+    """Full DHL-p update: Algorithm 2 then Algorithm 6."""
+    affected = maintain_shortcuts_decrease(hu, changes)
+    return maintain_labels_decrease_parallel(hu, labels, affected, workers)
+
+
+def apply_increase_parallel(
+    hu: UpdateHierarchy,
+    labels: HierarchicalLabelling,
+    changes: list[WeightChange],
+    workers: int | None = None,
+) -> MaintenanceStats:
+    """Full DHL+p update: Algorithm 3 then Algorithm 7."""
+    affected = maintain_shortcuts_increase(hu, changes)
+    return maintain_labels_increase_parallel(hu, labels, affected, workers)

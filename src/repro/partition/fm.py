@@ -1,0 +1,159 @@
+"""Fiduccia-Mattheyses (FM) bipartition refinement.
+
+Classic single-vertex-move local search: repeatedly move the best-gain
+unlocked vertex whose move keeps both sides within the balance bound,
+remember the best prefix of the move sequence, and roll back to it. A few
+passes converge; each pass is O(E log V) with the lazy-heap gain queue.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.partition.types import PartitionGraph
+from repro.utils.priority_queue import LazyHeap
+
+__all__ = ["fm_refine", "rebalance"]
+
+
+def _gain(pgraph: PartitionGraph, side: np.ndarray, v: int) -> float:
+    """Cut reduction achieved by moving *v* to the other side."""
+    internal = external = 0.0
+    sv = side[v]
+    for u, w in pgraph.adj[v].items():
+        if side[u] == sv:
+            internal += w
+        else:
+            external += w
+    return external - internal
+
+
+def fm_refine(
+    pgraph: PartitionGraph,
+    side: np.ndarray,
+    max_side_weight: int,
+    max_passes: int = 8,
+) -> np.ndarray:
+    """Refine *side* in place-ish; returns the refined side array.
+
+    ``max_side_weight`` is the balance bound: after every accepted prefix
+    both sides weigh at most this much. The input partition may violate the
+    bound; :func:`rebalance` should be called first in that case.
+
+    Only boundary vertices are seeded into the gain queue; interior
+    vertices enter lazily when a neighbour moves (the only event that can
+    make them attractive), which keeps a pass O(boundary) instead of O(n).
+    """
+    n = pgraph.num_vertices
+    side = side.copy()
+    weights = pgraph.vweight
+    adj = pgraph.adj
+    side_weight = [0, 0]
+    for v in range(n):
+        side_weight[side[v]] += weights[v]
+
+    boundary = [
+        v
+        for v in range(n)
+        if any(side[u] != side[v] for u in adj[v])
+    ]
+    if not boundary:
+        return side  # zero cut: nothing to refine
+
+    gains = [0.0] * n
+    for _ in range(max_passes):
+        locked = bytearray(n)
+        have_gain = bytearray(n)
+        heap: LazyHeap[int] = LazyHeap()
+        for v in boundary:
+            gains[v] = _gain(pgraph, side, v)
+            have_gain[v] = 1
+            heap.push(v, -gains[v])
+
+        moves: list[int] = []
+        cumulative = 0.0
+        best_prefix = 0
+        best_value = 0.0
+
+        while heap:
+            v, neg_gain = heap.pop()
+            if locked[v]:
+                continue
+            if -neg_gain != gains[v]:
+                # Stale entry: the LazyHeap refuses key increases, so the
+                # vertex's only queued entry may be outdated. Re-queue the
+                # true gain before moving on.
+                heap.push(v, -gains[v])
+                continue
+            sv = side[v]
+            target = 1 - sv
+            if side_weight[target] + weights[v] > max_side_weight:
+                continue  # infeasible move; drop (may be re-pushed later)
+            locked[v] = 1
+            side[v] = target
+            side_weight[sv] -= weights[v]
+            side_weight[target] += weights[v]
+            cumulative += gains[v]
+            moves.append(v)
+            if cumulative > best_value + 1e-12:
+                best_value = cumulative
+                best_prefix = len(moves)
+            for u, w in adj[v].items():
+                if locked[u]:
+                    continue
+                if have_gain[u]:
+                    # v changed sides: edge (u, v) flips between internal
+                    # and external for u, changing its gain by +-2w.
+                    gains[u] += 2.0 * w if side[u] == sv else -2.0 * w
+                else:
+                    # Lazy entry: fresh gain already reflects v's move.
+                    gains[u] = _gain(pgraph, side, u)
+                    have_gain[u] = 1
+                heap.push(u, -gains[u])
+
+        # Roll back to the best prefix.
+        for v in moves[best_prefix:]:
+            sv = side[v]
+            side[v] = 1 - sv
+            side_weight[sv] -= weights[v]
+            side_weight[1 - sv] += weights[v]
+
+        if best_prefix == 0:
+            break  # pass produced no improvement; converged
+        boundary = [
+            v
+            for v in range(n)
+            if any(side[u] != side[v] for u in adj[v])
+        ]
+    return side
+
+
+def rebalance(
+    pgraph: PartitionGraph,
+    side: np.ndarray,
+    max_side_weight: int,
+) -> np.ndarray:
+    """Force both sides under the balance bound with min-damage moves.
+
+    Greedily moves boundary vertices (best gain first, then interior
+    vertices) from the overweight side until feasible. Used when an
+    initial partition (e.g. component packing or spectral) is skewed.
+    """
+    side = side.copy()
+    weights = pgraph.vweight
+    side_weight = [0, 0]
+    for v in range(pgraph.num_vertices):
+        side_weight[side[v]] += weights[v]
+
+    for heavy in (0, 1):
+        if side_weight[heavy] <= max_side_weight:
+            continue
+        candidates = [v for v in range(pgraph.num_vertices) if side[v] == heavy]
+        candidates.sort(key=lambda v: -_gain(pgraph, side, v))
+        for v in candidates:
+            if side_weight[heavy] <= max_side_weight:
+                break
+            side[v] = 1 - heavy
+            side_weight[heavy] -= weights[v]
+            side_weight[1 - heavy] += weights[v]
+    return side

@@ -1,0 +1,74 @@
+"""Hopcroft-Karp maximum bipartite matching.
+
+Used to turn edge cuts into minimum vertex separators via Koenig's theorem
+(see :mod:`repro.partition.separator`). Runs in O(E * sqrt(V)).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+__all__ = ["hopcroft_karp"]
+
+_INF = float("inf")
+
+
+def hopcroft_karp(
+    left_count: int,
+    right_count: int,
+    adjacency: list[list[int]],
+) -> tuple[int, list[int], list[int]]:
+    """Maximum matching in a bipartite graph.
+
+    Parameters
+    ----------
+    left_count, right_count:
+        Sizes of the two vertex classes (ids ``0..count-1`` each).
+    adjacency:
+        ``adjacency[l]`` lists the right-side neighbours of left vertex l.
+
+    Returns
+    -------
+    ``(size, match_left, match_right)`` where ``match_left[l]`` is the
+    right partner of ``l`` (or -1) and vice versa.
+    """
+    match_left = [-1] * left_count
+    match_right = [-1] * right_count
+    dist = [0.0] * left_count
+
+    def bfs() -> bool:
+        queue: deque[int] = deque()
+        for l in range(left_count):
+            if match_left[l] == -1:
+                dist[l] = 0.0
+                queue.append(l)
+            else:
+                dist[l] = _INF
+        found_free = False
+        while queue:
+            l = queue.popleft()
+            for r in adjacency[l]:
+                nxt = match_right[r]
+                if nxt == -1:
+                    found_free = True
+                elif dist[nxt] == _INF:
+                    dist[nxt] = dist[l] + 1
+                    queue.append(nxt)
+        return found_free
+
+    def dfs(l: int) -> bool:
+        for r in adjacency[l]:
+            nxt = match_right[r]
+            if nxt == -1 or (dist[nxt] == dist[l] + 1 and dfs(nxt)):
+                match_left[l] = r
+                match_right[r] = l
+                return True
+        dist[l] = _INF
+        return False
+
+    size = 0
+    while bfs():
+        for l in range(left_count):
+            if match_left[l] == -1 and dfs(l):
+                size += 1
+    return size, match_left, match_right

@@ -1,0 +1,103 @@
+"""Shared types for the partitioning pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+__all__ = ["PartitionGraph", "Bipartition"]
+
+
+class PartitionGraph:
+    """Working graph for the partitioner.
+
+    Differences from :class:`~repro.graph.graph.Graph`:
+
+    * edge weights are *cut multiplicities* (how many original edges a
+      coarse edge represents), not travel times — minimising the cut of
+      this graph minimises the number of original cut edges;
+    * vertices carry integer weights (how many original vertices a coarse
+      vertex represents) for balance accounting.
+    """
+
+    __slots__ = ("adj", "vweight")
+
+    def __init__(self, adj: list[dict[int, float]], vweight: list[int]):
+        self.adj = adj
+        self.vweight = vweight
+
+    @classmethod
+    def from_graph(cls, graph: Graph, vertices: Iterable[int] | None = None) -> "PartitionGraph":
+        """Build from a Graph (optionally induced on *vertices*).
+
+        All original edges get multiplicity 1; logically deleted edges
+        (infinite weight) still count — the shortcut structure is
+        weight-independent, so the hierarchy must respect them.
+        """
+        if vertices is None:
+            n = graph.num_vertices
+            adj: list[dict[int, float]] = [
+                {u: 1.0 for u in graph.neighbors(v)} for v in range(n)
+            ]
+            return cls(adj, [1] * n)
+        local = list(vertices)
+        index = {g: l for l, g in enumerate(local)}
+        adj = [{} for _ in local]
+        for g_v, l_v in index.items():
+            for g_u in graph.neighbors(g_v):
+                l_u = index.get(g_u)
+                if l_u is not None:
+                    adj[l_v][l_u] = 1.0
+        return cls(adj, [1] * len(local))
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.adj)
+
+    def total_vweight(self) -> int:
+        return sum(self.vweight)
+
+    def edges(self) -> Iterator[tuple[int, int, float]]:
+        for v, nbrs in enumerate(self.adj):
+            for u, w in nbrs.items():
+                if v < u:
+                    yield v, u, w
+
+    def degree_weight(self, v: int) -> float:
+        """Total multiplicity of edges incident to *v*."""
+        return sum(self.adj[v].values())
+
+
+@dataclass
+class Bipartition:
+    """Result of bisecting a :class:`PartitionGraph`.
+
+    ``side[v]`` is 0 or 1; ``cut_edges`` lists the crossing edges (local
+    ids, u on side 0); ``cut_weight`` is their total multiplicity.
+    """
+
+    side: np.ndarray
+    cut_weight: float
+    cut_edges: list[tuple[int, int]] = field(default_factory=list)
+
+    def side_weights(self, pgraph: PartitionGraph) -> tuple[int, int]:
+        w0 = sum(
+            wt for v, wt in enumerate(pgraph.vweight) if self.side[v] == 0
+        )
+        return w0, pgraph.total_vweight() - w0
+
+    @staticmethod
+    def compute_cut(pgraph: PartitionGraph, side: np.ndarray) -> "Bipartition":
+        """Assemble a Bipartition from a side array, recomputing the cut."""
+        cut_edges = []
+        cut_weight = 0.0
+        for v, u, w in pgraph.edges():
+            if side[v] != side[u]:
+                cut_weight += w
+                a, b = (v, u) if side[v] == 0 else (u, v)
+                cut_edges.append((a, b))
+        return Bipartition(side=side, cut_weight=cut_weight, cut_edges=cut_edges)

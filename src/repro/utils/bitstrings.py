@@ -1,0 +1,76 @@
+"""Partition bitstrings for O(1) LCA in the query hierarchy.
+
+Each node of the query hierarchy H_Q is identified by the sequence of
+left/right (0/1) choices on the path from the root, stored as a Python
+integer with a leading sentinel ``1`` bit so that leading zeros survive.
+A node at depth ``d`` therefore has a bitstring of ``d`` payload bits and
+an integer value in ``[2^d, 2^(d+1))``.
+
+The depth of the lowest common ancestor of two nodes is the length of the
+longest common prefix of their payload bits, computed with integer
+arithmetic only (Python big-ints make this O(1) word operations for the
+tree depths that occur in practice).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PartitionBitstring", "common_prefix_length"]
+
+
+@dataclass(frozen=True)
+class PartitionBitstring:
+    """Immutable root-to-node bitstring with a sentinel leading 1 bit.
+
+    ``value`` encodes the sentinel plus ``depth`` payload bits, so the root
+    is ``PartitionBitstring(1, 0)`` and its left/right children are
+    ``(0b10, 1)`` and ``(0b11, 1)``.
+    """
+
+    value: int
+    depth: int
+
+    @classmethod
+    def root(cls) -> "PartitionBitstring":
+        return cls(1, 0)
+
+    def child(self, bit: int) -> "PartitionBitstring":
+        """Return the bitstring of the child reached via *bit* (0 or 1)."""
+        if bit not in (0, 1):
+            raise ValueError(f"bit must be 0 or 1, got {bit!r}")
+        return PartitionBitstring((self.value << 1) | bit, self.depth + 1)
+
+    def ancestor_at(self, depth: int) -> "PartitionBitstring":
+        """Return the ancestor bitstring truncated to *depth* bits."""
+        if depth < 0 or depth > self.depth:
+            raise ValueError(f"depth {depth} outside [0, {self.depth}]")
+        return PartitionBitstring(self.value >> (self.depth - depth), depth)
+
+    def is_prefix_of(self, other: "PartitionBitstring") -> bool:
+        """True when this node is an ancestor of (or equal to) *other*."""
+        if self.depth > other.depth:
+            return False
+        return (other.value >> (other.depth - self.depth)) == self.value
+
+    def bits(self) -> str:
+        """Human-readable payload bits (empty string for the root)."""
+        return format(self.value, "b")[1:]
+
+    def __str__(self) -> str:  # pragma: no cover - repr sugar
+        return self.bits() or "<root>"
+
+
+def common_prefix_length(a: PartitionBitstring, b: PartitionBitstring) -> int:
+    """Depth of the lowest common ancestor of nodes *a* and *b*.
+
+    Aligns the two payload strings to the shorter depth and counts the
+    number of leading bits they share.
+    """
+    depth = min(a.depth, b.depth)
+    va = a.value >> (a.depth - depth)
+    vb = b.value >> (b.depth - depth)
+    diff = va ^ vb
+    if diff == 0:
+        return depth
+    return depth - diff.bit_length()

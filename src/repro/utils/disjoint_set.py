@@ -1,0 +1,60 @@
+"""Union-find (disjoint-set) with path compression and union by size."""
+
+from __future__ import annotations
+
+__all__ = ["DisjointSet"]
+
+
+class DisjointSet:
+    """Disjoint-set forest over the integers ``0..n-1``.
+
+    >>> ds = DisjointSet(4)
+    >>> ds.union(0, 1)
+    True
+    >>> ds.connected(0, 1), ds.connected(0, 2)
+    (True, False)
+    """
+
+    def __init__(self, n: int):
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        self._parent = list(range(n))
+        self._size = [1] * n
+        self._count = n
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    @property
+    def set_count(self) -> int:
+        """Number of disjoint sets currently represented."""
+        return self._count
+
+    def find(self, x: int) -> int:
+        """Return the canonical representative of *x*'s set."""
+        parent = self._parent
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:  # path compression
+            parent[x], x = root, parent[x]
+        return root
+
+    def union(self, x: int, y: int) -> bool:
+        """Merge the sets of *x* and *y*; returns False if already merged."""
+        rx, ry = self.find(x), self.find(y)
+        if rx == ry:
+            return False
+        if self._size[rx] < self._size[ry]:
+            rx, ry = ry, rx
+        self._parent[ry] = rx
+        self._size[rx] += self._size[ry]
+        self._count -= 1
+        return True
+
+    def connected(self, x: int, y: int) -> bool:
+        return self.find(x) == self.find(y)
+
+    def size_of(self, x: int) -> int:
+        """Size of the set containing *x*."""
+        return self._size[self.find(x)]

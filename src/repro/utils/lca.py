@@ -1,0 +1,92 @@
+"""Euler-tour + sparse-table lowest common ancestor.
+
+Used by the H2H baseline, whose tree decompositions are arbitrary rooted
+trees (unlike H_Q, where partition bitstrings give O(1) LCA directly).
+Preprocessing is O(n log n); queries are O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["EulerTourLCA"]
+
+
+class EulerTourLCA:
+    """O(1) LCA queries over a rooted forest given as a parent array.
+
+    Parameters
+    ----------
+    parent:
+        ``parent[v]`` is the parent of node ``v`` or ``-1`` for roots.
+    """
+
+    def __init__(self, parent: Sequence[int]):
+        n = len(parent)
+        children: list[list[int]] = [[] for _ in range(n)]
+        roots: list[int] = []
+        for v, p in enumerate(parent):
+            if p < 0:
+                roots.append(v)
+            else:
+                children[p].append(v)
+        if n and not roots:
+            raise ValueError("parent array has no root")
+
+        self.depth = np.zeros(n, dtype=np.int32)
+        self._first = np.full(n, -1, dtype=np.int64)
+        tour: list[int] = []
+        tour_depth: list[int] = []
+
+        # Iterative Euler tour; recursion would overflow on path-like trees.
+        for root in roots:
+            stack: list[tuple[int, int]] = [(root, 0)]
+            while stack:
+                v, child_idx = stack.pop()
+                if child_idx == 0:
+                    self._first[v] = len(tour)
+                    if parent[v] >= 0:
+                        self.depth[v] = self.depth[parent[v]] + 1
+                tour.append(v)
+                tour_depth.append(self.depth[v])
+                if child_idx < len(children[v]):
+                    stack.append((v, child_idx + 1))
+                    stack.append((children[v][child_idx], 0))
+
+        self._tour = np.asarray(tour, dtype=np.int64)
+        depths = np.asarray(tour_depth, dtype=np.int64)
+        m = len(tour)
+        levels = max(1, m.bit_length())
+        # sparse[k][i] = index (into the tour) of the min-depth entry in
+        # tour[i : i + 2^k].
+        sparse = np.empty((levels, m), dtype=np.int64)
+        sparse[0] = np.arange(m)
+        for k in range(1, levels):
+            span = 1 << k
+            half = span >> 1
+            width = m - span + 1
+            if width <= 0:
+                sparse[k] = sparse[k - 1]
+                continue
+            left = sparse[k - 1, :width]
+            right = sparse[k - 1, half:half + width]
+            take_right = depths[right] < depths[left]
+            sparse[k, :width] = np.where(take_right, right, left)
+            sparse[k, width:] = sparse[k - 1, width:]
+        self._sparse = sparse
+        self._depths = depths
+
+    def __call__(self, u: int, v: int) -> int:
+        """Return the lowest common ancestor of *u* and *v*."""
+        lo = int(self._first[u])
+        hi = int(self._first[v])
+        if lo > hi:
+            lo, hi = hi, lo
+        span = hi - lo + 1
+        k = span.bit_length() - 1
+        a = self._sparse[k, lo]
+        b = self._sparse[k, hi - (1 << k) + 1]
+        best = a if self._depths[a] <= self._depths[b] else b
+        return int(self._tour[best])

@@ -1,0 +1,43 @@
+"""Seeded randomness helpers shared by generators, workloads and tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["make_rng", "sample_pairs"]
+
+
+def make_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Coerce *seed* into a :class:`numpy.random.Generator`.
+
+    Passing an existing generator returns it unchanged so call chains can
+    share one stream; passing ``None`` yields an OS-seeded generator.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def sample_pairs(
+    n: int,
+    count: int,
+    rng: np.random.Generator,
+    distinct: bool = True,
+) -> list[tuple[int, int]]:
+    """Sample *count* (s, t) vertex pairs uniformly from ``range(n)``.
+
+    With ``distinct=True`` the two endpoints of each pair differ (requires
+    ``n >= 2``). Sampling is with replacement across pairs.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if distinct and n < 2:
+        raise ValueError("distinct pairs require n >= 2")
+    s = rng.integers(0, n, size=count)
+    t = rng.integers(0, n, size=count)
+    if distinct:
+        clash = s == t
+        while clash.any():
+            t[clash] = rng.integers(0, n, size=int(clash.sum()))
+            clash = s == t
+    return list(zip(s.tolist(), t.tolist()))

@@ -1,0 +1,67 @@
+"""Lightweight timing helpers for the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Stopwatch", "format_duration"]
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch, usable as a context manager.
+
+    >>> sw = Stopwatch()
+    >>> with sw:
+    ...     pass
+    >>> sw.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    laps: list[float] = field(default_factory=list)
+    _start: float | None = None
+
+    def start(self) -> "Stopwatch":
+        if self._start is not None:
+            raise RuntimeError("stopwatch already running")
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop and return the duration of the last lap in seconds."""
+        if self._start is None:
+            raise RuntimeError("stopwatch not running")
+        lap = time.perf_counter() - self._start
+        self._start = None
+        self.elapsed += lap
+        self.laps.append(lap)
+        return lap
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    @property
+    def mean_lap(self) -> float:
+        return self.elapsed / len(self.laps) if self.laps else 0.0
+
+
+def format_duration(seconds: float) -> str:
+    """Render *seconds* with a unit suited to its magnitude.
+
+    >>> format_duration(0.0000012)
+    '1.20us'
+    """
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.2f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.3f}ms"
+    if seconds < 120.0:
+        return f"{seconds:.3f}s"
+    return f"{seconds / 60.0:.2f}min"

@@ -1,0 +1,65 @@
+"""Hypothesis strategies for property-based tests."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.graph.graph import Graph
+
+
+@st.composite
+def connected_graphs(draw, min_n: int = 2, max_n: int = 24, max_weight: int = 30):
+    """Connected undirected graphs with integer weights.
+
+    A random spanning path guarantees connectivity; extra random edges
+    add cycles. Weights are integers (the library's recommended regime).
+    """
+    n = draw(st.integers(min_n, max_n))
+    perm = draw(st.permutations(range(n)))
+    weights = st.integers(1, max_weight)
+    edges: dict[tuple[int, int], float] = {}
+    for i in range(n - 1):
+        u, v = perm[i], perm[i + 1]
+        key = (min(u, v), max(u, v))
+        edges[key] = float(draw(weights))
+    extra_count = draw(st.integers(0, 2 * n))
+    for _ in range(extra_count):
+        u = draw(st.integers(0, n - 1))
+        v = draw(st.integers(0, n - 1))
+        if u == v:
+            continue
+        key = (min(u, v), max(u, v))
+        if key not in edges:
+            edges[key] = float(draw(weights))
+    g = Graph(n)
+    for (u, v), w in edges.items():
+        g.add_edge(u, v, w)
+    return g
+
+
+@st.composite
+def update_sequences(draw, graph: Graph, max_steps: int = 6, max_batch: int = 4):
+    """Sequences of mixed weight-update batches for *graph*.
+
+    Each step is a batch of ``(u, v, new_weight)`` with integer weights;
+    roughly half increases, half decreases relative to a plausible range.
+    """
+    edges = list(graph.edges())
+    steps = draw(st.integers(1, max_steps))
+    sequence = []
+    for _ in range(steps):
+        size = draw(st.integers(1, min(max_batch, len(edges))))
+        idx = draw(
+            st.lists(
+                st.integers(0, len(edges) - 1),
+                min_size=size,
+                max_size=size,
+                unique=True,
+            )
+        )
+        batch = []
+        for i in idx:
+            u, v, _ = edges[i]
+            batch.append((u, v, float(draw(st.integers(1, 60)))))
+        sequence.append(batch)
+    return sequence

@@ -1,0 +1,64 @@
+"""Tests for the A* baselines (Euclidean and ALT heuristics)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines.astar import ALTHeuristic, astar_distance, euclidean_heuristic
+from repro.baselines.dijkstra import dijkstra
+from repro.exceptions import GraphError
+from repro.graph.generators import delaunay_network, random_connected_graph
+
+
+class TestEuclideanAStar:
+    def test_matches_dijkstra(self, small_road):
+        full = dijkstra(small_road, 0)
+        for t in range(0, 300, 23):
+            assert astar_distance(small_road, 0, t) == full[t]
+
+    def test_heuristic_admissible_on_edges(self, small_road):
+        """h must underestimate: check the edge-level condition."""
+        for u, v, w in small_road.edges():
+            h = euclidean_heuristic(small_road, v, 10_000.0)
+            assert h(u) <= w + 1e-6
+
+    def test_requires_coords(self, medium_random):
+        with pytest.raises(GraphError):
+            astar_distance(medium_random, 0, 5)
+
+    def test_same_vertex(self, small_road):
+        assert astar_distance(small_road, 4, 4) == 0.0
+
+
+class TestALT:
+    def test_matches_dijkstra_without_coords(self, medium_random):
+        alt = ALTHeuristic(medium_random, k=4, seed=0)
+        full = dijkstra(medium_random, 2)
+        for t in range(0, 120, 13):
+            d = astar_distance(
+                medium_random, 2, t, heuristic=alt.heuristic(t)
+            )
+            assert d == full[t]
+
+    def test_heuristic_is_lower_bound(self, medium_random):
+        alt = ALTHeuristic(medium_random, k=3, seed=1)
+        full = dijkstra(medium_random, 9)
+        h = alt.heuristic(9)
+        for v in range(medium_random.num_vertices):
+            assert h(v) <= full[v] + 1e-9
+
+    def test_landmark_count_capped(self):
+        g = random_connected_graph(5, seed=0)
+        alt = ALTHeuristic(g, k=10, seed=0)
+        assert len(alt.landmarks) <= 5
+
+    def test_landmarks_distinct(self, medium_random):
+        alt = ALTHeuristic(medium_random, k=5, seed=2)
+        assert len(set(alt.landmarks)) == len(alt.landmarks)
+
+    def test_zero_heuristic_degenerates_to_dijkstra(self, small_road):
+        full = dijkstra(small_road, 1)
+        d = astar_distance(small_road, 1, 200, heuristic=lambda v: 0.0)
+        assert d == full[200]

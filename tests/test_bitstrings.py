@@ -1,0 +1,73 @@
+"""Tests for partition bitstrings and prefix LCA arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.bitstrings import PartitionBitstring, common_prefix_length
+
+
+def from_bits(bits: str) -> PartitionBitstring:
+    node = PartitionBitstring.root()
+    for ch in bits:
+        node = node.child(int(ch))
+    return node
+
+
+class TestPartitionBitstring:
+    def test_root(self):
+        root = PartitionBitstring.root()
+        assert root.depth == 0 and root.value == 1 and root.bits() == ""
+
+    def test_children_distinct(self):
+        root = PartitionBitstring.root()
+        assert root.child(0) != root.child(1)
+        assert root.child(0).bits() == "0"
+        assert root.child(1).bits() == "1"
+
+    def test_child_rejects_bad_bit(self):
+        with pytest.raises(ValueError):
+            PartitionBitstring.root().child(2)
+
+    def test_leading_zeros_survive(self):
+        node = from_bits("0001")
+        assert node.bits() == "0001" and node.depth == 4
+
+    def test_ancestor_at(self):
+        node = from_bits("0110")
+        assert node.ancestor_at(2).bits() == "01"
+        assert node.ancestor_at(0) == PartitionBitstring.root()
+        with pytest.raises(ValueError):
+            node.ancestor_at(5)
+
+    def test_is_prefix_of(self):
+        a, b = from_bits("01"), from_bits("0110")
+        assert a.is_prefix_of(b)
+        assert not b.is_prefix_of(a)
+        assert a.is_prefix_of(a)
+        assert not from_bits("00").is_prefix_of(b)
+
+
+class TestCommonPrefixLength:
+    def test_identical(self):
+        node = from_bits("1010")
+        assert common_prefix_length(node, node) == 4
+
+    def test_disjoint_at_root(self):
+        assert common_prefix_length(from_bits("0"), from_bits("1")) == 0
+
+    def test_partial_overlap(self):
+        assert common_prefix_length(from_bits("0101"), from_bits("0110")) == 2
+
+    def test_prefix_relation(self):
+        assert common_prefix_length(from_bits("01"), from_bits("0111")) == 2
+
+    @given(st.text(alphabet="01", max_size=40), st.text(alphabet="01", max_size=40))
+    def test_matches_string_prefix(self, a, b):
+        expected = 0
+        for x, y in zip(a, b):
+            if x != y:
+                break
+            expected += 1
+        assert common_prefix_length(from_bits(a), from_bits(b)) == expected

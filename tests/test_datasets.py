@@ -1,0 +1,96 @@
+"""Tests for the dataset suite and DIMACS loaders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.dimacs import load_dimacs_pair
+from repro.datasets.synthetic import (
+    DATASETS,
+    dataset_names,
+    default_scale,
+    load_dataset,
+    suite,
+)
+from repro.exceptions import GraphFormatError, ReproError
+from repro.graph.components import is_connected
+from repro.graph.io import write_dimacs, write_dimacs_coordinates
+
+
+class TestRegistry:
+    def test_ten_networks_in_paper_order(self):
+        names = dataset_names()
+        assert len(names) == 10
+        assert names[0] == "NY" and names[-1] == "EUR"
+        assert names[8] == "USA"
+
+    def test_paper_sizes_recorded(self):
+        assert DATASETS["USA"].paper_vertices == 23_947_347
+        assert DATASETS["EUR"].paper_vertices == 18_010_173
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(ReproError):
+            load_dataset("MARS")
+
+
+class TestGeneration:
+    def test_load_dataset_scaled(self):
+        g = load_dataset("NY", scale=1e-3)
+        assert g.num_vertices == 264
+        assert is_connected(g)
+        assert g.weights_are_integral()
+
+    def test_scale_controls_size(self):
+        small = load_dataset("BAY", scale=5e-4)
+        large = load_dataset("BAY", scale=2e-3)
+        assert small.num_vertices < large.num_vertices
+        assert large.num_vertices == round(2e-3 * DATASETS["BAY"].paper_vertices)
+
+    def test_minimum_size_floor(self):
+        g = load_dataset("NY", scale=1e-9)
+        assert g.num_vertices == 64
+
+    def test_deterministic(self):
+        a = load_dataset("COL", scale=1e-3)
+        b = load_dataset("COL", scale=1e-3)
+        assert list(a.edges()) == list(b.edges())
+
+    def test_suite_subset(self):
+        graphs = suite(["NY", "BAY"], scale=1e-3)
+        assert set(graphs) == {"NY", "BAY"}
+
+    def test_env_scale_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "2")
+        assert default_scale() == pytest.approx(2e-3)
+        monkeypatch.setenv("REPRO_SCALE", "bogus")
+        with pytest.raises(ReproError):
+            default_scale()
+
+    def test_edge_density_road_like(self):
+        g = load_dataset("FLA", scale=1e-3)
+        ratio = g.num_edges / g.num_vertices
+        assert 1.0 <= ratio <= 1.5  # undirected |E|/|V| of road networks
+
+
+class TestDimacsLoader:
+    def test_load_pair(self, small_road, tmp_path):
+        write_dimacs(small_road, tmp_path / "g.gr")
+        write_dimacs_coordinates(
+            (small_road.coords * 1_000_000).astype(int), tmp_path / "g.co"
+        )
+        loaded = load_dimacs_pair(tmp_path / "g.gr", tmp_path / "g.co")
+        assert loaded.num_vertices == small_road.num_vertices
+        assert loaded.coords is not None
+
+    def test_load_without_coords(self, small_road, tmp_path):
+        write_dimacs(small_road, tmp_path / "g.gr")
+        loaded = load_dimacs_pair(tmp_path / "g.gr")
+        assert loaded.coords is None
+
+    def test_coordinate_mismatch_raises(self, small_road, tmp_path):
+        write_dimacs(small_road, tmp_path / "g.gr")
+        write_dimacs_coordinates(
+            small_road.coords[:10].astype(int), tmp_path / "g.co"
+        )
+        with pytest.raises(GraphFormatError):
+            load_dimacs_pair(tmp_path / "g.gr", tmp_path / "g.co")

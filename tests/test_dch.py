@@ -1,0 +1,98 @@
+"""Tests for the DCH baseline (Section 3.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.baselines.dch import DCHIndex
+from repro.baselines.dijkstra import dijkstra
+from tests.strategies import connected_graphs, update_sequences
+
+
+class TestDCHQueries:
+    def test_matches_dijkstra(self, medium_random):
+        dch = DCHIndex.build(medium_random.copy())
+        for s in range(0, 120, 11):
+            ref = dijkstra(dch.graph, s)
+            for t in range(120):
+                assert dch.distance(s, t) == ref[t], (s, t)
+
+    def test_same_vertex(self, small_road):
+        dch = DCHIndex.build(small_road.copy())
+        assert dch.distance(9, 9) == 0.0
+
+    def test_unreachable(self):
+        from repro.graph.graph import Graph
+
+        g = Graph(4)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(2, 3, 1.0)
+        dch = DCHIndex.build(g)
+        assert dch.distance(0, 3) == float("inf")
+
+    def test_custom_order(self, medium_random):
+        order = list(range(medium_random.num_vertices))
+        dch = DCHIndex.build(medium_random.copy(), order=order)
+        ref = dijkstra(dch.graph, 0)
+        for t in range(0, 120, 17):
+            assert dch.distance(0, t) == ref[t]
+
+    def test_distances_batch(self, small_road):
+        dch = DCHIndex.build(small_road.copy())
+        out = dch.distances([(0, 5), (5, 0)])
+        assert out[0] == out[1]  # undirected symmetry
+
+
+class TestDCHUpdates:
+    def test_update_cycle_preserves_correctness(self, medium_random):
+        dch = DCHIndex.build(medium_random.copy())
+        graph = dch.graph
+        edges = list(graph.edges())[:30]
+        dch.increase([(u, v, 2 * w) for u, v, w in edges])
+        dch.sc.verify_minimum_weight_property()
+        ref = dijkstra(graph, 4)
+        for t in range(0, 120, 7):
+            assert dch.distance(4, t) == ref[t]
+        dch.decrease([(u, v, w) for u, v, w in edges])
+        dch.sc.verify_minimum_weight_property()
+        ref = dijkstra(graph, 4)
+        for t in range(0, 120, 7):
+            assert dch.distance(4, t) == ref[t]
+
+    def test_mixed_update(self, small_road):
+        dch = DCHIndex.build(small_road.copy())
+        edges = list(dch.graph.edges())
+        changes = [
+            (edges[0][0], edges[0][1], edges[0][2] * 2),
+            (edges[1][0], edges[1][1], max(1.0, edges[1][2] - 2)),
+        ]
+        affected = dch.update(changes)
+        assert affected >= 1
+        ref = dijkstra(dch.graph, 0)
+        for t in range(0, 300, 31):
+            assert dch.distance(0, t) == ref[t]
+
+    def test_stats(self, small_road):
+        dch = DCHIndex.build(small_road.copy())
+        stats = dch.stats()
+        assert stats["shortcuts"] >= small_road.num_edges
+        assert stats["shortcut_bytes"] > 0
+
+    @settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(data=connected_graphs(min_n=4, max_n=15).flatmap(
+        lambda g: update_sequences(g, max_steps=4).map(lambda seq: (g, seq))
+    ))
+    def test_random_updates(self, data):
+        graph, sequence = data
+        dch = DCHIndex.build(graph)
+        for batch in sequence:
+            seen = {}
+            for u, v, w in batch:
+                seen[(min(u, v), max(u, v))] = (u, v, w)
+            dch.update(list(seen.values()))
+        dch.sc.verify_minimum_weight_property()
+        ref = dijkstra(graph, 0)
+        for t in range(graph.num_vertices):
+            assert dch.distance(0, t) == ref[t]

@@ -1,0 +1,115 @@
+"""Tests for the Dijkstra baselines, cross-checked against networkx."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.baselines.dijkstra import (
+    bidirectional_dijkstra,
+    dijkstra,
+    dijkstra_distance,
+    dijkstra_subgraph,
+)
+from repro.graph.graph import Graph
+from tests.strategies import connected_graphs
+
+
+def to_networkx(graph: Graph) -> nx.Graph:
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.num_vertices))
+    for u, v, w in graph.edges():
+        if math.isfinite(w):
+            g.add_edge(u, v, weight=w)
+    return g
+
+
+class TestDijkstra:
+    def test_path_graph(self, path_graph):
+        dist = dijkstra(path_graph, 0)
+        assert dist.tolist() == [0.0, 1.0, 3.0, 6.0, 10.0]
+
+    def test_unreachable_inf(self):
+        g = Graph(3)
+        g.add_edge(0, 1, 1.0)
+        dist = dijkstra(g, 0)
+        assert math.isinf(dist[2])
+
+    def test_inf_edges_skipped(self):
+        g = Graph(3)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(1, 2, 1.0)
+        g.set_weight(1, 2, math.inf)
+        assert math.isinf(dijkstra(g, 0)[2])
+
+    def test_targets_early_exit(self, small_road):
+        full = dijkstra(small_road, 0)
+        targeted = dijkstra(small_road, 0, targets=[5, 10])
+        assert targeted[5] == full[5] and targeted[10] == full[10]
+
+    def test_matches_networkx(self, medium_random):
+        ref = nx.single_source_dijkstra_path_length(to_networkx(medium_random), 0)
+        dist = dijkstra(medium_random, 0)
+        for v, d in ref.items():
+            assert dist[v] == d
+
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(connected_graphs(max_n=20))
+    def test_matches_networkx_random(self, graph):
+        ref = nx.single_source_dijkstra_path_length(to_networkx(graph), 0)
+        dist = dijkstra(graph, 0)
+        for v in range(graph.num_vertices):
+            assert dist[v] == ref.get(v, math.inf)
+
+
+class TestPointToPoint:
+    def test_early_exit_matches_full(self, small_road):
+        full = dijkstra(small_road, 3)
+        for t in (0, 50, 150, 299):
+            assert dijkstra_distance(small_road, 3, t) == full[t]
+
+    def test_same_vertex(self, small_road):
+        assert dijkstra_distance(small_road, 7, 7) == 0.0
+
+    def test_unreachable(self):
+        g = Graph(2)
+        assert math.isinf(dijkstra_distance(g, 0, 1))
+
+
+class TestBidirectional:
+    def test_matches_unidirectional(self, small_road):
+        full = dijkstra(small_road, 11)
+        for t in (0, 42, 123, 299):
+            assert bidirectional_dijkstra(small_road, 11, t) == full[t]
+
+    def test_same_vertex(self, small_road):
+        assert bidirectional_dijkstra(small_road, 5, 5) == 0.0
+
+    def test_unreachable(self):
+        g = Graph(4)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(2, 3, 1.0)
+        assert math.isinf(bidirectional_dijkstra(g, 0, 3))
+
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(connected_graphs(max_n=20))
+    def test_matches_dijkstra_random(self, graph):
+        full = dijkstra(graph, 0)
+        for t in range(graph.num_vertices):
+            assert bidirectional_dijkstra(graph, 0, t) == full[t]
+
+
+class TestSubgraphDijkstra:
+    def test_restriction_blocks_paths(self, path_graph):
+        # forbid the middle vertex: 0..4 becomes unreachable
+        blocked = dijkstra_subgraph(path_graph, 0, 4, lambda v: v != 2)
+        assert math.isinf(blocked)
+        allowed = dijkstra_subgraph(path_graph, 0, 4, lambda v: True)
+        assert allowed == 10.0
+
+    def test_endpoint_always_allowed_via_predicate(self, diamond_graph):
+        d = dijkstra_subgraph(diamond_graph, 0, 3, lambda v: v in (1, 3))
+        assert d == 2.0

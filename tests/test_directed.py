@@ -1,0 +1,156 @@
+"""Tests for the directed extension (Section 8)."""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.config import DHLConfig
+from repro.core.directed import DirectedDHLIndex
+from repro.core.index import DHLIndex
+from repro.exceptions import MaintenanceError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_connected_graph
+
+
+def directed_dijkstra(dg: DiGraph, source: int) -> list[float]:
+    dist = [math.inf] * dg.num_vertices
+    dist[source] = 0.0
+    heap = [(0.0, source)]
+    seen: set[int] = set()
+    while heap:
+        d, v = heapq.heappop(heap)
+        if v in seen:
+            continue
+        seen.add(v)
+        for u, w in dg.out_neighbors(v).items():
+            if d + w < dist[u]:
+                dist[u] = d + w
+                heapq.heappush(heap, (d + w, u))
+    return dist
+
+
+@pytest.fixture
+def asym_digraph() -> DiGraph:
+    g = random_connected_graph(60, extra_edges=50, seed=8)
+    dg = DiGraph.from_undirected(g)
+    rng = np.random.default_rng(4)
+    for u, v, w in list(dg.arcs())[: dg.num_arcs // 2]:
+        dg.set_weight(u, v, float(w + rng.integers(0, 25)))
+    return dg
+
+
+class TestDirectedStatic:
+    def test_matches_directed_dijkstra(self, asym_digraph):
+        idx = DirectedDHLIndex.build(asym_digraph, DHLConfig(leaf_size=4))
+        for s in range(0, 60, 6):
+            ref = directed_dijkstra(asym_digraph, s)
+            for t in range(60):
+                assert idx.distance(s, t) == ref[t], (s, t)
+
+    def test_asymmetry_visible(self, asym_digraph):
+        idx = DirectedDHLIndex.build(asym_digraph, DHLConfig(leaf_size=4))
+        found = any(
+            idx.distance(s, t) != idx.distance(t, s)
+            for s in range(10)
+            for t in range(10, 20)
+        )
+        assert found, "expected at least one asymmetric pair"
+
+    def test_symmetric_digraph_equals_undirected_dhl(self):
+        g = random_connected_graph(50, extra_edges=40, seed=12)
+        dg = DiGraph.from_undirected(g)
+        directed = DirectedDHLIndex.build(dg, DHLConfig(leaf_size=4, seed=0))
+        undirected = DHLIndex.build(g.copy(), DHLConfig(leaf_size=4, seed=0))
+        for s in range(0, 50, 5):
+            for t in range(50):
+                assert directed.distance(s, t) == undirected.distance(s, t)
+
+    def test_batch_distances(self, asym_digraph):
+        idx = DirectedDHLIndex.build(asym_digraph, DHLConfig(leaf_size=4))
+        out = idx.distances([(0, 5), (5, 0), (3, 3)])
+        assert out[2] == 0.0
+        assert out[0] == idx.distance(0, 5)
+
+    def test_stats(self, asym_digraph):
+        idx = DirectedDHLIndex.build(asym_digraph, DHLConfig(leaf_size=4))
+        stats = idx.stats()
+        assert stats.label_entries == (
+            idx.labels_out.num_entries + idx.labels_in.num_entries
+        )
+        assert stats.num_shortcuts > 0
+
+
+class TestDirectedDynamic:
+    def test_increase_decrease_match_dijkstra(self, asym_digraph):
+        idx = DirectedDHLIndex.build(asym_digraph, DHLConfig(leaf_size=4))
+        rng = np.random.default_rng(17)
+        arcs = list(asym_digraph.arcs())
+        for _ in range(12):
+            picks = rng.choice(len(arcs), size=3, replace=False)
+            changes = []
+            for p in picks:
+                u, v, _ = arcs[p]
+                cur = asym_digraph.weight(u, v)
+                if rng.random() < 0.5:
+                    changes.append((u, v, float(cur + rng.integers(1, 30))))
+                else:
+                    changes.append(
+                        (u, v, float(max(1, int(cur) - int(rng.integers(1, 30)))))
+                    )
+            idx.update(changes)
+            arcs = list(asym_digraph.arcs())
+        for s in range(0, 60, 9):
+            ref = directed_dijkstra(asym_digraph, s)
+            for t in range(60):
+                assert idx.distance(s, t) == ref[t], (s, t)
+
+    def test_one_direction_update_leaves_other_exact(self, asym_digraph):
+        idx = DirectedDHLIndex.build(asym_digraph, DHLConfig(leaf_size=4))
+        u, v, w = next(iter(asym_digraph.arcs()))
+        idx.increase([(u, v, 4 * w)])
+        ref_fwd = directed_dijkstra(asym_digraph, u)
+        assert idx.distance(u, v) == ref_fwd[v]
+        # the reverse direction must still be exact too
+        ref_rev = directed_dijkstra(asym_digraph, v)
+        assert idx.distance(v, u) == ref_rev[u]
+
+    def test_wrong_direction_rejected(self, asym_digraph):
+        idx = DirectedDHLIndex.build(asym_digraph, DHLConfig(leaf_size=4))
+        u, v, w = next(iter(asym_digraph.arcs()))
+        with pytest.raises(MaintenanceError):
+            idx.increase([(u, v, w / 2)])
+        with pytest.raises(MaintenanceError):
+            idx.decrease([(u, v, w * 2)])
+
+    def test_parallel_workers_match_sequential(self, asym_digraph):
+        # build over independent copies: an index owns its graph
+        seq = DirectedDHLIndex.build(
+            asym_digraph.copy(), DHLConfig(leaf_size=4, seed=0)
+        )
+        par = DirectedDHLIndex.build(
+            asym_digraph.copy(), DHLConfig(leaf_size=4, seed=0)
+        )
+        arcs = list(asym_digraph.arcs())[:15]
+        inc = [(u, v, 2 * w) for u, v, w in arcs]
+        dec = [(u, v, w) for u, v, w in arcs]
+        seq.increase(inc)
+        par.increase(inc, workers=3)
+        assert seq.labels_out.equals(par.labels_out)
+        assert seq.labels_in.equals(par.labels_in)
+        seq.decrease(dec)
+        par.decrease(dec, workers=3)
+        assert seq.labels_out.equals(par.labels_out)
+        assert seq.labels_in.equals(par.labels_in)
+
+    def test_maintained_equals_rebuilt(self, asym_digraph):
+        idx = DirectedDHLIndex.build(asym_digraph, DHLConfig(leaf_size=4, seed=0))
+        arcs = list(asym_digraph.arcs())[:20]
+        idx.increase([(u, v, 2 * w) for u, v, w in arcs])
+        idx.decrease([(u, v, w) for u, v, w in arcs])
+        rebuilt = DirectedDHLIndex.build(asym_digraph, DHLConfig(leaf_size=4, seed=0))
+        assert idx.labels_out.equals(rebuilt.labels_out)
+        assert idx.labels_in.equals(rebuilt.labels_in)

@@ -1,0 +1,60 @@
+"""Tests for the union-find structure."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.disjoint_set import DisjointSet
+
+
+class TestDisjointSet:
+    def test_initially_disjoint(self):
+        ds = DisjointSet(4)
+        assert ds.set_count == 4
+        assert not ds.connected(0, 1)
+
+    def test_union_connects(self):
+        ds = DisjointSet(4)
+        assert ds.union(0, 1)
+        assert ds.connected(0, 1)
+        assert ds.set_count == 3
+
+    def test_union_same_set_returns_false(self):
+        ds = DisjointSet(3)
+        ds.union(0, 1)
+        assert not ds.union(1, 0)
+
+    def test_transitivity(self):
+        ds = DisjointSet(5)
+        ds.union(0, 1)
+        ds.union(1, 2)
+        assert ds.connected(0, 2)
+
+    def test_size_of(self):
+        ds = DisjointSet(5)
+        ds.union(0, 1)
+        ds.union(1, 2)
+        assert ds.size_of(2) == 3
+        assert ds.size_of(4) == 1
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            DisjointSet(-1)
+
+    @given(st.lists(st.tuples(st.integers(0, 19), st.integers(0, 19)), max_size=60))
+    def test_model_against_naive_partition(self, unions):
+        ds = DisjointSet(20)
+        groups = [{i} for i in range(20)]
+        index = list(range(20))
+        for a, b in unions:
+            ds.union(a, b)
+            ga, gb = index[a], index[b]
+            if ga != gb:
+                groups[ga] |= groups[gb]
+                for member in groups[gb]:
+                    index[member] = ga
+                groups[gb] = set()
+        for a in range(20):
+            for b in range(20):
+                assert ds.connected(a, b) == (index[a] == index[b])

@@ -1,0 +1,112 @@
+"""Tests for the synthetic road-network generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.components import is_connected
+from repro.graph.generators import (
+    delaunay_network,
+    grid_network,
+    highway_network,
+    random_connected_graph,
+)
+
+
+class TestGridNetwork:
+    def test_dimensions(self):
+        g = grid_network(5, 7, seed=0, diagonal_fraction=0.0)
+        assert g.num_vertices == 35
+        # 4-neighbour grid: r*(c-1) + c*(r-1) edges
+        assert g.num_edges == 5 * 6 + 7 * 4
+
+    def test_connected_with_diagonals(self):
+        g = grid_network(8, 8, seed=1, diagonal_fraction=0.3)
+        assert is_connected(g)
+
+    def test_weights_positive_integers(self):
+        g = grid_network(6, 6, seed=2)
+        assert g.weights_are_integral()
+        assert all(w >= 1 for _, _, w in g.edges())
+
+    def test_coords_attached(self):
+        g = grid_network(3, 4, seed=0)
+        assert g.coords is not None and g.coords.shape == (12, 2)
+
+    def test_bad_dimensions(self):
+        with pytest.raises(GraphError):
+            grid_network(0, 5)
+
+    def test_reproducible(self):
+        a = grid_network(6, 6, seed=9)
+        b = grid_network(6, 6, seed=9)
+        assert list(a.edges()) == list(b.edges())
+
+
+class TestDelaunayNetwork:
+    @pytest.mark.parametrize("style", ["uniform", "city", "bay", "continental"])
+    def test_styles_connected(self, style):
+        g = delaunay_network(250, seed=4, style=style)
+        assert g.num_vertices == 250
+        assert is_connected(g)
+        assert g.weights_are_integral()
+
+    def test_edge_factor_controls_density(self):
+        sparse = delaunay_network(300, seed=1, edge_factor=1.0)
+        dense = delaunay_network(300, seed=1, edge_factor=1.6)
+        assert sparse.num_edges < dense.num_edges
+        assert dense.num_edges <= round(1.6 * 300)
+
+    def test_unknown_style_raises(self):
+        with pytest.raises(GraphError):
+            delaunay_network(100, style="volcano")
+
+    def test_too_small_raises(self):
+        with pytest.raises(GraphError):
+            delaunay_network(2)
+
+    def test_reproducible(self):
+        a = delaunay_network(150, seed=6)
+        b = delaunay_network(150, seed=6)
+        assert list(a.edges()) == list(b.edges())
+
+
+class TestHighwayNetwork:
+    def test_structure(self):
+        g = highway_network(9, 30, seed=2)
+        assert g.num_vertices == 270
+        assert is_connected(g)
+        assert g.weights_are_integral()
+
+    def test_highways_are_faster_per_length(self):
+        g = highway_network(9, 40, seed=3, highway_speedup=4.0)
+        coords = g.coords
+        ratios = []
+        for u, v, w in g.edges():
+            length = float(np.hypot(*(coords[u] - coords[v])))
+            if length > 0:
+                ratios.append(w / length)
+        # speedup should create a visible spread in effective speeds
+        assert max(ratios) / min(ratios) > 2.0
+
+    def test_bad_params(self):
+        with pytest.raises(GraphError):
+            highway_network(1, 10)
+
+
+class TestRandomConnectedGraph:
+    def test_connected_and_sized(self):
+        g = random_connected_graph(50, extra_edges=30, seed=0)
+        assert g.num_vertices == 50
+        assert g.num_edges >= 49
+        assert is_connected(g)
+
+    def test_extra_edges_capped(self):
+        g = random_connected_graph(4, extra_edges=100, seed=0)
+        assert g.num_edges <= 6
+
+    def test_single_vertex(self):
+        g = random_connected_graph(1, seed=0)
+        assert g.num_vertices == 1 and g.num_edges == 0

@@ -1,0 +1,133 @@
+"""Tests for the undirected Graph structure."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EdgeNotFound, GraphError, VertexNotFound
+from repro.graph.graph import Graph
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph(0)
+        assert g.num_vertices == 0 and g.num_edges == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(-1)
+
+    def test_from_edges_keeps_min_duplicate(self):
+        g = Graph.from_edges(3, [(0, 1, 5.0), (1, 0, 2.0), (1, 2, 1.0)])
+        assert g.weight(0, 1) == 2.0
+        assert g.num_edges == 2
+
+    def test_coords_shape_checked(self):
+        with pytest.raises(GraphError):
+            Graph(3, coords=np.zeros((2, 2)))
+
+    def test_copy_is_independent(self, diamond_graph):
+        clone = diamond_graph.copy()
+        clone.set_weight(0, 1, 9.0)
+        assert diamond_graph.weight(0, 1) == 1.0
+
+
+class TestMutation:
+    def test_add_edge_symmetric(self):
+        g = Graph(3)
+        g.add_edge(0, 2, 4.0)
+        assert g.weight(2, 0) == 4.0
+        assert g.degree(0) == g.degree(2) == 1
+
+    def test_self_loop_rejected(self):
+        g = Graph(2)
+        with pytest.raises(GraphError):
+            g.add_edge(1, 1, 1.0)
+
+    def test_duplicate_edge_rejected(self):
+        g = Graph(2)
+        g.add_edge(0, 1, 1.0)
+        with pytest.raises(GraphError):
+            g.add_edge(0, 1, 2.0)
+
+    def test_add_edge_rejects_bad_weights(self):
+        g = Graph(2)
+        with pytest.raises(GraphError):
+            g.add_edge(0, 1, -1.0)
+        with pytest.raises(GraphError):
+            g.add_edge(0, 1, math.inf)
+
+    def test_set_weight_returns_old(self):
+        g = Graph(2)
+        g.add_edge(0, 1, 3.0)
+        assert g.set_weight(0, 1, 7.0) == 3.0
+        assert g.weight(1, 0) == 7.0
+
+    def test_set_weight_allows_inf_deletion(self):
+        g = Graph(2)
+        g.add_edge(0, 1, 3.0)
+        g.set_weight(0, 1, math.inf)
+        assert math.isinf(g.weight(0, 1))
+        assert g.num_edges == 1  # slot retained
+
+    def test_remove_edge(self):
+        g = Graph(2)
+        g.add_edge(0, 1, 3.0)
+        assert g.remove_edge(0, 1) == 3.0
+        assert not g.has_edge(0, 1)
+        assert g.num_edges == 0
+
+    def test_missing_edge_raises(self):
+        g = Graph(2)
+        with pytest.raises(EdgeNotFound):
+            g.weight(0, 1)
+
+    def test_missing_vertex_raises(self):
+        g = Graph(2)
+        with pytest.raises(VertexNotFound):
+            g.degree(5)
+
+
+class TestViews:
+    def test_edges_listed_once(self, diamond_graph):
+        edges = list(diamond_graph.edges())
+        assert len(edges) == 4
+        assert all(u < v for u, v, _ in edges)
+
+    def test_total_weight(self, diamond_graph):
+        assert diamond_graph.total_weight() == 6.0
+
+    def test_degree_array(self, diamond_graph):
+        assert diamond_graph.degree_array().tolist() == [2, 2, 2, 2]
+
+    def test_induced_subgraph_maps_ids(self, diamond_graph):
+        sub, mapping = diamond_graph.induced_subgraph([0, 1, 3])
+        assert mapping == [0, 1, 3]
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 2  # (0,1) and (1,3)
+        assert sub.weight(1, 2) == 1.0  # local ids: 1=vertex 1, 2=vertex 3
+
+    def test_induced_subgraph_keeps_deleted_edges(self):
+        g = Graph(3)
+        g.add_edge(0, 1, 2.0)
+        g.set_weight(0, 1, math.inf)
+        sub, _ = g.induced_subgraph([0, 1])
+        assert math.isinf(sub.weight(0, 1))
+
+    def test_induced_subgraph_rejects_duplicates(self, diamond_graph):
+        with pytest.raises(GraphError):
+            diamond_graph.induced_subgraph([0, 0, 1])
+
+    def test_weights_are_integral(self):
+        g = Graph.from_edges(3, [(0, 1, 2.0), (1, 2, 5.0)])
+        assert g.weights_are_integral()
+        g.set_weight(0, 1, 2.5)
+        assert not g.weights_are_integral()
+        g.set_weight(0, 1, math.inf)
+        assert g.weights_are_integral()
+
+    def test_validate_passes_on_consistent_graph(self, small_road):
+        small_road.validate()

@@ -1,0 +1,120 @@
+"""Tests for graph IO: DIMACS, edge lists, JSON."""
+
+from __future__ import annotations
+
+import io
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphFormatError
+from repro.graph.digraph import DiGraph
+from repro.graph.graph import Graph
+from repro.graph.io import (
+    graph_from_json,
+    graph_to_json,
+    read_dimacs,
+    read_dimacs_coordinates,
+    read_edge_list,
+    write_dimacs,
+    write_dimacs_coordinates,
+    write_edge_list,
+)
+
+DIMACS_SAMPLE = """c example graph
+p sp 3 4
+a 1 2 5
+a 2 1 5
+a 2 3 7
+a 3 2 7
+"""
+
+
+class TestDimacs:
+    def test_read_undirected_collapses_arcs(self):
+        g = read_dimacs(io.StringIO(DIMACS_SAMPLE).read().splitlines())
+        assert isinstance(g, Graph)
+        assert g.num_vertices == 3 and g.num_edges == 2
+        assert g.weight(0, 1) == 5.0
+
+    def test_read_directed(self):
+        g = read_dimacs(DIMACS_SAMPLE.splitlines(), undirected=False)
+        assert isinstance(g, DiGraph)
+        assert g.num_arcs == 4
+
+    def test_round_trip(self, small_road, tmp_path):
+        path = tmp_path / "net.gr"
+        write_dimacs(small_road, path, comment="round trip")
+        loaded = read_dimacs(path)
+        assert loaded.num_vertices == small_road.num_vertices
+        assert loaded.num_edges == small_road.num_edges
+        for u, v, w in small_road.edges():
+            assert loaded.weight(u, v) == w
+
+    def test_missing_problem_line(self):
+        with pytest.raises(GraphFormatError):
+            read_dimacs(["a 1 2 3"])
+
+    def test_vertex_out_of_range(self):
+        with pytest.raises(GraphFormatError):
+            read_dimacs(["p sp 2 1", "a 1 5 3"])
+
+    def test_malformed_lines(self):
+        with pytest.raises(GraphFormatError):
+            read_dimacs(["p sp 2"])
+        with pytest.raises(GraphFormatError):
+            read_dimacs(["p sp 2 1", "a 1 2"])
+        with pytest.raises(GraphFormatError):
+            read_dimacs(["p sp 2 1", "x 1 2 3"])
+
+    def test_self_loops_dropped(self):
+        g = read_dimacs(["p sp 2 2", "a 1 1 4", "a 1 2 3"])
+        assert g.num_edges == 1
+
+    def test_coordinates_round_trip(self, tmp_path):
+        coords = np.array([[1.0, 2.0], [3.0, 4.0]])
+        path = tmp_path / "net.co"
+        write_dimacs_coordinates(coords, path)
+        loaded = read_dimacs_coordinates(path)
+        assert np.array_equal(loaded, coords)
+
+    def test_coordinates_malformed(self):
+        with pytest.raises(GraphFormatError):
+            read_dimacs_coordinates(["v 1 2"])
+
+
+class TestEdgeList:
+    def test_round_trip(self, diamond_graph, tmp_path):
+        path = tmp_path / "edges.txt"
+        write_edge_list(diamond_graph, path)
+        loaded = read_edge_list(path)
+        assert loaded.num_edges == diamond_graph.num_edges
+        assert loaded.weight(0, 2) == 2.0
+
+    def test_comments_and_blanks_skipped(self):
+        g = read_edge_list(["# header", "", "0 1 2.5"])
+        assert g.num_edges == 1 and g.weight(0, 1) == 2.5
+
+    def test_malformed_raises(self):
+        with pytest.raises(GraphFormatError):
+            read_edge_list(["0 1"])
+
+
+class TestJson:
+    def test_round_trip_with_coords(self, small_road):
+        clone = graph_from_json(graph_to_json(small_road))
+        assert clone.num_vertices == small_road.num_vertices
+        assert clone.num_edges == small_road.num_edges
+        assert np.allclose(clone.coords, small_road.coords)
+
+    def test_round_trip_inf_weight(self):
+        g = Graph(2)
+        g.add_edge(0, 1, 1.0)
+        g.set_weight(0, 1, math.inf)
+        clone = graph_from_json(graph_to_json(g))
+        assert math.isinf(clone.weight(0, 1))
+
+    def test_invalid_json_raises(self):
+        with pytest.raises(GraphFormatError):
+            graph_from_json("{}")

@@ -1,0 +1,69 @@
+"""Tests for the Euler-tour sparse-table LCA."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.lca import EulerTourLCA
+
+
+def naive_lca(parent: list[int], u: int, v: int) -> int:
+    anc_u = []
+    while u != -1:
+        anc_u.append(u)
+        u = parent[u]
+    seen = set(anc_u)
+    while v not in seen:
+        v = parent[v]
+    return v
+
+
+class TestEulerTourLCA:
+    def test_path_tree(self):
+        parent = [-1, 0, 1, 2, 3]
+        lca = EulerTourLCA(parent)
+        assert lca(4, 2) == 2
+        assert lca(0, 4) == 0
+        assert lca(3, 3) == 3
+
+    def test_balanced_tree(self):
+        #       0
+        #      / \
+        #     1   2
+        #    / \   \
+        #   3   4   5
+        parent = [-1, 0, 0, 1, 1, 2]
+        lca = EulerTourLCA(parent)
+        assert lca(3, 4) == 1
+        assert lca(3, 5) == 0
+        assert lca(4, 2) == 0
+        assert lca(1, 3) == 1
+
+    def test_forest_depths(self):
+        parent = [-1, 0, -1, 2]
+        lca = EulerTourLCA(parent)
+        assert lca.depth[1] == 1 and lca.depth[3] == 1
+        assert lca(0, 1) == 0
+        assert lca(2, 3) == 2
+
+    def test_no_root_raises(self):
+        with pytest.raises(ValueError):
+            EulerTourLCA([0])  # self-parent, no -1 root
+
+    def test_deep_path_no_recursion_error(self):
+        n = 5_000
+        parent = [-1] + list(range(n - 1))
+        lca = EulerTourLCA(parent)
+        assert lca(n - 1, n // 2) == n // 2
+
+    @given(st.integers(2, 60), st.data())
+    def test_matches_naive(self, n, data):
+        rng = np.random.default_rng(data.draw(st.integers(0, 10_000)))
+        parent = [-1] + [int(rng.integers(0, i)) for i in range(1, n)]
+        lca = EulerTourLCA(parent)
+        for _ in range(10):
+            u = int(rng.integers(0, n))
+            v = int(rng.integers(0, n))
+            assert lca(u, v) == naive_lca(parent, u, v)

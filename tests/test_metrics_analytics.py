@@ -1,0 +1,94 @@
+"""Tests for network metrics and query search-space analytics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines.h2h import H2HIndex
+from repro.core.config import DHLConfig
+from repro.core.index import DHLIndex
+from repro.experiments.analytics import query_search_space, search_space_by_query_set
+from repro.experiments.workloads import distance_stratified_queries
+from repro.graph.graph import Graph
+from repro.graph.metrics import approximate_diameter, network_metrics
+
+
+class TestNetworkMetrics:
+    def test_path_graph_exact(self, path_graph):
+        metrics = network_metrics(path_graph)
+        assert metrics.num_vertices == 5
+        assert metrics.num_edges == 4
+        assert metrics.hop_diameter_lb == 4
+        assert metrics.weighted_diameter_lb == 10.0
+        assert metrics.max_degree == 2
+        assert metrics.degree_histogram == {1: 2, 2: 3}
+
+    def test_road_network_sparsity(self, small_road):
+        metrics = network_metrics(small_road)
+        assert 1.0 <= metrics.edge_vertex_ratio <= 1.6
+        assert metrics.mean_degree == pytest.approx(
+            2 * metrics.edge_vertex_ratio
+        )
+        assert metrics.hop_diameter_lb >= 10  # 300-vertex planar network
+
+    def test_ignores_infinite_weights_in_mean(self):
+        g = Graph(3)
+        g.add_edge(0, 1, 4.0)
+        g.add_edge(1, 2, 6.0)
+        g.set_weight(1, 2, math.inf)
+        metrics = network_metrics(g)
+        assert metrics.mean_edge_weight == 4.0
+
+    def test_as_dict_round_trip(self, small_road):
+        d = network_metrics(small_road).as_dict()
+        assert d["num_vertices"] == 300
+        assert isinstance(d["degree_histogram"], dict)
+
+    def test_approximate_diameter_empty(self):
+        assert approximate_diameter(Graph(0)) == (0, 0.0)
+
+
+class TestSearchSpaceAnalytics:
+    @pytest.fixture(scope="class")
+    def built(self):
+        from repro.graph.generators import delaunay_network
+
+        g = delaunay_network(400, seed=5)
+        dhl = DHLIndex.build(g.copy(), DHLConfig(seed=0))
+        h2h = H2HIndex.build(g.copy())
+        return g, dhl, h2h
+
+    def test_query_search_space_positive(self, built):
+        _, dhl, h2h = built
+        pairs = [(0, 399), (5, 200), (17, 350)]
+        out = query_search_space(dhl, h2h, pairs)
+        assert out["DHL_entries"] > 0
+        assert out["IncH2H_entries"] > 0
+
+    def test_matches_engine_accounting(self, built):
+        _, dhl, _ = built
+        pairs = [(0, 399)]
+        out = query_search_space(dhl, None, pairs)
+        assert out["DHL_entries"] == dhl.engine.search_space_size(0, 399)
+        assert "IncH2H_entries" not in out
+
+    def test_long_range_scans_fewer_dhl_entries(self, built):
+        """The Figure 6 explanation: distant pairs share few ancestors."""
+        g, dhl, h2h = built
+        sets = distance_stratified_queries(
+            dhl.distance, g.num_vertices, per_set=40, seed=1
+        )
+        report = search_space_by_query_set(dhl, h2h, sets)
+        filled = [r for r in report["raw"] if r]
+        assert len(filled) >= 3
+        first = next(r for r in report["raw"] if r)
+        last = next(r for r in reversed(report["raw"]) if r)
+        assert last["DHL_entries"] <= first["DHL_entries"]
+        assert "Q1" in report["text"]
+
+    def test_empty_bucket_rendered(self, built):
+        _, dhl, h2h = built
+        report = search_space_by_query_set(dhl, h2h, [[], [(0, 1)]])
+        assert report["rows"][0][2] == "-"

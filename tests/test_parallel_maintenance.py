@@ -1,0 +1,86 @@
+"""Tests for the parallel maintenance variants (Algorithms 6/7)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import DHLConfig
+from repro.core.index import DHLIndex
+from repro.labelling.maintenance import (
+    maintain_shortcuts_decrease,
+    maintain_shortcuts_increase,
+)
+from repro.labelling.parallel import (
+    apply_decrease_parallel,
+    apply_increase_parallel,
+    maintain_labels_decrease_parallel,
+    maintain_labels_increase_parallel,
+)
+
+
+def make_pair(graph):
+    """Two identical indexes over copies of *graph*."""
+    a = DHLIndex.build(graph.copy(), DHLConfig(leaf_size=4, seed=0))
+    b = DHLIndex.build(graph.copy(), DHLConfig(leaf_size=4, seed=0))
+    assert a.labels.equals(b.labels)
+    return a, b
+
+
+class TestColumnPartitioning:
+    @pytest.mark.parametrize("workers", [None, 1, 3])
+    def test_decrease_matches_sequential(self, small_road, workers):
+        seq, par = make_pair(small_road)
+        batch = [(u, v, max(1.0, w // 2)) for u, v, w in list(small_road.edges())[:30]]
+        seq.decrease(batch)
+        apply_decrease_parallel(par.hu, par.labels, batch, workers=workers)
+        assert seq.labels.equals(par.labels)
+
+    @pytest.mark.parametrize("workers", [None, 1, 3])
+    def test_increase_matches_sequential(self, small_road, workers):
+        seq, par = make_pair(small_road)
+        batch = [(u, v, 3 * w) for u, v, w in list(small_road.edges())[:30]]
+        seq.increase(batch)
+        apply_increase_parallel(par.hu, par.labels, batch, workers=workers)
+        assert seq.labels.equals(par.labels)
+
+    def test_interleaved_parallel_sequence(self, small_road):
+        seq, par = make_pair(small_road)
+        rng = np.random.default_rng(3)
+        edges = list(small_road.edges())
+        for _ in range(6):
+            picks = rng.choice(len(edges), size=5, replace=False)
+            inc = [(edges[p][0], edges[p][1], 2 * edges[p][2]) for p in picks]
+            dec = [(u, v, w / 2) for u, v, w in inc]
+            seq.increase(inc)
+            seq.decrease(dec)
+            par.increase(inc, workers=4)
+            par.decrease(dec, workers=4)
+        assert seq.labels.equals(par.labels)
+
+    def test_stats_equivalent(self, small_road):
+        """Parallel and sequential must report the same |L-delta|."""
+        seq, par = make_pair(small_road)
+        batch = [(u, v, 2 * w) for u, v, w in list(small_road.edges())[:25]]
+        s1 = seq.increase(batch)
+        affected = maintain_shortcuts_increase(par.hu, batch)
+        s2 = maintain_labels_increase_parallel(par.hu, par.labels, affected)
+        assert s1.labels_changed == s2.labels_changed
+        assert s1.shortcuts_changed == s2.shortcuts_changed
+
+    def test_decrease_stats_equivalent(self, small_road):
+        seq, par = make_pair(small_road)
+        batch = [(u, v, max(1.0, w - 5)) for u, v, w in list(small_road.edges())[:25]]
+        s1 = seq.decrease(batch)
+        affected = maintain_shortcuts_decrease(par.hu, batch)
+        s2 = maintain_labels_decrease_parallel(par.hu, par.labels, affected)
+        assert s1.labels_changed == s2.labels_changed
+
+    def test_workers_via_config(self, small_road):
+        idx = DHLIndex.build(
+            small_road.copy(), DHLConfig(leaf_size=4, seed=0, workers=2)
+        )
+        batch = [(u, v, 2 * w) for u, v, w in list(small_road.edges())[:10]]
+        idx.increase(batch)  # uses config workers
+        rebuilt = idx.rebuild()
+        assert idx.labels.equals(rebuilt.labels)

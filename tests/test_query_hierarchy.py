@@ -1,0 +1,155 @@
+"""Tests for the query hierarchy H_Q and the vertex partial order."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.exceptions import HierarchyError
+from repro.hierarchy.query_hierarchy import QueryHierarchy
+from repro.partition.recursive import PartitionTreeNode, recursive_bisection
+from tests.strategies import connected_graphs
+
+
+def tiny_tree() -> PartitionTreeNode:
+    """Root {0,1}; left child {2,3}; right child {4} with leaf {5}."""
+    return PartitionTreeNode(
+        vertices=[0, 1],
+        children=[
+            PartitionTreeNode(vertices=[2, 3]),
+            PartitionTreeNode(
+                vertices=[4],
+                children=[PartitionTreeNode(vertices=[5])],
+            ),
+        ],
+    )
+
+
+@pytest.fixture
+def hq() -> QueryHierarchy:
+    return QueryHierarchy.from_partition_tree(tiny_tree(), 6)
+
+
+class TestConstruction:
+    def test_tau_assignment(self, hq):
+        # root: 0 -> 0, 1 -> 1; both children start at rank 2
+        assert hq.tau[0] == 0 and hq.tau[1] == 1
+        assert hq.tau[2] == 2 and hq.tau[3] == 3
+        assert hq.tau[4] == 2 and hq.tau[5] == 3
+
+    def test_height(self, hq):
+        assert hq.height == 4
+
+    def test_missing_vertex_detected(self):
+        tree = PartitionTreeNode(vertices=[0, 1])
+        with pytest.raises(HierarchyError):
+            QueryHierarchy.from_partition_tree(tree, 3)
+
+    def test_duplicate_vertex_detected(self):
+        tree = PartitionTreeNode(
+            vertices=[0], children=[PartitionTreeNode(vertices=[0, 1])]
+        )
+        with pytest.raises(HierarchyError):
+            QueryHierarchy.from_partition_tree(tree, 2)
+
+    def test_tree_nodes_aligned(self, hq):
+        assert hq.tree_nodes is not None
+        assert [len(n.vertices) for n in hq.tree_nodes] == [
+            len(m) for m in hq.node_members
+        ]
+
+
+class TestPartialOrder:
+    def test_precedes_within_node(self, hq):
+        assert hq.precedes(0, 1)
+        assert not hq.precedes(1, 0)
+        assert hq.precedes(0, 0)
+
+    def test_precedes_across_nodes(self, hq):
+        assert hq.precedes(0, 5)
+        assert hq.precedes(4, 5)
+        assert not hq.precedes(5, 4)
+
+    def test_incomparable_branches(self, hq):
+        assert not hq.comparable(2, 4)
+        assert not hq.comparable(3, 5)
+
+    def test_ancestors_chain(self, hq):
+        assert hq.ancestors(5) == [0, 1, 4, 5]
+        assert hq.ancestors(3) == [0, 1, 2, 3]
+        assert hq.ancestors(0) == [0]
+
+    def test_ancestors_rank_alignment(self, hq):
+        for v in range(6):
+            chain = hq.ancestors(v)
+            for i, w in enumerate(chain):
+                assert hq.tau[w] == i
+            assert chain[-1] == v
+
+
+class TestLCA:
+    def test_lca_depth(self, hq):
+        assert hq.lca_depth(2, 5) == 0
+        assert hq.lca_depth(4, 5) == 1
+        assert hq.lca_depth(5, 5) == 2
+        assert hq.lca_depth(0, 5) == 0
+
+    def test_common_ancestor_count_cross_branch(self, hq):
+        # 2 and 4 only share the root node vertices {0, 1}
+        assert hq.common_ancestor_count(2, 4) == 2
+
+    def test_common_ancestor_count_same_chain(self, hq):
+        # 4 is an ancestor of 5: all of anc(4) are common
+        assert hq.common_ancestor_count(4, 5) == 3
+        assert hq.common_ancestor_count(5, 4) == 3
+
+    def test_common_ancestor_count_same_node(self, hq):
+        assert hq.common_ancestor_count(2, 3) == 3
+        assert hq.common_ancestor_count(0, 1) == 1
+
+    def test_count_matches_bruteforce_partial_order(self, hq):
+        for s in range(6):
+            for t in range(6):
+                expected = sum(
+                    1
+                    for w in range(6)
+                    if hq.precedes(w, s) and hq.precedes(w, t)
+                )
+                assert hq.common_ancestor_count(s, t) == expected, (s, t)
+
+
+class TestOrders:
+    def test_contraction_order_decreasing_tau(self, hq):
+        order = hq.contraction_order()
+        taus = [hq.tau[v] for v in order]
+        assert taus == sorted(taus, reverse=True)
+
+    def test_iter_vertices_by_tau(self, hq):
+        taus = [hq.tau[v] for v in hq.iter_vertices_by_tau()]
+        assert taus == sorted(taus)
+
+    def test_memory_bytes_positive(self, hq):
+        assert hq.memory_bytes() > 0
+
+
+class TestOnRealPartitions:
+    def test_validate_graph(self, small_road):
+        tree = recursive_bisection(small_road, seed=0)
+        hq = QueryHierarchy.from_partition_tree(tree, small_road.num_vertices)
+        hq.validate_graph(small_road)  # must not raise
+
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(connected_graphs(min_n=3, max_n=25))
+    def test_common_ancestors_bruteforce_random(self, graph):
+        tree = recursive_bisection(graph, leaf_size=3, seed=0)
+        hq = QueryHierarchy.from_partition_tree(tree, graph.num_vertices)
+        hq.validate_graph(graph)
+        n = graph.num_vertices
+        for s in range(0, n, 3):
+            for t in range(0, n, 2):
+                expected = sum(
+                    1
+                    for w in range(n)
+                    if hq.precedes(w, s) and hq.precedes(w, t)
+                )
+                assert hq.common_ancestor_count(s, t) == expected

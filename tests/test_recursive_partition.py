@@ -1,0 +1,98 @@
+"""Tests for recursive bisection and the partition tree invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.graph.generators import delaunay_network
+from repro.partition.recursive import PartitionTreeNode, recursive_bisection
+from tests.strategies import connected_graphs
+
+
+def collect_vertices(node: PartitionTreeNode) -> list[int]:
+    out = list(node.vertices)
+    for child in node.children:
+        out.extend(collect_vertices(child))
+    return out
+
+
+def check_balance(node: PartitionTreeNode, beta: float) -> None:
+    size = node.subtree_size
+    for child in node.children:
+        assert child.subtree_size <= (1 - beta) * size + 1e-9
+        check_balance(child, beta)
+
+
+def check_separators(node: PartitionTreeNode, graph) -> None:
+    """Removing a node's vertices must disconnect its child subtrees."""
+    if len(node.children) == 2:
+        left = set(collect_vertices(node.children[0]))
+        right = set(collect_vertices(node.children[1]))
+        for u in left:
+            for v in graph.neighbors(u):
+                assert v not in right, f"edge ({u},{v}) crosses the separator"
+    for child in node.children:
+        check_separators(child, graph)
+
+
+class TestRecursiveBisection:
+    def test_partition_covers_all_vertices_once(self, small_road):
+        tree = recursive_bisection(small_road, seed=0)
+        owned = collect_vertices(tree)
+        assert sorted(owned) == list(range(small_road.num_vertices))
+
+    def test_balance_property(self, small_road):
+        tree = recursive_bisection(small_road, beta=0.2, seed=0)
+        check_balance(tree, 0.2)
+
+    def test_separator_property(self, small_road):
+        tree = recursive_bisection(small_road, seed=0)
+        check_separators(tree, small_road)
+
+    def test_leaf_size_respected(self, small_road):
+        tree = recursive_bisection(small_road, leaf_size=5, seed=0)
+        for node in tree.iter_nodes():
+            if not node.children:
+                assert len(node.vertices) <= 5
+
+    def test_small_graph_single_leaf(self, diamond_graph):
+        tree = recursive_bisection(diamond_graph, leaf_size=8, seed=0)
+        assert not tree.children
+        assert sorted(tree.vertices) == [0, 1, 2, 3]
+
+    def test_iter_nodes_preorder(self, small_road):
+        tree = recursive_bisection(small_road, seed=0)
+        nodes = list(tree.iter_nodes())
+        assert nodes[0] is tree
+        assert len(nodes) >= 3
+
+    def test_subtree_size(self, small_road):
+        tree = recursive_bisection(small_road, seed=0)
+        assert tree.subtree_size == small_road.num_vertices
+
+    def test_separator_vertices_ordered_by_degree(self, small_road):
+        tree = recursive_bisection(small_road, seed=0)
+        for node in tree.iter_nodes():
+            degrees = [small_road.degree(v) for v in node.vertices]
+            assert degrees == sorted(degrees, reverse=True)
+
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(connected_graphs(min_n=2, max_n=30))
+    def test_invariants_on_random_graphs(self, graph):
+        tree = recursive_bisection(graph, beta=0.2, leaf_size=3, seed=0)
+        assert sorted(collect_vertices(tree)) == list(range(graph.num_vertices))
+        check_balance(tree, 0.2)
+        check_separators(tree, graph)
+
+    def test_larger_network_has_shallow_tree(self):
+        g = delaunay_network(600, seed=8)
+        tree = recursive_bisection(g, seed=0)
+        depth = 0
+        stack = [(tree, 0)]
+        while stack:
+            node, d = stack.pop()
+            depth = max(depth, d)
+            stack.extend((c, d + 1) for c in node.children)
+        # log_{1/0.8}(600/8) ~ 20; allow generous slack
+        assert depth <= 40

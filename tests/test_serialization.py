@@ -1,0 +1,69 @@
+"""Tests for index persistence."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import DHLConfig
+from repro.core.index import DHLIndex
+from repro.exceptions import SerializationError
+
+
+class TestSaveLoad:
+    def test_round_trip_labels_identical(self, small_index, tmp_path):
+        small_index.save(tmp_path / "idx")
+        loaded = DHLIndex.load(tmp_path / "idx")
+        assert loaded.labels.equals(small_index.labels)
+        assert np.array_equal(loaded.hq.tau, small_index.hq.tau)
+
+    def test_round_trip_queries_identical(self, small_index, tmp_path):
+        small_index.save(tmp_path / "idx")
+        loaded = DHLIndex.load(tmp_path / "idx")
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            s, t = int(rng.integers(0, 300)), int(rng.integers(0, 300))
+            assert loaded.distance(s, t) == small_index.distance(s, t)
+
+    def test_round_trip_config(self, small_road, tmp_path):
+        idx = DHLIndex.build(
+            small_road.copy(), DHLConfig(leaf_size=5, seed=9, workers=2)
+        )
+        idx.save(tmp_path / "idx")
+        loaded = DHLIndex.load(tmp_path / "idx")
+        assert loaded.config == idx.config
+
+    def test_loaded_index_supports_updates(self, small_index, tmp_path):
+        small_index.save(tmp_path / "idx")
+        loaded = DHLIndex.load(tmp_path / "idx")
+        u, v, w = next(iter(loaded.graph.edges()))
+        loaded.increase([(u, v, 2 * w)])
+        small_index.increase([(u, v, 2 * w)])
+        assert loaded.labels.equals(small_index.labels)
+        loaded.hu.verify_minimum_weight_property()
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(SerializationError):
+            DHLIndex.load(tmp_path / "nope")
+
+    def test_corrupt_manifest_raises(self, small_index, tmp_path):
+        small_index.save(tmp_path / "idx")
+        (tmp_path / "idx" / "manifest.json").write_text("{not json")
+        with pytest.raises(SerializationError):
+            DHLIndex.load(tmp_path / "idx")
+
+    def test_bad_version_raises(self, small_index, tmp_path):
+        small_index.save(tmp_path / "idx")
+        manifest_path = tmp_path / "idx" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format_version"] = 999
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(SerializationError):
+            DHLIndex.load(tmp_path / "idx")
+
+    def test_save_creates_expected_files(self, small_index, tmp_path):
+        small_index.save(tmp_path / "idx")
+        assert (tmp_path / "idx" / "manifest.json").exists()
+        assert (tmp_path / "idx" / "arrays.npz").exists()

@@ -1,0 +1,119 @@
+"""Tests for structural updates (Section 8): delete/restore/insert."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines.dijkstra import dijkstra_distance
+from repro.core.config import DHLConfig
+from repro.core.index import DHLIndex
+from repro.exceptions import MaintenanceError
+
+
+@pytest.fixture
+def index(small_road):
+    return DHLIndex.build(small_road.copy(), DHLConfig(leaf_size=6, seed=0))
+
+
+class TestEdgeDeletion:
+    def test_delete_edge_reroutes(self, index):
+        u, v, w = min(index.graph.edges(), key=lambda e: e[2])
+        index.delete_edge(u, v)
+        assert math.isinf(index.graph.weight(u, v))
+        expected = dijkstra_distance(index.graph, u, v)
+        assert index.distance(u, v) == expected
+
+    def test_delete_is_idempotent(self, index):
+        u, v, _ = next(iter(index.graph.edges()))
+        index.delete_edge(u, v)
+        stats = index.delete_edge(u, v)
+        assert stats.labels_changed == 0
+
+    def test_restore_edge(self, index):
+        u, v, w = next(iter(index.graph.edges()))
+        original = index.labels.copy()
+        index.delete_edge(u, v)
+        index.restore_edge(u, v, w)
+        assert index.labels.equals(original)
+
+    def test_restore_validates_weight(self, index):
+        u, v, w = next(iter(index.graph.edges()))
+        with pytest.raises(MaintenanceError):
+            index.restore_edge(u, v, math.inf)
+        index.delete_edge(u, v)
+        with pytest.raises(MaintenanceError):
+            index.restore_edge(u, v, math.inf)
+
+
+class TestVertexDeletion:
+    def test_delete_vertex_disconnects(self, index):
+        v = 42
+        index.delete_vertex(v)
+        for u in index.graph.neighbors(v):
+            assert math.isinf(index.graph.weight(u, v))
+        # v unreachable from elsewhere
+        other = 0 if v != 0 else 1
+        assert math.isinf(index.distance(other, v))
+
+    def test_delete_vertex_rest_of_graph_correct(self, index):
+        index.delete_vertex(13)
+        s = 7
+        expected = dijkstra_distance(index.graph, s, 200)
+        assert index.distance(s, 200) == expected
+        rebuilt = index.rebuild()
+        assert index.labels.equals(rebuilt.labels)
+
+    def test_delete_isolated_vertex_noop(self, index):
+        index.delete_vertex(99)
+        stats = index.delete_vertex(99)
+        assert stats.labels_changed == 0
+
+
+class TestEdgeInsertion:
+    def test_insert_existing_edge_rejected(self, index):
+        u, v, _ = next(iter(index.graph.edges()))
+        with pytest.raises(MaintenanceError):
+            index.insert_edge(u, v, 1.0)
+
+    def test_insert_bad_weight_rejected(self, index):
+        with pytest.raises(MaintenanceError):
+            index.insert_edge(0, 299, math.inf)
+
+    def test_insert_edge_correct_distances(self, index):
+        # a shortcut edge between two far-apart vertices: the repartition
+        # may reshape H_Q, so correctness is checked against Dijkstra.
+        s, t = 0, 299
+        if index.graph.has_edge(s, t):
+            pytest.skip("random fixture happens to contain the edge")
+        new_index = index.insert_edge(s, t, 1.0)
+        assert new_index.distance(s, t) == 1.0
+        for a, b in [(5, 250), (10, 290), (0, 150), (299, 40)]:
+            assert new_index.distance(a, b) == dijkstra_distance(
+                new_index.graph, a, b
+            )
+        new_index.verify()
+
+    def test_insert_preserves_other_subtrees(self, index):
+        """Inserting inside one region must keep queries exact everywhere."""
+        # pick two vertices owned by the same (deep) tree node's subtree
+        hq = index.hq
+        leaf_nodes = [
+            nid
+            for nid in range(hq.num_nodes)
+            if hq.node_depth[nid] >= 2 and len(hq.node_members[nid]) >= 2
+        ]
+        if not leaf_nodes:
+            pytest.skip("partition tree too shallow on this fixture")
+        nid = leaf_nodes[0]
+        a, b = hq.node_members[nid][:2]
+        if index.graph.has_edge(a, b):
+            pytest.skip("edge already present")
+        new_index = index.insert_edge(a, b, 2.0)
+        assert new_index.distance(a, b) <= 2.0
+        for s, t in [(a, b), (0, 200), (3, 299)]:
+            assert new_index.distance(s, t) == dijkstra_distance(
+                new_index.graph, s, t
+            )
+        new_index.verify()

@@ -1,0 +1,71 @@
+"""Tests for timing and RNG helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import make_rng, sample_pairs
+from repro.utils.timing import Stopwatch, format_duration
+
+
+class TestStopwatch:
+    def test_context_manager_accumulates(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        with sw:
+            pass
+        assert sw.elapsed >= 0.0
+        assert len(sw.laps) == 2
+        assert sw.mean_lap == pytest.approx(sw.elapsed / 2)
+
+    def test_double_start_raises(self):
+        sw = Stopwatch().start()
+        with pytest.raises(RuntimeError):
+            sw.start()
+        sw.stop()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+
+class TestFormatDuration:
+    @pytest.mark.parametrize(
+        "seconds, expected",
+        [
+            (1.2e-6, "1.20us"),
+            (0.00345, "3.450ms"),
+            (1.5, "1.500s"),
+            (150.0, "2.50min"),
+        ],
+    )
+    def test_units(self, seconds, expected):
+        assert format_duration(seconds) == expected
+
+    def test_negative(self):
+        assert format_duration(-1.5).startswith("-")
+
+
+class TestRng:
+    def test_make_rng_idempotent_on_generator(self):
+        rng = np.random.default_rng(0)
+        assert make_rng(rng) is rng
+
+    def test_make_rng_seeded_reproducible(self):
+        assert make_rng(7).integers(0, 100) == make_rng(7).integers(0, 100)
+
+    def test_sample_pairs_distinct(self):
+        pairs = sample_pairs(10, 200, make_rng(0))
+        assert len(pairs) == 200
+        assert all(s != t for s, t in pairs)
+        assert all(0 <= s < 10 and 0 <= t < 10 for s, t in pairs)
+
+    def test_sample_pairs_rejects_singleton_distinct(self):
+        with pytest.raises(ValueError):
+            sample_pairs(1, 5, make_rng(0))
+
+    def test_sample_pairs_allows_selfloops_when_not_distinct(self):
+        pairs = sample_pairs(1, 5, make_rng(0), distinct=False)
+        assert pairs == [(0, 0)] * 5
