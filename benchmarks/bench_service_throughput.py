@@ -1,0 +1,69 @@
+"""Serving-layer benchmarks: batch kernel speedup and replay throughput.
+
+The first group quantifies the satellite claim of the serving PR: the
+vectorised label-matrix kernel versus the seed's per-pair Python loop on
+the same 2,000-pair query set. The second group replays the Zipf-hotspot
+stream through the full service in its three configurations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DHLConfig
+from repro.core.index import DHLIndex
+from repro.service import DistanceService, replay, zipf_hotspot_traffic
+
+
+@pytest.mark.benchmark(group="service-batch-kernel")
+@pytest.mark.parametrize("mode", ["per-pair-loop", "vectorised"])
+def test_batch_kernel_speedup(benchmark, mode, dataset, dhl_indexes, query_pairs):
+    index = dhl_indexes[dataset]
+    pairs = query_pairs[dataset]
+    benchmark.extra_info["queries"] = len(pairs)
+
+    if mode == "per-pair-loop":
+        distance = index.engine.distance
+
+        def run():
+            for s, t in pairs:
+                distance(s, t)
+
+    else:
+        index.engine.label_matrix()  # pad once, as the service does per epoch
+
+        def run():
+            index.distances(pairs)
+
+    benchmark(run)
+
+
+MODE_KWARGS = {
+    "uncached": dict(cache_capacity=1),
+    "cached": dict(cache_capacity=65_536),
+    "fine-grained": dict(cache_capacity=65_536, fine_grained_eviction=True),
+}
+
+
+@pytest.mark.benchmark(group="service-throughput")
+@pytest.mark.parametrize("mode", sorted(MODE_KWARGS))
+def test_replay_hotspot_stream(benchmark, mode, dataset, graphs):
+    graph = graphs[dataset]
+    kwargs = MODE_KWARGS[mode]
+
+    def setup():
+        index = DHLIndex.build(graph.copy(), DHLConfig(seed=0))
+        service = DistanceService(index, **kwargs)
+        events = zipf_hotspot_traffic(
+            index.graph, query_batches=20, batch_size=200, seed=1
+        )
+        return (service, events), {}
+
+    def run(service, events):
+        report = replay(service, events)
+        benchmark.extra_info.setdefault("queries", report.queries)
+        benchmark.extra_info["hit_rate"] = round(
+            report.service.cache.hit_rate, 4
+        )
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)

@@ -36,6 +36,7 @@ _EXPORTS = {
     "DHLConfig": "repro.core",
     "IndexStats": "repro.core",
     "DirectedDHLIndex": "repro.core",
+    "DistanceService": "repro.service",
 }
 
 __all__ = [*_EXPORTS, "__version__"]

@@ -74,6 +74,10 @@ class DHLIndex:
         self.config = config
         self._stats = stats
         self._engine = QueryEngine(hq, labels)
+        # Monotone maintenance epoch: bumped once per applied update batch.
+        # The serving layer keys its result cache on it, and the engine's
+        # padded label matrix is refreshed row-wise alongside each bump.
+        self._epoch = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -185,6 +189,16 @@ class DHLIndex:
     def engine(self) -> QueryEngine:
         return self._engine
 
+    @property
+    def epoch(self) -> int:
+        """Number of maintenance batches applied since construction."""
+        return self._epoch
+
+    def _note_maintenance(self, stats: MaintenanceStats) -> MaintenanceStats:
+        self._epoch += 1
+        self._engine.notify_labels_changed(stats.affected_labels)
+        return stats
+
     # ------------------------------------------------------------------
     # dynamic updates
     # ------------------------------------------------------------------
@@ -201,8 +215,10 @@ class DHLIndex:
             return MaintenanceStats()
         workers = self.config.workers if workers is None else workers
         if workers and workers > 1:
-            return apply_decrease_parallel(self.hu, self.labels, batch, workers)
-        return apply_decrease(self.hu, self.labels, batch)
+            stats = apply_decrease_parallel(self.hu, self.labels, batch, workers)
+        else:
+            stats = apply_decrease(self.hu, self.labels, batch)
+        return self._note_maintenance(stats)
 
     def increase(
         self, changes: Iterable[WeightChange], workers: int | None = None
@@ -213,8 +229,10 @@ class DHLIndex:
             return MaintenanceStats()
         workers = self.config.workers if workers is None else workers
         if workers and workers > 1:
-            return apply_increase_parallel(self.hu, self.labels, batch, workers)
-        return apply_increase(self.hu, self.labels, batch)
+            stats = apply_increase_parallel(self.hu, self.labels, batch, workers)
+        else:
+            stats = apply_increase(self.hu, self.labels, batch)
+        return self._note_maintenance(stats)
 
     def update(
         self, changes: Iterable[WeightChange], workers: int | None = None
@@ -238,6 +256,25 @@ class DHLIndex:
         if decreases:
             stats = stats.merge(self.decrease(decreases, workers))
         return stats
+
+    def update_coalesced(
+        self, changes: Iterable[WeightChange], workers: int | None = None
+    ) -> MaintenanceStats:
+        """Apply a raw change stream as one merged batch.
+
+        Duplicate mentions of the same road collapse to their *final*
+        weight (last write wins), so a burst that raises then restores an
+        edge costs nothing; the merged batch then follows :meth:`update`'s
+        increase-then-decrease protocol. Index-level counterpart of the
+        serving layer's streaming :class:`~repro.service.UpdateCoalescer`
+        for callers that batch changes themselves.
+        """
+        final: dict[tuple[int, int], float] = {}
+        for u, v, w in changes:
+            final[(u, v) if u <= v else (v, u)] = w
+        return self.update(
+            [(u, v, w) for (u, v), w in final.items()], workers
+        )
 
     def _validated(
         self, changes: Iterable[WeightChange], expect: str

@@ -25,6 +25,7 @@ from repro.experiments.figures import (
     figure7_scalability,
 )
 from repro.experiments.report import save_results
+from repro.experiments.service import service_scenarios
 from repro.experiments.tables import (
     figure1_summary,
     table1_datasets,
@@ -43,6 +44,7 @@ EXPERIMENTS = {
     "figure5": figure5_weight_sweep,
     "figure6": figure6_query_sets,
     "figure7": figure7_scalability,
+    "service": service_scenarios,
     "verify": verify_correctness,
 }
 

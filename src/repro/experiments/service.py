@@ -1,0 +1,118 @@
+"""Serving-layer scenarios: mixed query/update traffic through the service.
+
+Not a table from the paper — this experiment measures what the ROADMAP's
+production north star asks of the reproduction: sustained throughput and
+tail latency while a :class:`~repro.service.DistanceService` absorbs
+interleaved traffic. For each dataset and traffic shape (uniform,
+Zipf-hotspot, rush-hour) it replays the same event stream through three
+configurations:
+
+* ``loop``   — the seed's per-pair Python loop, no cache (baseline);
+* ``batch``  — the vectorised label-matrix kernel, cache disabled;
+* ``cached`` — batch kernel + epoch-guarded LRU with fine-grained
+  eviction.
+
+All three must produce the same distance checksum; the table reports
+their throughput and latency quantiles side by side.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import DHLConfig
+from repro.core.index import DHLIndex
+from repro.experiments.context import ExperimentContext
+from repro.experiments.report import ascii_table
+from repro.service.service import DistanceService
+from repro.service.workload import (
+    Event,
+    QueryBatch,
+    replay,
+    rush_hour_traffic,
+    uniform_traffic,
+    zipf_hotspot_traffic,
+)
+
+__all__ = ["service_scenarios"]
+
+_SCENARIOS = ("uniform", "hotspot", "rush_hour")
+
+
+def _make_events(name: str, graph, seed: int) -> list[Event]:
+    if name == "uniform":
+        return uniform_traffic(graph, query_batches=30, batch_size=300, seed=seed)
+    if name == "hotspot":
+        return zipf_hotspot_traffic(graph, query_batches=30, batch_size=300, seed=seed)
+    return rush_hour_traffic(graph, cycles=3, peak_batch_size=300, seed=seed)
+
+
+class _LoopService(DistanceService):
+    """The seed's serving behaviour: per-pair scalar loop, no caching."""
+
+    def _batch(self, pairs):  # type: ignore[override]
+        distance = self.index.engine.distance
+        out = np.empty(len(pairs), dtype=np.float64)
+        for idx, (s, t) in enumerate(pairs):
+            out[idx] = distance(s, t)
+        return out
+
+
+def _configurations(graph, config: DHLConfig):
+    def fresh() -> DHLIndex:
+        return DHLIndex.build(graph.copy(), config)
+
+    yield "loop", _LoopService(fresh(), cache_capacity=1)
+    yield "batch", DistanceService(fresh(), cache_capacity=1)
+    yield "cached", DistanceService(
+        fresh(), cache_capacity=65_536, fine_grained_eviction=True
+    )
+
+
+def service_scenarios(ctx: ExperimentContext) -> dict:
+    """Replay each traffic shape through loop / batch / cached services."""
+    rows = []
+    raw: dict[str, dict] = {}
+    config = DHLConfig(seed=ctx.seed)
+    for name in ctx.datasets:
+        graph = ctx.graph(name)
+        raw[name] = {}
+        for scenario in _SCENARIOS:
+            checksums = set()
+            for mode, service in _configurations(graph, config):
+                events = _make_events(scenario, service.index.graph, ctx.seed)
+                report = replay(service, events)
+                checksums.add(round(report.distance_checksum, 6))
+                q = report.service.query_latency
+                raw[name][f"{scenario}/{mode}"] = {
+                    "queries_per_second": report.queries_per_second,
+                    "p50_ms": q.p50_seconds * 1e3,
+                    "p95_ms": q.p95_seconds * 1e3,
+                    "p99_ms": q.p99_seconds * 1e3,
+                    "hit_rate": report.service.cache.hit_rate,
+                    "checksum": report.distance_checksum,
+                }
+                rows.append(
+                    [
+                        name,
+                        scenario,
+                        mode,
+                        f"{report.queries_per_second:,.0f}",
+                        f"{q.p50_seconds * 1e3:.3f}",
+                        f"{q.p95_seconds * 1e3:.3f}",
+                        f"{q.p99_seconds * 1e3:.3f}",
+                        f"{report.service.cache.hit_rate:.1%}",
+                    ]
+                )
+            if len(checksums) != 1:
+                raise AssertionError(
+                    f"{name}/{scenario}: configurations disagree on the "
+                    f"distance checksum: {sorted(checksums)}"
+                )
+    text = ascii_table(
+        ["dataset", "scenario", "mode", "q/s", "p50 ms", "p95 ms", "p99 ms", "hits"],
+        rows,
+        title="Serving layer: batched queries + epoch-guarded cache + "
+        "update coalescing",
+    )
+    return {"experiment": "service", "raw": raw, "rows": rows, "text": text}

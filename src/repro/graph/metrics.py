@@ -12,7 +12,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.baselines.dijkstra import dijkstra
 from repro.graph.graph import Graph
 from repro.graph.traversal import bfs_distances, eccentric_vertex
 
@@ -55,6 +54,10 @@ def approximate_diameter(graph: Graph, sweeps: int = 3) -> tuple[int, float]:
     """
     if graph.num_vertices == 0:
         return 0, 0.0
+    # Imported here: repro.baselines imports repro.graph, so a module-level
+    # import would make the package import order observable (cycle).
+    from repro.baselines.dijkstra import dijkstra
+
     peripheral = eccentric_vertex(graph, 0, sweeps=sweeps)
     hops = bfs_distances(graph, peripheral)
     hop_diameter = max(hops)

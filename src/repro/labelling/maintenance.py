@@ -55,12 +55,17 @@ class MaintenanceStats:
     ``shortcuts_changed`` is the paper's |S-delta|; ``labels_changed`` is
     |L-delta| (distinct label entries whose value changed);
     ``entries_processed`` counts queue pops (search effort).
+    ``affected_labels`` holds the vertices whose label array was modified;
+    a distance ``d(s, t)`` is a pure function of ``L_s`` and ``L_t``, so a
+    cached result is stale only when one of its endpoints is in this set —
+    the serving layer's fine-grained cache eviction relies on it.
     """
 
     shortcuts_changed: int = 0
     labels_changed: int = 0
     entries_processed: int = 0
     affected_shortcuts: dict[ShortcutKey, float] = field(default_factory=dict)
+    affected_labels: set[int] = field(default_factory=set)
 
     def merge(self, other: "MaintenanceStats") -> "MaintenanceStats":
         return MaintenanceStats(
@@ -68,6 +73,7 @@ class MaintenanceStats:
             self.labels_changed + other.labels_changed,
             self.entries_processed + other.entries_processed,
             {**self.affected_shortcuts, **other.affected_shortcuts},
+            self.affected_labels | other.affected_labels,
         )
 
 
@@ -224,12 +230,14 @@ def maintain_labels_decrease(
         shortcuts_changed=len(affected),
         labels_changed=changed,
         affected_shortcuts=affected,
+        affected_labels={v for v, _ in seeds},
     )
     heap: LazyHeap[tuple[int, int]] = LazyHeap()
     for v, i in seeds:
         heap.push((v, i), float(tau[v]))
 
     down = hu.down
+    touched = stats.affected_labels
     while heap:
         (v, i), _ = heap.pop()
         stats.entries_processed += 1
@@ -241,6 +249,7 @@ def maintain_labels_decrease(
             if candidate < row[i]:
                 row[i] = candidate
                 stats.labels_changed += 1
+                touched.add(u)
                 heap.push((u, i), float(tau[u]))
     return stats
 
@@ -318,6 +327,8 @@ def maintain_labels_increase(
                 ):
                     heap.push((u, i), float(tau[u]))
             stats.labels_changed += 1
+        if w_new != old:
+            stats.affected_labels.add(v)
         row[i] = w_new
     return stats
 

@@ -73,14 +73,16 @@ def maintain_labels_decrease_parallel(
         shortcuts_changed=len(affected),
         labels_changed=changed,
         affected_shortcuts=affected,
+        affected_labels={v for v, _ in seeds},
     )
 
-    def process_column(i: int, starts: list[int]) -> tuple[int, int]:
+    def process_column(i: int, starts: list[int]) -> tuple[int, int, set[int]]:
         heap: LazyHeap[int] = LazyHeap()
         for v in starts:
             heap.push(v, float(tau[v]))
         changed_here = 0
         processed = 0
+        touched: set[int] = set()
         while heap:
             v, _ = heap.pop()
             processed += 1
@@ -91,14 +93,16 @@ def maintain_labels_decrease_parallel(
                 if candidate < row[i]:
                     row[i] = candidate
                     changed_here += 1
+                    touched.add(u)
                     heap.push(u, float(tau[u]))
-        return changed_here, processed
+        return changed_here, processed, touched
 
-    for changed_here, processed in _run_columns(
+    for changed_here, processed, touched in _run_columns(
         process_column, _group_by_column(seeds), workers
     ):
         stats.labels_changed += changed_here
         stats.entries_processed += processed
+        stats.affected_labels |= touched
     return stats
 
 
@@ -118,12 +122,13 @@ def maintain_labels_increase_parallel(
         shortcuts_changed=len(affected), affected_shortcuts=affected
     )
 
-    def process_column(i: int, starts: list[int]) -> tuple[int, int]:
+    def process_column(i: int, starts: list[int]) -> tuple[int, int, set[int]]:
         heap: LazyHeap[int] = LazyHeap()
         for v in starts:
             heap.push(v, float(tau[v]))
         changed_here = 0
         processed = 0
+        touched: set[int] = set()
         while heap:
             v, _ = heap.pop()
             processed += 1
@@ -145,14 +150,17 @@ def maintain_labels_increase_parallel(
                     ):
                         heap.push(u, float(tau[u]))
                 changed_here += 1
+            if w_new != old:
+                touched.add(v)
             row[i] = w_new
-        return changed_here, processed
+        return changed_here, processed, touched
 
-    for changed_here, processed in _run_columns(
+    for changed_here, processed, touched in _run_columns(
         process_column, _group_by_column(seed_increase(hu, labels, affected)), workers
     ):
         stats.labels_changed += changed_here
         stats.entries_processed += processed
+        stats.affected_labels |= touched
     return stats
 
 

@@ -7,11 +7,19 @@ Correctness is the restricted 2-hop cover property (Lemma 6.6): some
 common ancestor ``r`` lies on a shortest path, and for it both label
 entries are distances within the subgraph induced by ``desc(r)``, which
 contains that path.
+
+Batch queries go through a second, matrix-shaped path: the ragged label
+arrays are padded once into a contiguous ``(n, h)`` float64 matrix and a
+batch of pairs is answered with two gathers, one add and one masked
+row-min — no Python-level loop over pairs. The matrix is kept in sync
+with maintenance via :meth:`QueryEngine.notify_labels_changed`, which
+re-pads only the rows whose labels actually changed.
 """
 
 from __future__ import annotations
 
 import math
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -20,16 +28,46 @@ from repro.labelling.labels import HierarchicalLabelling
 
 __all__ = ["QueryEngine"]
 
+# The vectorised LCA kernel packs partition bitstrings into int64 and
+# recovers bit lengths through float64 mantissas (np.frexp), both exact
+# only while ``depth + 1 <= 52``. Deeper hierarchies (which would need a
+# ludicrously unbalanced partition tree) fall back to the scalar path.
+_MAX_VECTOR_DEPTH = 50
+
+# Rows per chunk are sized so one ``(chunk, h)`` sum matrix stays around
+# 32 MB regardless of the hierarchy height.
+_CHUNK_CELLS = 4_000_000
+
+
+class _BatchTables:
+    """Numpy renditions of H_Q's per-node tables for the batch kernel."""
+
+    __slots__ = ("node_of", "depth", "bits", "chain", "tau")
+
+    def __init__(self, hq: QueryHierarchy):
+        self.node_of = np.asarray(hq.node_of, dtype=np.int64)
+        self.depth = np.asarray(hq.node_depth, dtype=np.int64)
+        self.bits = np.asarray(hq.node_bits, dtype=np.int64)
+        self.tau = np.asarray(hq.tau, dtype=np.int64)
+        max_depth = int(self.depth.max()) if len(hq.node_depth) else 0
+        chain = np.zeros((hq.num_nodes, max_depth + 1), dtype=np.int64)
+        for nid, prefix in enumerate(hq.node_vend_chain):
+            chain[nid, : len(prefix)] = prefix
+        self.chain = chain
+
 
 class QueryEngine:
     """Binds a query hierarchy and a labelling into a distance oracle."""
 
-    __slots__ = ("hq", "labels", "_arrays")
+    __slots__ = ("hq", "labels", "_arrays", "_tables", "_matrix", "_hub_matrix")
 
     def __init__(self, hq: QueryHierarchy, labels: HierarchicalLabelling):
         self.hq = hq
         self.labels = labels
         self._arrays = labels.arrays
+        self._tables: _BatchTables | None = None
+        self._matrix: np.ndarray | None = None
+        self._hub_matrix: np.ndarray | None = None
 
     def distance(self, s: int, t: int) -> float:
         """Exact shortest-path distance between *s* and *t*.
@@ -64,13 +102,152 @@ class QueryEngine:
             return math.inf, -1
         return best, self.hq.ancestors(s)[i]
 
-    def distances(self, pairs: list[tuple[int, int]]) -> np.ndarray:
-        """Vectorised-over-pairs batch interface."""
-        out = np.empty(len(pairs), dtype=np.float64)
-        distance = self.distance
-        for idx, (s, t) in enumerate(pairs):
-            out[idx] = distance(s, t)
+    # ------------------------------------------------------------------
+    # vectorised batch path
+    # ------------------------------------------------------------------
+    def supports_batch_kernel(self) -> bool:
+        """Whether the int64/frexp bit tricks are exact for this H_Q."""
+        return (not self.hq.node_depth) or max(self.hq.node_depth) <= _MAX_VECTOR_DEPTH
+
+    def _batch_tables(self) -> _BatchTables:
+        if self._tables is None:
+            self._tables = _BatchTables(self.hq)
+        return self._tables
+
+    def label_matrix(self) -> np.ndarray:
+        """The labels padded into an inf-filled ``(n, h)`` float64 matrix.
+
+        Built lazily on the first batch query; maintenance keeps it fresh
+        through :meth:`notify_labels_changed` instead of re-padding all of
+        it per epoch.
+        """
+        if self._matrix is None:
+            n = self.labels.num_vertices
+            h = self.hq.height
+            matrix = np.full((n, max(1, h)), np.inf, dtype=np.float64)
+            for v, row in enumerate(self._arrays):
+                matrix[v, : len(row)] = row
+            self._matrix = matrix
+        return self._matrix
+
+    def hub_matrix(self) -> np.ndarray:
+        """``hub_matrix[v, i]`` = the rank-``i`` ancestor of ``v`` (-1 pad).
+
+        Ancestor chains depend only on H_Q, which weight maintenance never
+        alters, so this matrix is built once and never invalidated.
+        """
+        if self._hub_matrix is None:
+            n = self.labels.num_vertices
+            h = self.hq.height
+            hubs = np.full((n, max(1, h)), -1, dtype=np.int64)
+            for v in range(n):
+                chain = self.hq.ancestors(v)
+                hubs[v, : len(chain)] = chain
+            self._hub_matrix = hubs
+        return self._hub_matrix
+
+    def notify_labels_changed(self, vertices: Iterable[int] | None = None) -> None:
+        """Refresh the padded matrix after label maintenance.
+
+        ``vertices`` are the rows to re-pad (``MaintenanceStats.
+        affected_labels``); ``None`` drops the whole matrix, forcing a
+        rebuild on the next batch query.
+        """
+        if self._matrix is None:
+            return
+        if vertices is None:
+            self._matrix = None
+            return
+        matrix = self._matrix
+        for v in vertices:
+            row = self._arrays[v]
+            matrix[v, : len(row)] = row
+
+    def common_ancestor_counts(self, s: np.ndarray, t: np.ndarray) -> np.ndarray:
+        """Vectorised ``|anc(s) ∩ anc(t)|`` over pair arrays.
+
+        Mirrors :meth:`QueryHierarchy.common_ancestor_count`: the LCA
+        depth comes from xor-ing depth-aligned bitstrings, with
+        ``bit_length`` recovered from the float64 exponent (exact below
+        2**53, guaranteed by the ``supports_batch_kernel`` gate).
+        """
+        tables = self._batch_tables()
+        ns = tables.node_of[s]
+        nt = tables.node_of[t]
+        ds = tables.depth[ns]
+        dt = tables.depth[nt]
+        d = np.minimum(ds, dt)
+        diff = (tables.bits[ns] >> (ds - d)) ^ (tables.bits[nt] >> (dt - d))
+        shift = np.zeros_like(diff)
+        nz = diff != 0
+        if nz.any():
+            shift[nz] = np.frexp(diff[nz].astype(np.float64))[1]
+        lca_depth = d - shift
+        vend = tables.chain[ns, lca_depth]
+        return np.minimum(np.minimum(tables.tau[s], tables.tau[t]), vend - 1) + 1
+
+    def _batch_kernel(
+        self, s: np.ndarray, t: np.ndarray, want_hubs: bool
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        matrix = self.label_matrix()
+        hubs_table = self.hub_matrix() if want_hubs else None
+        k = self.common_ancestor_counts(s, t)
+        count = len(s)
+        h = matrix.shape[1]
+        out = np.empty(count, dtype=np.float64)
+        hubs = np.full(count, -1, dtype=np.int64) if want_hubs else None
+        columns = np.arange(h, dtype=np.int64)
+        chunk = max(1, _CHUNK_CELLS // max(1, h))
+        for lo in range(0, count, chunk):
+            sl = slice(lo, min(lo + chunk, count))
+            sums = matrix[s[sl]] + matrix[t[sl]]
+            # Columns at or past k are ancestors of only one endpoint (or
+            # padding); masking them to inf makes the row-min range-exact.
+            np.copyto(sums, np.inf, where=columns >= k[sl, None])
+            if want_hubs:
+                best = np.argmin(sums, axis=1)
+                out[sl] = sums[np.arange(len(best)), best]
+                hubs[sl] = hubs_table[s[sl], best]
+            else:
+                out[sl] = sums.min(axis=1)
+        same = s == t
+        if same.any():
+            out[same] = 0.0
+        if want_hubs:
+            hubs[same | np.isinf(out)] = -1
+        return out, hubs
+
+    def distances(self, pairs: Sequence[tuple[int, int]]) -> np.ndarray:
+        """Batch distances, vectorised over pairs through the label matrix."""
+        pairs = list(pairs)
+        if not pairs:
+            return np.empty(0, dtype=np.float64)
+        if not self.supports_batch_kernel():
+            out = np.empty(len(pairs), dtype=np.float64)
+            distance = self.distance
+            for idx, (s, t) in enumerate(pairs):
+                out[idx] = distance(s, t)
+            return out
+        arr = np.asarray(pairs, dtype=np.int64)
+        out, _ = self._batch_kernel(arr[:, 0], arr[:, 1], want_hubs=False)
         return out
+
+    def distances_with_hubs(
+        self, pairs: Sequence[tuple[int, int]]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batch ``(distances, hubs)``; hub is -1 for self/disconnected pairs."""
+        pairs = list(pairs)
+        if not pairs:
+            return np.empty(0, dtype=np.float64), np.empty(0, dtype=np.int64)
+        if not self.supports_batch_kernel():
+            out = np.empty(len(pairs), dtype=np.float64)
+            hubs = np.empty(len(pairs), dtype=np.int64)
+            for idx, (s, t) in enumerate(pairs):
+                out[idx], hubs[idx] = self.distance_with_hub(s, t)
+            return out, hubs
+        arr = np.asarray(pairs, dtype=np.int64)
+        out, hubs = self._batch_kernel(arr[:, 0], arr[:, 1], want_hubs=True)
+        return out, hubs
 
     def search_space_size(self, s: int, t: int) -> int:
         """Number of label entries inspected for the pair (paper's 'hops')."""

@@ -1,0 +1,52 @@
+"""Online serving layer on top of the DHL index.
+
+The paper's claim is sub-millisecond exact distances *while* absorbing a
+stream of weight updates; this package turns that capability into a
+service:
+
+* :class:`DistanceService` — batched query facade with an epoch-guarded
+  result cache and an update coalescer (:mod:`repro.service.service`);
+* :class:`EpochLRUCache` — LRU result cache with O(1) watermark or
+  fine-grained per-vertex invalidation (:mod:`repro.service.cache`);
+* :class:`UpdateCoalescer` — folds redundant change streams into one
+  maintenance batch (:mod:`repro.service.coalescer`);
+* :mod:`repro.service.workload` — uniform / Zipf-hotspot / rush-hour
+  traffic generators and the :func:`replay` driver;
+* :mod:`repro.service.metrics` — latency percentile recorders.
+"""
+
+from repro.service.cache import CacheStats, EpochLRUCache
+from repro.service.coalescer import CoalescedBatch, CoalescerStats, UpdateCoalescer
+from repro.service.metrics import LatencyRecorder, LatencySummary, Timer
+from repro.service.service import DistanceService, ServiceStats
+from repro.service.workload import (
+    Event,
+    QueryBatch,
+    ReplayReport,
+    UpdateBatch,
+    replay,
+    rush_hour_traffic,
+    uniform_traffic,
+    zipf_hotspot_traffic,
+)
+
+__all__ = [
+    "CacheStats",
+    "EpochLRUCache",
+    "CoalescedBatch",
+    "CoalescerStats",
+    "UpdateCoalescer",
+    "LatencyRecorder",
+    "LatencySummary",
+    "Timer",
+    "DistanceService",
+    "ServiceStats",
+    "Event",
+    "QueryBatch",
+    "UpdateBatch",
+    "ReplayReport",
+    "replay",
+    "rush_hour_traffic",
+    "uniform_traffic",
+    "zipf_hotspot_traffic",
+]

@@ -1,0 +1,155 @@
+"""Epoch-guarded LRU cache for distance query results.
+
+Every cached entry is stamped with the index maintenance epoch it was
+computed at. Invalidation has two modes:
+
+* **global** (:meth:`EpochLRUCache.invalidate_all`) — O(1): a watermark
+  is raised to the new epoch and stale entries are dropped lazily on
+  their next lookup;
+* **fine-grained** (:meth:`EpochLRUCache.evict_vertices`) — only entries
+  with an endpoint (or cached hub) in the affected-vertex set are
+  removed. A distance ``d(s, t)`` is a pure function of the two label
+  arrays ``L_s`` and ``L_t``, so entries whose endpoints kept their
+  labels stay exact across the update — this is what lets a serving
+  cache survive localised traffic updates with its hit rate intact.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["CacheStats", "EpochLRUCache"]
+
+PairKey = tuple[int, int]
+# (distance, hub vertex, epoch stamped at insertion)
+CacheEntry = tuple[float, int, int]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    hits: int
+    misses: int
+    size: int
+    capacity: int
+    lru_evictions: int
+    invalidated: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.size}/{self.capacity} entries, "
+            f"hit rate {self.hit_rate:.1%} "
+            f"({self.hits} hits / {self.misses} misses), "
+            f"{self.lru_evictions} LRU evictions, "
+            f"{self.invalidated} invalidated"
+        )
+
+
+class EpochLRUCache:
+    """LRU map from (undirected) vertex pairs to distance results."""
+
+    __slots__ = (
+        "_data",
+        "capacity",
+        "_watermark",
+        "_hits",
+        "_misses",
+        "_lru_evictions",
+        "_invalidated",
+    )
+
+    def __init__(self, capacity: int = 65_536):
+        if capacity <= 0:
+            raise ValueError("cache capacity must be positive")
+        self._data: OrderedDict[PairKey, CacheEntry] = OrderedDict()
+        self.capacity = capacity
+        self._watermark = 0
+        self._hits = 0
+        self._misses = 0
+        self._lru_evictions = 0
+        self._invalidated = 0
+
+    # -- lookups --------------------------------------------------------
+    def get(self, key: PairKey) -> CacheEntry | None:
+        entry = self._data.get(key)
+        if entry is None:
+            self._misses += 1
+            return None
+        if entry[2] < self._watermark:
+            # Stale under the global watermark: drop lazily.
+            del self._data[key]
+            self._invalidated += 1
+            self._misses += 1
+            return None
+        self._data.move_to_end(key)
+        self._hits += 1
+        return entry
+
+    def put(self, key: PairKey, distance: float, hub: int, epoch: int) -> None:
+        data = self._data
+        if key in data:
+            data.move_to_end(key)
+        data[key] = (distance, hub, epoch)
+        while len(data) > self.capacity:
+            data.popitem(last=False)
+            self._lru_evictions += 1
+
+    # -- invalidation ---------------------------------------------------
+    def invalidate_all(self, epoch: int) -> None:
+        """Mark every entry older than *epoch* stale (lazy, O(1))."""
+        if epoch > self._watermark:
+            self._watermark = epoch
+
+    def evict_vertices(self, affected: Iterable[int]) -> int:
+        """Remove entries touching *affected* vertices; returns the count.
+
+        An entry is removed when either endpoint or its cached hub lies
+        in the set. The endpoint test alone is sufficient for
+        correctness; the hub test additionally drops entries whose
+        witnessing shortcut moved, keeping the policy aligned with
+        ``MaintenanceStats.affected_shortcuts``.
+        """
+        affected = set(affected)
+        if not affected:
+            return 0
+        doomed = [
+            key
+            for key, (_, hub, _) in self._data.items()
+            if key[0] in affected or key[1] in affected or hub in affected
+        ]
+        for key in doomed:
+            del self._data[key]
+        self._invalidated += len(doomed)
+        return len(doomed)
+
+    def clear(self) -> None:
+        self._invalidated += len(self._data)
+        self._data.clear()
+
+    # -- introspection --------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: PairKey) -> bool:
+        entry = self._data.get(key)
+        return entry is not None and entry[2] >= self._watermark
+
+    @property
+    def watermark(self) -> int:
+        return self._watermark
+
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            size=len(self._data),
+            capacity=self.capacity,
+            lru_evictions=self._lru_evictions,
+            invalidated=self._invalidated,
+        )

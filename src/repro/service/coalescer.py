@@ -1,0 +1,123 @@
+"""Update coalescing: fold a change stream into one maintenance batch.
+
+Live traffic feeds produce redundant weight changes — the same road
+segment re-reported every few seconds, congestion that clears before
+anyone queried it. Applying each change individually pays the full
+DHL+/DHL- propagation cost every time; coalescing folds the stream into
+its *net effect* first:
+
+* duplicate mentions of an edge collapse to the final weight (last
+  write wins), merging at submission time so the buffer never grows
+  beyond the number of distinct touched edges;
+* changes whose final weight equals the current graph weight are
+  dropped as no-ops at flush time (raise-then-restore costs nothing);
+* the surviving batch splits into increase and decrease sets and runs
+  through Algorithms 2-5 once, in the paper's increase-then-decrease
+  order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.graph.graph import Graph
+
+__all__ = ["CoalescerStats", "CoalescedBatch", "UpdateCoalescer"]
+
+WeightChange = tuple[int, int, float]
+EdgeKey = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class CoalescerStats:
+    submitted: int
+    merged_duplicates: int
+    noops_dropped: int
+    flushes: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.submitted} submitted, "
+            f"{self.merged_duplicates} duplicates merged, "
+            f"{self.noops_dropped} no-ops dropped, "
+            f"{self.flushes} flushes"
+        )
+
+
+@dataclass
+class CoalescedBatch:
+    """Net effect of a drained buffer against a concrete graph state."""
+
+    increases: list[WeightChange] = field(default_factory=list)
+    decreases: list[WeightChange] = field(default_factory=list)
+    noops: int = 0
+
+    @property
+    def size(self) -> int:
+        return len(self.increases) + len(self.decreases)
+
+    def changes(self) -> list[WeightChange]:
+        """Increases first, then decreases (the paper's batch protocol)."""
+        return [*self.increases, *self.decreases]
+
+
+class UpdateCoalescer:
+    """Streaming buffer of ``(u, v, new_weight)`` with per-edge merging."""
+
+    __slots__ = ("_pending", "_submitted", "_merged", "_flushes", "_noops")
+
+    def __init__(self) -> None:
+        self._pending: dict[EdgeKey, float] = {}
+        self._submitted = 0
+        self._merged = 0
+        self._flushes = 0
+        self._noops = 0
+
+    # -- intake ---------------------------------------------------------
+    def add(self, u: int, v: int, weight: float) -> None:
+        key = (u, v) if u <= v else (v, u)
+        self._submitted += 1
+        if key in self._pending:
+            self._merged += 1
+        self._pending[key] = float(weight)
+
+    def add_many(self, changes: Iterable[WeightChange]) -> None:
+        for u, v, w in changes:
+            self.add(u, v, w)
+
+    # -- drain ----------------------------------------------------------
+    def drain(self, graph: Graph) -> CoalescedBatch:
+        """Empty the buffer into its net batch against *graph*'s weights."""
+        batch = CoalescedBatch()
+        for (u, v), w in self._pending.items():
+            current = graph.weight(u, v)
+            if w > current:
+                batch.increases.append((u, v, w))
+            elif w < current:
+                batch.decreases.append((u, v, w))
+            else:
+                batch.noops += 1
+        self._pending.clear()
+        self._noops += batch.noops
+        self._flushes += 1
+        return batch
+
+    # -- introspection --------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __bool__(self) -> bool:
+        return bool(self._pending)
+
+    @property
+    def pending_edges(self) -> int:
+        return len(self._pending)
+
+    def stats(self) -> CoalescerStats:
+        return CoalescerStats(
+            submitted=self._submitted,
+            merged_duplicates=self._merged,
+            noops_dropped=self._noops,
+            flushes=self._flushes,
+        )

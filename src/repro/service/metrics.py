@@ -1,0 +1,127 @@
+"""Serving-side metrics: latency percentiles and throughput.
+
+The serving layer reports the numbers an operator of a distance service
+actually watches: per-call latency quantiles (p50/p95/p99), sustained
+operation throughput, and cache effectiveness. Latencies are recorded
+per *service call* (a batch of pairs is one call), while throughput is
+per individual operation, so a batched engine shows both its amortised
+win and its worst-case tail.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LatencySummary", "LatencyRecorder", "Timer"]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Aggregated view of one :class:`LatencyRecorder`."""
+
+    calls: int
+    operations: int
+    total_seconds: float
+    mean_seconds: float
+    p50_seconds: float
+    p95_seconds: float
+    p99_seconds: float
+    max_seconds: float
+
+    @property
+    def throughput(self) -> float:
+        """Operations per second of wall time spent inside calls."""
+        if self.total_seconds <= 0.0:
+            return 0.0
+        return self.operations / self.total_seconds
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "calls": self.calls,
+            "operations": self.operations,
+            "total_seconds": self.total_seconds,
+            "mean_seconds": self.mean_seconds,
+            "p50_seconds": self.p50_seconds,
+            "p95_seconds": self.p95_seconds,
+            "p99_seconds": self.p99_seconds,
+            "max_seconds": self.max_seconds,
+            "throughput": self.throughput,
+        }
+
+    def __str__(self) -> str:
+        if not self.calls:
+            return "no calls recorded"
+        return (
+            f"{self.calls} calls / {self.operations} ops, "
+            f"{self.throughput:,.0f} ops/s, "
+            f"p50 {self.p50_seconds * 1e3:.3f} ms, "
+            f"p95 {self.p95_seconds * 1e3:.3f} ms, "
+            f"p99 {self.p99_seconds * 1e3:.3f} ms"
+        )
+
+
+class LatencyRecorder:
+    """Accumulates per-call latencies with their operation counts."""
+
+    __slots__ = ("_latencies", "_operations")
+
+    def __init__(self) -> None:
+        self._latencies: list[float] = []
+        self._operations = 0
+
+    def record(self, seconds: float, operations: int = 1) -> None:
+        self._latencies.append(float(seconds))
+        self._operations += int(operations)
+
+    @property
+    def calls(self) -> int:
+        return len(self._latencies)
+
+    @property
+    def operations(self) -> int:
+        return self._operations
+
+    def percentile(self, p: float) -> float:
+        if not self._latencies:
+            return 0.0
+        return float(np.percentile(np.asarray(self._latencies), p))
+
+    def summary(self) -> LatencySummary:
+        if not self._latencies:
+            return LatencySummary(0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        arr = np.asarray(self._latencies)
+        p50, p95, p99 = np.percentile(arr, [50, 95, 99])
+        return LatencySummary(
+            calls=len(arr),
+            operations=self._operations,
+            total_seconds=float(arr.sum()),
+            mean_seconds=float(arr.mean()),
+            p50_seconds=float(p50),
+            p95_seconds=float(p95),
+            p99_seconds=float(p99),
+            max_seconds=float(arr.max()),
+        )
+
+    def clear(self) -> None:
+        self._latencies.clear()
+        self._operations = 0
+
+
+class Timer:
+    """``with Timer() as t: ...`` — elapsed wall time in ``t.seconds``."""
+
+    __slots__ = ("seconds", "_start")
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.seconds = time.perf_counter() - self._start

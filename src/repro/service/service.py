@@ -1,0 +1,290 @@
+"""`DistanceService` — the online serving layer over a DHL index.
+
+Fronts :class:`~repro.core.index.DHLIndex` with the three mechanisms a
+query-heavy dynamic service needs:
+
+1. **batched queries** — a batch of pairs is answered through the
+   engine's padded label matrix with numpy reductions (duplicate pairs
+   inside a batch are computed once);
+2. **an epoch-guarded result cache** — repeated pairs are served from an
+   LRU keyed on the index maintenance epoch; invalidation is either a
+   lazy O(1) watermark bump or fine-grained eviction of only the pairs
+   whose endpoints/hub were touched by the update;
+3. **update coalescing** — incoming weight changes buffer in an
+   :class:`~repro.service.coalescer.UpdateCoalescer` and apply as one
+   merged increase+decrease pass (Algorithms 2-5) when a query needs
+   fresh state, the buffer hits ``flush_threshold``, or :meth:`flush`
+   is called.
+
+Queries always reflect every submitted update: by default the service
+flushes pending changes before answering, so coalescing trades no
+consistency — it only batches work between queries.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.index import DHLIndex
+from repro.labelling.maintenance import MaintenanceStats
+from repro.service.cache import CacheStats, EpochLRUCache
+from repro.service.coalescer import CoalescerStats, UpdateCoalescer
+from repro.service.metrics import LatencyRecorder, LatencySummary, Timer
+
+__all__ = ["ServiceStats", "DistanceService"]
+
+WeightChange = tuple[int, int, float]
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Point-in-time operational snapshot of a :class:`DistanceService`."""
+
+    epoch: int
+    queries: int
+    batches: int
+    cache: CacheStats
+    coalescer: CoalescerStats
+    query_latency: LatencySummary
+    update_latency: LatencySummary
+    shortcuts_changed: int
+    labels_changed: int
+
+    def summary(self) -> str:
+        return "\n".join(
+            [
+                f"epoch {self.epoch}: {self.queries} queries in "
+                f"{self.batches} calls",
+                f"  queries : {self.query_latency}",
+                f"  updates : {self.update_latency}",
+                f"  cache   : {self.cache}",
+                f"  coalesce: {self.coalescer}",
+                f"  applied : {self.shortcuts_changed} shortcuts, "
+                f"{self.labels_changed} label entries",
+            ]
+        )
+
+
+class DistanceService:
+    """Batched, cached, update-coalescing facade over a DHL index.
+
+    Parameters
+    ----------
+    index:
+        The built index; the service owns its update path (submit weight
+        changes through the service, not the index, or flush manually).
+    cache_capacity:
+        Maximum cached pair results (LRU beyond that).
+    fine_grained_eviction:
+        When True, a flush evicts only cached pairs whose endpoint or
+        hub was touched by the update (``MaintenanceStats``'s affected
+        label vertices and shortcut endpoints); when False, the whole
+        cache is invalidated by an O(1) epoch watermark bump.
+    flush_threshold:
+        Auto-flush once this many distinct edges are buffered.
+    auto_flush_on_query:
+        Flush pending updates before answering queries so results always
+        reflect submitted traffic. Disable only for workloads that
+        tolerate bounded staleness between flushes.
+    workers:
+        Thread count forwarded to the parallel maintenance variants.
+    """
+
+    def __init__(
+        self,
+        index: DHLIndex,
+        *,
+        cache_capacity: int = 65_536,
+        fine_grained_eviction: bool = False,
+        flush_threshold: int = 256,
+        auto_flush_on_query: bool = True,
+        workers: int | None = None,
+    ):
+        self.index = index
+        self.cache = EpochLRUCache(cache_capacity)
+        self.coalescer = UpdateCoalescer()
+        self.fine_grained_eviction = fine_grained_eviction
+        self.flush_threshold = max(1, flush_threshold)
+        self.auto_flush_on_query = auto_flush_on_query
+        self.workers = workers
+        self.query_latency = LatencyRecorder()
+        self.update_latency = LatencyRecorder()
+        self._queries = 0
+        self._batches = 0
+        self._shortcuts_changed = 0
+        self._labels_changed = 0
+        # Last index epoch this service reconciled its cache against.
+        # Updates applied directly on the index (structural ops, another
+        # caller) advance the epoch without telling us which pairs moved,
+        # so any drift forces a conservative full invalidation.
+        self._synced_epoch = index.epoch
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        return self.index.epoch
+
+    def distance(self, s: int, t: int) -> float:
+        """Single-pair distance through the cache."""
+        self._pre_query()
+        with Timer() as timer:
+            value = self._cached_distance(s, t)
+        self._queries += 1
+        self._batches += 1
+        self.query_latency.record(timer.seconds, 1)
+        return value
+
+    def distances(self, pairs: Sequence[tuple[int, int]]) -> np.ndarray:
+        """Batch distances: cache lookups, then one vectorised miss pass."""
+        pairs = list(pairs)
+        self._pre_query()
+        with Timer() as timer:
+            out = self._batch(pairs)
+        self._queries += len(pairs)
+        self._batches += 1
+        self.query_latency.record(timer.seconds, max(1, len(pairs)))
+        return out
+
+    def _cached_distance(self, s: int, t: int) -> float:
+        if s == t:
+            return 0.0
+        key = (s, t) if s <= t else (t, s)
+        entry = self.cache.get(key)
+        if entry is not None:
+            return entry[0]
+        # Hubs only earn their cost when fine-grained eviction reads them.
+        if self.fine_grained_eviction:
+            value, hub = self.index.engine.distance_with_hub(s, t)
+        else:
+            value, hub = self.index.engine.distance(s, t), -1
+        self.cache.put(key, value, hub, self.index.epoch)
+        return value
+
+    def _batch(self, pairs: list[tuple[int, int]]) -> np.ndarray:
+        out = np.empty(len(pairs), dtype=np.float64)
+        cache = self.cache
+        # Positions needing computation, grouped by normalised key so a
+        # hotspot pair repeated inside one batch is computed only once.
+        miss_positions: dict[tuple[int, int], list[int]] = {}
+        for idx, (s, t) in enumerate(pairs):
+            if s == t:
+                out[idx] = 0.0
+                continue
+            key = (s, t) if s <= t else (t, s)
+            entry = cache.get(key)
+            if entry is not None:
+                out[idx] = entry[0]
+            else:
+                miss_positions.setdefault(key, []).append(idx)
+        if miss_positions:
+            keys = list(miss_positions)
+            if self.fine_grained_eviction:
+                values, hubs = self.index.engine.distances_with_hubs(keys)
+                hubs = hubs.tolist()
+            else:
+                values = self.index.engine.distances(keys)
+                hubs = [-1] * len(keys)
+            epoch = self.index.epoch
+            for key, value, hub in zip(keys, values, hubs):
+                cache.put(key, float(value), int(hub), epoch)
+                for idx in miss_positions[key]:
+                    out[idx] = value
+        return out
+
+    def k_nearest(
+        self, s: int, candidates: Sequence[int], k: int
+    ) -> list[tuple[int, float]]:
+        """The *k* candidates closest to *s*, through the cached batch path."""
+        distances = self.distances([(s, c) for c in candidates])
+        order = np.argsort(distances, kind="stable")
+        out: list[tuple[int, float]] = []
+        for i in order[: max(0, k)]:
+            if not math.isfinite(distances[i]):
+                break
+            out.append((candidates[int(i)], float(distances[i])))
+        return out
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def submit(self, u: int, v: int, weight: float) -> None:
+        """Buffer one weight change; auto-flushes at ``flush_threshold``."""
+        self.coalescer.add(u, v, weight)
+        if self.coalescer.pending_edges >= self.flush_threshold:
+            self.flush()
+
+    def submit_many(self, changes: Iterable[WeightChange]) -> None:
+        for u, v, w in changes:
+            self.submit(u, v, w)
+
+    @property
+    def pending_updates(self) -> int:
+        return self.coalescer.pending_edges
+
+    def flush(self) -> MaintenanceStats:
+        """Apply buffered changes as one coalesced batch; evict the cache."""
+        self._reconcile_epoch_drift()
+        if not self.coalescer:
+            return MaintenanceStats()
+        batch = self.coalescer.drain(self.index.graph)
+        if not batch.size:
+            return MaintenanceStats()
+        with Timer() as timer:
+            stats = self.index.update(batch.changes(), self.workers)
+        self.update_latency.record(timer.seconds, batch.size)
+        self._shortcuts_changed += stats.shortcuts_changed
+        self._labels_changed += stats.labels_changed
+        if self.fine_grained_eviction:
+            affected = set(stats.affected_labels)
+            for v, w in stats.affected_shortcuts:
+                affected.add(v)
+                affected.add(w)
+            self.cache.evict_vertices(affected)
+        else:
+            self.cache.invalidate_all(self.index.epoch)
+        self._synced_epoch = self.index.epoch
+        return stats
+
+    def _pre_query(self) -> None:
+        if self.auto_flush_on_query and self.coalescer:
+            self.flush()
+        self._reconcile_epoch_drift()
+
+    def _reconcile_epoch_drift(self) -> None:
+        # An epoch advance this service did not perform means someone
+        # updated the index directly; we cannot know which pairs moved,
+        # so the whole cache is conservatively invalidated. Runs at the
+        # top of flush() too — fine-grained eviction only covers the
+        # service's own batch and must not absorb foreign updates.
+        epoch = self.index.epoch
+        if epoch != self._synced_epoch:
+            self.cache.invalidate_all(epoch)
+            self._synced_epoch = epoch
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> ServiceStats:
+        return ServiceStats(
+            epoch=self.index.epoch,
+            queries=self._queries,
+            batches=self._batches,
+            cache=self.cache.stats(),
+            coalescer=self.coalescer.stats(),
+            query_latency=self.query_latency.summary(),
+            update_latency=self.update_latency.summary(),
+            shortcuts_changed=self._shortcuts_changed,
+            labels_changed=self._labels_changed,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - repr sugar
+        return (
+            f"DistanceService(epoch={self.index.epoch}, "
+            f"cached={len(self.cache)}, pending={self.pending_updates})"
+        )
