@@ -1,69 +1,243 @@
-"""Serving-layer benchmarks: batch kernel speedup and replay throughput.
+"""Serving-layer benchmarks: batch kernel throughput and replay streams.
 
-The first group quantifies the satellite claim of the serving PR: the
-vectorised label-matrix kernel versus the seed's per-pair Python loop on
-the same 2,000-pair query set. The second group replays the Zipf-hotspot
-stream through the full service in its three configurations.
+The kernel group compares three ways to answer the same query set: the
+per-pair Python loop, the previous generation's padded ``(n, h)`` label
+matrix (kept here as a reference implementation), and the current
+zero-copy kernel that gathers straight from the flat CSR label store.
+The replay group runs the Zipf-hotspot stream through the full service
+in its three cache configurations.
+
+Run under pytest-benchmark for the full protocol, or standalone for the
+CI perf-regression gate::
+
+    python benchmarks/bench_service_throughput.py --quick --out BENCH_service.json
+
+The quick mode times the three kernels plus a service replay with
+best-of-N wall-clock loops (no pytest-benchmark dependency) and writes
+one JSON document that ``check_service_regression.py`` compares against
+the committed baseline.
 """
 
 from __future__ import annotations
 
-import pytest
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
 
 from repro.core.config import DHLConfig
 from repro.core.index import DHLIndex
-from repro.service import DistanceService, replay, zipf_hotspot_traffic
 
 
-@pytest.mark.benchmark(group="service-batch-kernel")
-@pytest.mark.parametrize("mode", ["per-pair-loop", "vectorised"])
-def test_batch_kernel_speedup(benchmark, mode, dataset, dhl_indexes, query_pairs):
-    index = dhl_indexes[dataset]
-    pairs = query_pairs[dataset]
-    benchmark.extra_info["queries"] = len(pairs)
-
-    if mode == "per-pair-loop":
-        distance = index.engine.distance
-
-        def run():
-            for s, t in pairs:
-                distance(s, t)
-
-    else:
-        index.engine.label_matrix()  # pad once, as the service does per epoch
-
-        def run():
-            index.distances(pairs)
-
-    benchmark(run)
+def padded_matrix(index) -> np.ndarray:
+    """The labels padded into an inf-filled ``(n, h)`` float64 matrix —
+    the storage scheme the flat store replaced, kept as a benchmark
+    reference."""
+    labels = index.labels
+    n = labels.num_vertices
+    h = max(1, index.hq.height)
+    matrix = np.full((n, h), np.inf, dtype=np.float64)
+    for v in range(n):
+        row = labels.view(v)
+        matrix[v, : len(row)] = row
+    return matrix
 
 
-MODE_KWARGS = {
-    "uncached": dict(cache_capacity=1),
-    "cached": dict(cache_capacity=65_536),
-    "fine-grained": dict(cache_capacity=65_536, fine_grained_eviction=True),
-}
+def padded_kernel(index, matrix: np.ndarray, s: np.ndarray, t: np.ndarray):
+    """Reference batch kernel over the padded matrix (two row gathers,
+    one add, one masked row-min over the full hierarchy height)."""
+    k = index.engine.common_ancestor_counts(s, t)
+    columns = np.arange(matrix.shape[1], dtype=np.int64)
+    sums = matrix[s] + matrix[t]
+    np.copyto(sums, np.inf, where=columns >= k[:, None])
+    out = sums.min(axis=1)
+    out[s == t] = 0.0
+    return out
 
 
-@pytest.mark.benchmark(group="service-throughput")
-@pytest.mark.parametrize("mode", sorted(MODE_KWARGS))
-def test_replay_hotspot_stream(benchmark, mode, dataset, graphs):
-    graph = graphs[dataset]
-    kwargs = MODE_KWARGS[mode]
+# ---------------------------------------------------------------------------
+# pytest-benchmark groups
+# ---------------------------------------------------------------------------
 
-    def setup():
-        index = DHLIndex.build(graph.copy(), DHLConfig(seed=0))
-        service = DistanceService(index, **kwargs)
-        events = zipf_hotspot_traffic(
-            index.graph, query_batches=20, batch_size=200, seed=1
+try:
+    import pytest
+except ImportError:  # pragma: no cover - standalone quick mode
+    pytest = None
+
+
+if pytest is not None:
+
+    @pytest.mark.benchmark(group="service-batch-kernel")
+    @pytest.mark.parametrize(
+        "mode", ["per-pair-loop", "padded-matrix", "zero-copy"]
+    )
+    def test_batch_kernel_speedup(benchmark, mode, dataset, dhl_indexes, query_pairs):
+        index = dhl_indexes[dataset]
+        pairs = query_pairs[dataset]
+        arr = np.asarray(pairs, dtype=np.int64)
+        s, t = arr[:, 0].copy(), arr[:, 1].copy()
+        benchmark.extra_info["queries"] = len(pairs)
+
+        if mode == "per-pair-loop":
+            distance = index.engine.distance
+
+            def run():
+                for pair in pairs:
+                    distance(*pair)
+
+        elif mode == "padded-matrix":
+            matrix = padded_matrix(index)  # padded once, used per call
+
+            def run():
+                padded_kernel(index, matrix, s, t)
+
+        else:
+
+            def run():
+                index.engine._batch_kernel(s, t, want_hubs=False)
+
+        benchmark(run)
+
+    MODE_KWARGS = {
+        "uncached": dict(cache_capacity=1),
+        "cached": dict(cache_capacity=65_536),
+        "fine-grained": dict(cache_capacity=65_536, fine_grained_eviction=True),
+    }
+
+    @pytest.mark.benchmark(group="service-throughput")
+    @pytest.mark.parametrize("mode", sorted(MODE_KWARGS))
+    def test_replay_hotspot_stream(benchmark, mode, dataset, graphs):
+        from repro.service import DistanceService, replay, zipf_hotspot_traffic
+
+        graph = graphs[dataset]
+        kwargs = MODE_KWARGS[mode]
+
+        def setup():
+            index = DHLIndex.build(graph.copy(), DHLConfig(seed=0))
+            service = DistanceService(index, **kwargs)
+            events = zipf_hotspot_traffic(
+                index.graph, query_batches=20, batch_size=200, seed=1
+            )
+            return (service, events), {}
+
+        def run(service, events):
+            report = replay(service, events)
+            benchmark.extra_info.setdefault("queries", report.queries)
+            benchmark.extra_info["hit_rate"] = round(
+                report.service.cache.hit_rate, 4
+            )
+
+        benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+
+
+# ---------------------------------------------------------------------------
+# standalone quick mode (CI perf-regression gate)
+# ---------------------------------------------------------------------------
+
+def _best_seconds(fn, repeats: int) -> float:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def run_quick(
+    dataset: str = "FLA",
+    num_pairs: int = 20_000,
+    repeats: int = 9,
+) -> dict:
+    """Measure kernel and replay throughput; returns the JSON payload."""
+    from repro.datasets.synthetic import load_dataset
+    from repro.experiments.workloads import random_query_pairs
+    from repro.service import DistanceService, replay, zipf_hotspot_traffic
+
+    graph = load_dataset(dataset)
+    index = DHLIndex.build(graph.copy(), DHLConfig(seed=0))
+    pairs = random_query_pairs(graph.num_vertices, num_pairs, seed=1)
+    arr = np.asarray(pairs, dtype=np.int64)
+    s, t = arr[:, 0].copy(), arr[:, 1].copy()
+    engine = index.engine
+
+    # Scalar loop on a subset (it is orders of magnitude slower).
+    loop_pairs = pairs[: max(1, num_pairs // 10)]
+    distance = engine.distance
+
+    def per_pair():
+        for pair in loop_pairs:
+            distance(*pair)
+
+    matrix = padded_matrix(index)
+    reference = padded_kernel(index, matrix, s, t)
+    current = engine._batch_kernel(s, t, want_hubs=False)[0]
+    if not np.array_equal(reference, current):
+        raise AssertionError("zero-copy kernel disagrees with padded reference")
+
+    per_pair_qps = len(loop_pairs) / _best_seconds(per_pair, max(3, repeats // 3))
+    padded_qps = num_pairs / _best_seconds(
+        lambda: padded_kernel(index, matrix, s, t), repeats
+    )
+    zero_copy_qps = num_pairs / _best_seconds(
+        lambda: engine._batch_kernel(s, t, want_hubs=False), repeats
+    )
+
+    service = DistanceService(index, cache_capacity=65_536)
+    events = zipf_hotspot_traffic(
+        index.graph, query_batches=20, batch_size=200, seed=1
+    )
+    replay_start = time.perf_counter()
+    report = replay(service, events)
+    replay_qps = report.queries / (time.perf_counter() - replay_start)
+
+    return {
+        "meta": {
+            "dataset": dataset,
+            "n": graph.num_vertices,
+            "m": graph.num_edges,
+            "pairs": num_pairs,
+            "height": index.hq.height,
+            "python": platform.python_version(),
+            "mode": "quick",
+        },
+        "metrics": {
+            "per_pair_qps": round(per_pair_qps, 1),
+            "padded_qps": round(padded_qps, 1),
+            "zero_copy_qps": round(zero_copy_qps, 1),
+            "zero_copy_over_padded": round(zero_copy_qps / padded_qps, 3),
+            "zero_copy_over_per_pair": round(zero_copy_qps / per_pair_qps, 3),
+            "replay_qps": round(replay_qps, 1),
+            "cache_hit_rate": round(report.service.cache.hit_rate, 4),
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="run the CI quick profile"
+    )
+    parser.add_argument("--dataset", default="FLA")
+    parser.add_argument("--pairs", type=int, default=20_000)
+    parser.add_argument("--repeats", type=int, default=9)
+    parser.add_argument(
+        "--out", type=Path, default=Path("BENCH_service.json"),
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    if not args.quick:
+        parser.error(
+            "run under pytest for the full protocol, or pass --quick "
+            "for the standalone CI profile"
         )
-        return (service, events), {}
+    payload = run_quick(args.dataset, args.pairs, args.repeats)
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload["metrics"], indent=2))
+    return 0
 
-    def run(service, events):
-        report = replay(service, events)
-        benchmark.extra_info.setdefault("queries", report.queries)
-        benchmark.extra_info["hit_rate"] = round(
-            report.service.cache.hit_rate, 4
-        )
 
-    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,101 @@
+"""CI perf-regression gate over ``BENCH_service.json``.
+
+Compares a fresh quick-mode run of ``bench_service_throughput.py``
+against the committed baseline. Vectorised throughput metrics
+(``*_qps`` except the pure-interpreter ``per_pair_qps``) may not fall
+below ``baseline / tolerance`` — the tolerance is deliberately generous
+(1.5x by default, ``REPRO_BENCH_TOLERANCE`` to override) because CI
+runners are noisy; the gate exists to catch order-of-kernel regressions
+(an accidental padded copy, a per-pair fallback), not single-digit
+jitter.
+
+Two ratio invariants are also enforced, because they are
+machine-independent:
+
+* the zero-copy kernel must at least match the padded-matrix reference;
+* the batch kernel must stay well above the per-pair loop.
+
+Usage::
+
+    python benchmarks/check_service_regression.py CURRENT BASELINE
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+DEFAULT_TOLERANCE = 1.5
+# The zero-copy kernel must not fall below the padded reference; a hair
+# of slack absorbs scheduler noise on shared CI runners.
+MIN_ZERO_COPY_OVER_PADDED = 1.0
+MIN_ZERO_COPY_OVER_PER_PAIR = 3.0
+
+
+def check(current: dict, baseline: dict, tolerance: float) -> list[str]:
+    failures: list[str] = []
+    cur = current["metrics"]
+    base = baseline["metrics"]
+    for key, reference in base.items():
+        if not key.endswith("_qps"):
+            continue
+        # The scalar loop is pure interpreter work — the most
+        # machine-sensitive number of the set and not a serving path.
+        # Its regressions surface through zero_copy_over_per_pair below.
+        if key == "per_pair_qps":
+            continue
+        value = cur.get(key)
+        if value is None:
+            failures.append(f"{key}: missing from current run")
+            continue
+        floor = reference / tolerance
+        if value < floor:
+            failures.append(
+                f"{key}: {value:,.0f} qps < floor {floor:,.0f} "
+                f"(baseline {reference:,.0f} / tolerance {tolerance})"
+            )
+    ratio = cur.get("zero_copy_over_padded", 0.0)
+    if ratio < MIN_ZERO_COPY_OVER_PADDED:
+        failures.append(
+            f"zero_copy_over_padded: {ratio} < {MIN_ZERO_COPY_OVER_PADDED} "
+            "(flat-store kernel slower than the padded-matrix reference)"
+        )
+    speedup = cur.get("zero_copy_over_per_pair", 0.0)
+    if speedup < MIN_ZERO_COPY_OVER_PER_PAIR:
+        failures.append(
+            f"zero_copy_over_per_pair: {speedup} < {MIN_ZERO_COPY_OVER_PER_PAIR} "
+            "(batch kernel barely beats the scalar loop)"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", type=Path, help="fresh BENCH_service.json")
+    parser.add_argument("baseline", type=Path, help="committed baseline JSON")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("REPRO_BENCH_TOLERANCE", DEFAULT_TOLERANCE)),
+    )
+    args = parser.parse_args(argv)
+
+    current = json.loads(args.current.read_text())
+    baseline = json.loads(args.baseline.read_text())
+    failures = check(current, baseline, args.tolerance)
+
+    print(f"baseline : {baseline['metrics']}")
+    print(f"current  : {current['metrics']}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure}", file=sys.stderr)
+        return 1
+    print(f"OK — within {args.tolerance}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,7 +17,6 @@ Run with::
 
 from __future__ import annotations
 
-import math
 import time
 
 import numpy as np
@@ -68,7 +67,7 @@ def main() -> None:
                 changes.append((u, v, target))
 
         start = time.perf_counter()
-        stats = index.update(changes)
+        index.update(changes)
         update_seconds = time.perf_counter() - start
 
         start = time.perf_counter()

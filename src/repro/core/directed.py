@@ -27,6 +27,7 @@ same algorithms. Concretely:
 from __future__ import annotations
 
 import math
+from pathlib import Path
 from typing import Iterable
 
 import numpy as np
@@ -187,7 +188,7 @@ class DirectedDHLIndex:
                 va = work[v][a]  # v -> a
                 av = work[a][v]  # a -> v
                 del work[a][v]
-                for b in nbrs[i + 1:]:
+                for b in nbrs[i + 1 :]:
                     vb = work[v][b]
                     bv = work[b][v]
                     ab = av + vb  # a -> v -> b
@@ -229,7 +230,7 @@ class DirectedDHLIndex:
         k = self.hq.common_ancestor_count(s, t)
         if k <= 0:
             return math.inf
-        total = self.labels_out.arrays[s][:k] + self.labels_in.arrays[t][:k]
+        total = self.labels_out.view(s)[:k] + self.labels_in.view(t)[:k]
         return float(total.min())
 
     def distances(self, pairs: Iterable[tuple[int, int]]) -> np.ndarray:
@@ -403,6 +404,23 @@ class DirectedDHLIndex:
         if decreases:
             stats = stats.merge(self.decrease(decreases, workers))
         return stats
+
+    # ------------------------------------------------------------------
+    # persistence and introspection
+    # ------------------------------------------------------------------
+    def save(self, path: "str | Path") -> None:
+        """Persist the directed index (manifest + npz + flat label npy)."""
+        from repro.core.serialization import save_directed_index
+
+        save_directed_index(self, Path(path))
+
+    @classmethod
+    def load(cls, path: "str | Path", mmap_labels: bool = False) -> "DirectedDHLIndex":
+        """Load an index written by :meth:`save`; ``mmap_labels`` maps the
+        two label stores read-only for near-instant start-up."""
+        from repro.core.serialization import load_directed_index
+
+        return load_directed_index(Path(path), mmap_labels=mmap_labels)
 
     def stats(self) -> IndexStats:
         self._refresh_size_stats()

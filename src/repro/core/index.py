@@ -75,8 +75,9 @@ class DHLIndex:
         self._stats = stats
         self._engine = QueryEngine(hq, labels)
         # Monotone maintenance epoch: bumped once per applied update batch.
-        # The serving layer keys its result cache on it, and the engine's
-        # padded label matrix is refreshed row-wise alongside each bump.
+        # The serving layer keys its result cache on it; the batch kernel
+        # itself needs no refresh — it gathers from the flat label store
+        # that maintenance writes into.
         self._epoch = 0
 
     # ------------------------------------------------------------------
@@ -196,7 +197,6 @@ class DHLIndex:
 
     def _note_maintenance(self, stats: MaintenanceStats) -> MaintenanceStats:
         self._epoch += 1
-        self._engine.notify_labels_changed(stats.affected_labels)
         return stats
 
     # ------------------------------------------------------------------
@@ -338,11 +338,16 @@ class DHLIndex:
         save_index(self, Path(path))
 
     @classmethod
-    def load(cls, path: str | Path) -> "DHLIndex":
-        """Load an index previously written by :meth:`save`."""
+    def load(cls, path: str | Path, mmap_labels: bool = False) -> "DHLIndex":
+        """Load an index previously written by :meth:`save`.
+
+        ``mmap_labels=True`` memory-maps the label store read-only, so
+        queries run straight off the snapshot without loading it into
+        RAM; the first update materialises a writable copy.
+        """
         from repro.core.serialization import load_index
 
-        return load_index(Path(path))
+        return load_index(Path(path), mmap_labels=mmap_labels)
 
     def rebuild(self) -> "DHLIndex":
         """Construct a fresh index over the current graph (same config)."""

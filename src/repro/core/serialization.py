@@ -1,10 +1,22 @@
-"""Index persistence: JSON manifest + npz arrays in a directory.
+"""Index persistence: JSON manifest + npz arrays + flat label snapshots.
 
 The format is explicit (no pickle): a ``manifest.json`` with scalar
 metadata and the partition-node bitstrings (arbitrary-precision ints are
-stored as decimal strings), plus an ``arrays.npz`` holding every numeric
-table. Ragged structures (labels, shortcut lists, node members) are
-flattened with offset arrays.
+stored as decimal strings), an ``arrays.npz`` holding the hierarchy and
+shortcut tables (ragged structures flattened with offset arrays), and
+the labelling dumped as bare ``.npy`` files — ``label_values.npy`` plus
+``label_offsets.npy`` — exactly the flat CSR store's two arrays.
+
+Dumping the label store as uncompressed ``.npy`` is what enables the
+memory-map fast path: ``load_index(path, mmap_labels=True)`` opens the
+value buffer with ``np.load(mmap_mode="r")``, so a saved index starts
+serving queries near-instantly (label pages fault in on demand) while
+maintenance transparently materialises a writable copy on first update
+(:meth:`HierarchicalLabelling.ensure_writable`).
+
+Both the undirected :class:`~repro.core.index.DHLIndex` and the
+directed :class:`~repro.core.directed.DirectedDHLIndex` persist here;
+the manifest's ``kind`` field tells the loaders apart.
 """
 
 from __future__ import annotations
@@ -15,15 +27,21 @@ from pathlib import Path
 import numpy as np
 
 from repro.exceptions import SerializationError
+from repro.graph.digraph import DiGraph
 from repro.graph.io import graph_from_json, graph_to_json
 from repro.hierarchy.contraction import ContractionResult
 from repro.hierarchy.query_hierarchy import QueryHierarchy
 from repro.hierarchy.update_hierarchy import UpdateHierarchy
 from repro.labelling.labels import HierarchicalLabelling
 
-__all__ = ["save_index", "load_index"]
+__all__ = [
+    "save_index",
+    "load_index",
+    "save_directed_index",
+    "load_directed_index",
+]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
 
 
 def _flatten_ragged(rows: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
@@ -34,85 +52,45 @@ def _flatten_ragged(rows: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
 
 
 def _unflatten(flat: np.ndarray, offsets: np.ndarray) -> list[np.ndarray]:
-    return [flat[offsets[i]:offsets[i + 1]] for i in range(len(offsets) - 1)]
+    return [flat[offsets[i] : offsets[i + 1]] for i in range(len(offsets) - 1)]
 
 
-def save_index(index, path: Path) -> None:
-    """Write *index* (a :class:`~repro.core.index.DHLIndex`) to *path*."""
-    path.mkdir(parents=True, exist_ok=True)
-    hq = index.hq
-    hu = index.hu
-    labels = index.labels
+def _save_labels(path: Path, labels: HierarchicalLabelling, prefix: str) -> None:
+    """Dump the flat store as two bare .npy files (mmap-able on load)."""
+    values, offsets = labels.packed()
+    np.save(path / f"{prefix}_values.npy", np.ascontiguousarray(values))
+    np.save(path / f"{prefix}_offsets.npy", offsets)
 
-    label_flat, label_offsets = _flatten_ragged(labels.arrays)
-    up_rows = [np.asarray(u, dtype=np.int64) for u in hu.up]
-    up_flat, up_offsets = _flatten_ragged(up_rows)
-    wup_rows = [
-        np.asarray([hu.wup[v][u] for u in hu.up[v]], dtype=np.float64)
-        for v in range(len(hu.up))
-    ]
-    wup_flat, _ = _flatten_ragged(wup_rows)
+
+def _load_labels(
+    path: Path, prefix: str, tau: np.ndarray, mmap: bool
+) -> HierarchicalLabelling:
+    values_path = path / f"{prefix}_values.npy"
+    offsets_path = path / f"{prefix}_offsets.npy"
+    if not values_path.exists() or not offsets_path.exists():
+        raise SerializationError(f"{path} is missing the {prefix} label snapshot")
+    mode = "r" if mmap else None
+    values = np.load(values_path, mmap_mode=mode)
+    offsets = np.load(offsets_path)
+    return HierarchicalLabelling(values, offsets, np.diff(offsets), tau)
+
+
+def _hq_payload(hq: QueryHierarchy) -> dict[str, np.ndarray]:
     member_rows = [np.asarray(m, dtype=np.int64) for m in hq.node_members]
     members_flat, members_offsets = _flatten_ragged(member_rows)
-
-    np.savez_compressed(
-        path / "arrays.npz",
-        tau=hq.tau,
-        node_of=hq.node_of,
-        node_depth=np.asarray(hq.node_depth, dtype=np.int64),
-        node_vstart=np.asarray(hq.node_vstart, dtype=np.int64),
-        node_vend=np.asarray(hq.node_vend, dtype=np.int64),
-        node_parent=np.asarray(hq.node_parent, dtype=np.int64),
-        members_flat=members_flat,
-        members_offsets=members_offsets,
-        order=hu.order,
-        up_flat=up_flat,
-        up_offsets=up_offsets,
-        wup_flat=wup_flat,
-        label_flat=label_flat,
-        label_offsets=label_offsets,
-    )
-    manifest = {
-        "format_version": _FORMAT_VERSION,
-        "n": index.graph.num_vertices,
-        "config": {
-            "beta": index.config.beta,
-            "leaf_size": index.config.leaf_size,
-            "seed": index.config.seed,
-            "coarsest_size": index.config.coarsest_size,
-            "workers": index.config.workers,
-            "validate": index.config.validate,
-        },
-        # Bitstrings can exceed 64 bits for deep trees: store as strings.
-        "node_bits": [str(b) for b in hq.node_bits],
-        "graph": json.loads(graph_to_json(index.graph)),
+    return {
+        "tau": hq.tau,
+        "node_of": hq.node_of,
+        "node_depth": np.asarray(hq.node_depth, dtype=np.int64),
+        "node_vstart": np.asarray(hq.node_vstart, dtype=np.int64),
+        "node_vend": np.asarray(hq.node_vend, dtype=np.int64),
+        "node_parent": np.asarray(hq.node_parent, dtype=np.int64),
+        "members_flat": members_flat,
+        "members_offsets": members_offsets,
     }
-    (path / "manifest.json").write_text(json.dumps(manifest))
 
 
-def load_index(path: Path):
-    """Load a :class:`~repro.core.index.DHLIndex` saved by :func:`save_index`."""
-    from repro.core.config import DHLConfig
-    from repro.core.index import DHLIndex
-    from repro.core.stats import IndexStats
-
-    manifest_path = path / "manifest.json"
-    arrays_path = path / "arrays.npz"
-    if not manifest_path.exists() or not arrays_path.exists():
-        raise SerializationError(f"{path} does not contain a saved DHL index")
-    try:
-        manifest = json.loads(manifest_path.read_text())
-    except json.JSONDecodeError as exc:
-        raise SerializationError(f"corrupt manifest: {exc}") from exc
-    if manifest.get("format_version") != _FORMAT_VERSION:
-        raise SerializationError(
-            f"unsupported format version {manifest.get('format_version')!r}"
-        )
-    data = np.load(arrays_path)
-    graph = graph_from_json(json.dumps(manifest["graph"]))
-    config = DHLConfig(**manifest["config"])
-
-    n = manifest["n"]
+def _hq_from_payload(data, node_bits: list[int], n: int) -> QueryHierarchy:
     member_rows = _unflatten(data["members_flat"], data["members_offsets"])
     node_parent = data["node_parent"].tolist()
     node_vend = data["node_vend"].tolist()
@@ -125,18 +103,110 @@ def load_index(path: Path):
             node_vend_chain.append(
                 np.append(node_vend_chain[parent], node_vend[nid])
             )
-    hq = QueryHierarchy(
+    return QueryHierarchy(
         n,
         data["tau"],
         data["node_of"],
         data["node_depth"].tolist(),
-        [int(b) for b in manifest["node_bits"]],
+        node_bits,
         data["node_vstart"].tolist(),
         node_vend,
         node_parent,
         [m.tolist() for m in member_rows],
         node_vend_chain,
     )
+
+
+def _config_payload(config) -> dict:
+    return {
+        "beta": config.beta,
+        "leaf_size": config.leaf_size,
+        "seed": config.seed,
+        "coarsest_size": config.coarsest_size,
+        "workers": config.workers,
+        "validate": config.validate,
+    }
+
+
+def _read_manifest(path: Path, expected_kind: str) -> dict:
+    manifest_path = path / "manifest.json"
+    arrays_path = path / "arrays.npz"
+    if not manifest_path.exists() or not arrays_path.exists():
+        raise SerializationError(f"{path} does not contain a saved DHL index")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"corrupt manifest: {exc}") from exc
+    if manifest.get("format_version") != _FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported format version {manifest.get('format_version')!r}"
+        )
+    kind = manifest.get("kind", "undirected")
+    if kind != expected_kind:
+        raise SerializationError(
+            f"{path} holds a {kind} index; expected {expected_kind}"
+        )
+    return manifest
+
+
+# ---------------------------------------------------------------------------
+# undirected DHLIndex
+# ---------------------------------------------------------------------------
+
+def save_index(index, path: Path) -> None:
+    """Write *index* (a :class:`~repro.core.index.DHLIndex`) to *path*."""
+    path.mkdir(parents=True, exist_ok=True)
+    hq = index.hq
+    hu = index.hu
+
+    up_rows = [np.asarray(u, dtype=np.int64) for u in hu.up]
+    up_flat, up_offsets = _flatten_ragged(up_rows)
+    wup_rows = [
+        np.asarray([hu.wup[v][u] for u in hu.up[v]], dtype=np.float64)
+        for v in range(len(hu.up))
+    ]
+    wup_flat, _ = _flatten_ragged(wup_rows)
+
+    np.savez_compressed(
+        path / "arrays.npz",
+        order=hu.order,
+        up_flat=up_flat,
+        up_offsets=up_offsets,
+        wup_flat=wup_flat,
+        **_hq_payload(hq),
+    )
+    _save_labels(path, index.labels, "label")
+    manifest = {
+        "format_version": _FORMAT_VERSION,
+        "kind": "undirected",
+        "n": index.graph.num_vertices,
+        "config": _config_payload(index.config),
+        # Bitstrings can exceed 64 bits for deep trees: store as strings.
+        "node_bits": [str(b) for b in hq.node_bits],
+        "graph": json.loads(graph_to_json(index.graph)),
+    }
+    (path / "manifest.json").write_text(json.dumps(manifest))
+
+
+def load_index(path: Path, mmap_labels: bool = False):
+    """Load a :class:`~repro.core.index.DHLIndex` saved by :func:`save_index`.
+
+    With ``mmap_labels=True`` the label value buffer is opened with
+    ``np.load(mmap_mode="r")``: load returns near-instantly and queries
+    stream label pages off disk; the first maintenance batch materialises
+    a writable in-memory copy.
+    """
+    from repro.core.config import DHLConfig
+    from repro.core.index import DHLIndex
+    from repro.core.stats import IndexStats
+
+    manifest = _read_manifest(path, "undirected")
+    data = np.load(path / "arrays.npz")
+    graph = graph_from_json(json.dumps(manifest["graph"]))
+    config = DHLConfig(**manifest["config"])
+
+    n = manifest["n"]
+    hq = _hq_from_payload(data, [int(b) for b in manifest["node_bits"]], n)
 
     order = data["order"]
     rank = np.empty(n, dtype=np.int64)
@@ -146,16 +216,130 @@ def load_index(path: Path):
     wup_flat = data["wup_flat"]
     offsets = data["up_offsets"]
     wup = [
-        dict(zip(up[v], wup_flat[offsets[v]:offsets[v + 1]].tolist()))
+        dict(zip(up[v], wup_flat[offsets[v] : offsets[v + 1]].tolist()))
         for v in range(n)
     ]
     base = ContractionResult(graph, order, rank, up, wup)
     hu = UpdateHierarchy(base, hq)
 
-    label_rows = _unflatten(data["label_flat"], data["label_offsets"])
-    labels = HierarchicalLabelling([np.array(r) for r in label_rows], hq.tau)
+    labels = _load_labels(path, "label", hq.tau, mmap_labels)
 
     stats = IndexStats(num_vertices=n, num_edges=graph.num_edges)
     index = DHLIndex(graph, hq, hu, labels, config, stats)
+    index._refresh_size_stats()
+    return index
+
+
+# ---------------------------------------------------------------------------
+# directed DirectedDHLIndex
+# ---------------------------------------------------------------------------
+
+def save_directed_index(index, path: Path) -> None:
+    """Write a :class:`~repro.core.directed.DirectedDHLIndex` to *path*."""
+    path.mkdir(parents=True, exist_ok=True)
+    hq = index.hq
+    n = index.digraph.num_vertices
+
+    up_rows = [np.asarray(u, dtype=np.int64) for u in index.up]
+    up_flat, up_offsets = _flatten_ragged(up_rows)
+    wout_rows = [
+        np.asarray([index.wout[v][u] for u in index.up[v]], dtype=np.float64)
+        for v in range(n)
+    ]
+    win_rows = [
+        np.asarray([index.win[v][u] for u in index.up[v]], dtype=np.float64)
+        for v in range(n)
+    ]
+    wout_flat, _ = _flatten_ragged(wout_rows)
+    win_flat, _ = _flatten_ragged(win_rows)
+
+    arcs = list(index.digraph.arcs())
+    arc_src = np.asarray([a for a, _, _ in arcs], dtype=np.int64)
+    arc_dst = np.asarray([b for _, b, _ in arcs], dtype=np.int64)
+    arc_weight = np.asarray([w for _, _, w in arcs], dtype=np.float64)
+
+    extra = {}
+    if index.digraph.coords is not None:
+        extra["coords"] = index.digraph.coords
+    np.savez_compressed(
+        path / "arrays.npz",
+        up_flat=up_flat,
+        up_offsets=up_offsets,
+        wout_flat=wout_flat,
+        win_flat=win_flat,
+        arc_src=arc_src,
+        arc_dst=arc_dst,
+        arc_weight=arc_weight,
+        **_hq_payload(hq),
+        **extra,
+    )
+    _save_labels(path, index.labels_out, "label_out")
+    _save_labels(path, index.labels_in, "label_in")
+    manifest = {
+        "format_version": _FORMAT_VERSION,
+        "kind": "directed",
+        "n": n,
+        "config": _config_payload(index.config),
+        "node_bits": [str(b) for b in hq.node_bits],
+    }
+    (path / "manifest.json").write_text(json.dumps(manifest))
+
+
+def load_directed_index(path: Path, mmap_labels: bool = False):
+    """Load an index saved by :func:`save_directed_index`.
+
+    The same ``mmap_labels`` fast path as :func:`load_index` applies to
+    both direction stores.
+    """
+    from repro.core.config import DHLConfig
+    from repro.core.directed import DirectedDHLIndex
+    from repro.core.stats import IndexStats
+
+    manifest = _read_manifest(path, "directed")
+    data = np.load(path / "arrays.npz")
+    config = DHLConfig(**manifest["config"])
+    n = manifest["n"]
+
+    coords = data["coords"] if "coords" in data else None
+    digraph = DiGraph(n, coords)
+    for a, b, w in zip(
+        data["arc_src"].tolist(),
+        data["arc_dst"].tolist(),
+        data["arc_weight"].tolist(),
+    ):
+        digraph.add_arc(a, b, w)
+
+    hq = _hq_from_payload(data, [int(b) for b in manifest["node_bits"]], n)
+    order = hq.contraction_order()
+    rank = np.empty(n, dtype=np.int64)
+    rank[order] = np.arange(n)
+
+    up_rows = _unflatten(data["up_flat"], data["up_offsets"])
+    up = [row.tolist() for row in up_rows]
+    offsets = data["up_offsets"]
+    wout_flat = data["wout_flat"]
+    win_flat = data["win_flat"]
+    wout = [
+        dict(zip(up[v], wout_flat[offsets[v] : offsets[v + 1]].tolist()))
+        for v in range(n)
+    ]
+    win = [
+        dict(zip(up[v], win_flat[offsets[v] : offsets[v + 1]].tolist()))
+        for v in range(n)
+    ]
+    down: list[list[int]] = [[] for _ in range(n)]
+    for v in range(n):
+        for u in up[v]:
+            down[u].append(v)
+    down_sets = [set(d) for d in down]
+
+    labels_out = _load_labels(path, "label_out", hq.tau, mmap_labels)
+    labels_in = _load_labels(path, "label_in", hq.tau, mmap_labels)
+
+    stats = IndexStats(num_vertices=n, num_edges=digraph.num_arcs)
+    index = DirectedDHLIndex(
+        digraph, hq, rank, up, down, down_sets, wout, win,
+        labels_out, labels_in, config, stats,
+    )
     index._refresh_size_stats()
     return index

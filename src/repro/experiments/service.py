@@ -27,7 +27,6 @@ from repro.experiments.report import ascii_table
 from repro.service.service import DistanceService
 from repro.service.workload import (
     Event,
-    QueryBatch,
     replay,
     rush_hour_traffic,
     uniform_traffic,

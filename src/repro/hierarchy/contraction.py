@@ -205,7 +205,7 @@ def min_degree_order(graph: Graph) -> list[int]:
         nbrs = [u for u in work[v] if not contracted[u]]
         for i, u in enumerate(nbrs):
             work[u].discard(v)
-            for x in nbrs[i + 1:]:
+            for x in nbrs[i + 1 :]:
                 if x not in work[u]:
                     work[u].add(x)
                     work[x].add(u)

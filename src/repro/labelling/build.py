@@ -25,11 +25,18 @@ def build_labelling(hu: UpdateHierarchy) -> HierarchicalLabelling:
     ancestor — equivalently the interval-subgraph distance of
     Definition 4.11 (by Lemma 6.3 / Corollary 6.5).
     """
-    tau = hu.tau
+    tau = np.asarray(hu.tau, dtype=np.int64)
     n = len(tau)
-    arrays = [np.full(int(tau[v]) + 1, np.inf, dtype=np.float64) for v in range(n)]
-    for v in range(n):
-        arrays[v][int(tau[v])] = 0.0
+    # Labels are built straight into the flat CSR store: lengths are
+    # known upfront (tau + 1), so the whole buffer is allocated once and
+    # the diagonal is written with a single scatter.
+    lengths = tau + 1
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    values = np.full(int(offsets[-1]), np.inf, dtype=np.float64)
+    values[offsets[:-1] + tau] = 0.0
+    labels = HierarchicalLabelling(values, offsets, lengths, tau)
+    arrays = labels.views()
 
     # Lines 3-4: copy shortcut weights. wup is keyed on the deeper
     # endpoint (contracted earlier), matching tau(v) > tau(w).
@@ -46,4 +53,4 @@ def build_labelling(hu: UpdateHierarchy) -> HierarchicalLabelling:
             weight = hu.wup[v][w]
             k = int(tau[w]) + 1
             np.minimum(row[:k], weight + arrays[w], out=row[:k])
-    return HierarchicalLabelling(arrays, tau)
+    return labels

@@ -198,7 +198,8 @@ def seed_decrease(
     number of changed entries.
     """
     tau = hu.tau
-    arrays = labels.arrays
+    labels.ensure_writable()
+    arrays = labels.views()
     seeds: list[tuple[int, int]] = []
     changed = 0
     for (v, w), _old in affected.items():
@@ -224,7 +225,8 @@ def maintain_labels_decrease(
 ) -> MaintenanceStats:
     """Algorithm 4 — DHL- label maintenance under weight decrease."""
     tau = hu.tau
-    arrays = labels.arrays
+    labels.ensure_writable()
+    arrays = labels.views()
     seeds, changed = seed_decrease(hu, labels, affected)
     stats = MaintenanceStats(
         shortcuts_changed=len(affected),
@@ -266,7 +268,7 @@ def seed_increase(
     Labels are not modified here.
     """
     tau = hu.tau
-    arrays = labels.arrays
+    arrays = labels.views()
     seeds: list[tuple[int, int]] = []
     for (v, w), old in affected.items():
         tw = int(tau[w])
@@ -294,7 +296,8 @@ def maintain_labels_increase(
     by path-sum equality.
     """
     tau = hu.tau
-    arrays = labels.arrays
+    labels.ensure_writable()
+    arrays = labels.views()
     stats = MaintenanceStats(
         shortcuts_changed=len(affected), affected_shortcuts=affected
     )

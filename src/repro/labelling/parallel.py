@@ -65,7 +65,8 @@ def maintain_labels_decrease_parallel(
     of the label entry ``L_u[v]``, justified by Lemma 6.3).
     """
     tau = hu.tau
-    arrays = labels.arrays
+    labels.ensure_writable()
+    arrays = labels.views()
     down = hu.down
     wup = hu.wup
     seeds, changed = seed_decrease(hu, labels, affected)
@@ -114,7 +115,8 @@ def maintain_labels_increase_parallel(
 ) -> MaintenanceStats:
     """Algorithm 7 — column-partitioned DHL+ label maintenance."""
     tau = hu.tau
-    arrays = labels.arrays
+    labels.ensure_writable()
+    arrays = labels.views()
     up = hu.up
     down = hu.down
     wup = hu.wup

@@ -68,7 +68,7 @@ class PathReconstructor:
     # ------------------------------------------------------------------
     def _chain_path(self, v: int, rank: int) -> list[int]:
         """Original-graph path from *v* up to its rank-``rank`` ancestor."""
-        arrays = self.labels.arrays
+        arrays = self.labels.views()
         tau = self.hu.tau
         wup = self.hu.wup
         path = [v]

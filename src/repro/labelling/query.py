@@ -8,18 +8,18 @@ common ancestor ``r`` lies on a shortest path, and for it both label
 entries are distances within the subgraph induced by ``desc(r)``, which
 contains that path.
 
-Batch queries go through a second, matrix-shaped path: the ragged label
-arrays are padded once into a contiguous ``(n, h)`` float64 matrix and a
-batch of pairs is answered with two gathers, one add and one masked
-row-min — no Python-level loop over pairs. The matrix is kept in sync
-with maintenance via :meth:`QueryEngine.notify_labels_changed`, which
-re-pads only the rows whose labels actually changed.
+Batch queries gather *directly* from the labelling's flat CSR store: the
+entry ``L_v[i]`` lives at ``values[offsets[v] + i]``, so a batch of
+pairs is answered with two fancy-indexed gathers, one add and one masked
+row-min — no padded label-matrix copy, no Python-level loop over pairs,
+and nothing to re-sync after maintenance (the kernel reads the live
+buffer that the maintenance algorithms write into).
 """
 
 from __future__ import annotations
 
 import math
-from typing import Iterable, Sequence
+from typing import Sequence
 
 import numpy as np
 
@@ -59,15 +59,14 @@ class _BatchTables:
 class QueryEngine:
     """Binds a query hierarchy and a labelling into a distance oracle."""
 
-    __slots__ = ("hq", "labels", "_arrays", "_tables", "_matrix", "_hub_matrix")
+    __slots__ = ("hq", "labels", "_tables", "_hub_values", "_hub_offsets")
 
     def __init__(self, hq: QueryHierarchy, labels: HierarchicalLabelling):
         self.hq = hq
         self.labels = labels
-        self._arrays = labels.arrays
         self._tables: _BatchTables | None = None
-        self._matrix: np.ndarray | None = None
-        self._hub_matrix: np.ndarray | None = None
+        self._hub_values: np.ndarray | None = None
+        self._hub_offsets: np.ndarray | None = None
 
     def distance(self, s: int, t: int) -> float:
         """Exact shortest-path distance between *s* and *t*.
@@ -80,7 +79,8 @@ class QueryEngine:
         k = self.hq.common_ancestor_count(s, t)
         if k <= 0:
             return math.inf
-        total = self._arrays[s][:k] + self._arrays[t][:k]
+        labels = self.labels
+        total = labels.view(s)[:k] + labels.view(t)[:k]
         return float(total.min())
 
     def distance_with_hub(self, s: int, t: int) -> tuple[float, int]:
@@ -95,7 +95,8 @@ class QueryEngine:
         k = self.hq.common_ancestor_count(s, t)
         if k <= 0:
             return math.inf, -1
-        total = self._arrays[s][:k] + self._arrays[t][:k]
+        labels = self.labels
+        total = labels.view(s)[:k] + labels.view(t)[:k]
         i = int(np.argmin(total))
         best = float(total[i])
         if math.isinf(best):
@@ -114,54 +115,27 @@ class QueryEngine:
             self._tables = _BatchTables(self.hq)
         return self._tables
 
-    def label_matrix(self) -> np.ndarray:
-        """The labels padded into an inf-filled ``(n, h)`` float64 matrix.
+    def hub_store(self) -> tuple[np.ndarray, np.ndarray]:
+        """Flat ancestor-chain store: ``(hub_values, hub_offsets)``.
 
-        Built lazily on the first batch query; maintenance keeps it fresh
-        through :meth:`notify_labels_changed` instead of re-padding all of
-        it per epoch.
+        ``hub_values[hub_offsets[v] + i]`` is the rank-``i`` ancestor of
+        ``v`` — the same CSR shape as the labelling, but with its own
+        packed offsets (label slots may carry slack). Ancestor chains
+        depend only on H_Q, which weight maintenance never alters, so the
+        store is built once and never invalidated.
         """
-        if self._matrix is None:
-            n = self.labels.num_vertices
-            h = self.hq.height
-            matrix = np.full((n, max(1, h)), np.inf, dtype=np.float64)
-            for v, row in enumerate(self._arrays):
-                matrix[v, : len(row)] = row
-            self._matrix = matrix
-        return self._matrix
-
-    def hub_matrix(self) -> np.ndarray:
-        """``hub_matrix[v, i]`` = the rank-``i`` ancestor of ``v`` (-1 pad).
-
-        Ancestor chains depend only on H_Q, which weight maintenance never
-        alters, so this matrix is built once and never invalidated.
-        """
-        if self._hub_matrix is None:
-            n = self.labels.num_vertices
-            h = self.hq.height
-            hubs = np.full((n, max(1, h)), -1, dtype=np.int64)
-            for v in range(n):
-                chain = self.hq.ancestors(v)
-                hubs[v, : len(chain)] = chain
-            self._hub_matrix = hubs
-        return self._hub_matrix
-
-    def notify_labels_changed(self, vertices: Iterable[int] | None = None) -> None:
-        """Refresh the padded matrix after label maintenance.
-
-        ``vertices`` are the rows to re-pad (``MaintenanceStats.
-        affected_labels``); ``None`` drops the whole matrix, forcing a
-        rebuild on the next batch query.
-        """
-        if self._matrix is None:
-            return
-        if vertices is None:
-            self._matrix = None
-            return
-        matrix = self._matrix
-        for v in vertices:
-            row = self._arrays[v]
-            matrix[v, : len(row)] = row
+        if self._hub_values is None:
+            hq = self.hq
+            tau = np.asarray(hq.tau, dtype=np.int64)
+            offsets = np.zeros(len(tau) + 1, dtype=np.int64)
+            np.cumsum(tau + 1, out=offsets[1:])
+            hubs = np.full(int(offsets[-1]), -1, dtype=np.int64)
+            for v in range(len(tau)):
+                chain = hq.ancestors(v)
+                hubs[offsets[v] : offsets[v] + len(chain)] = chain
+            self._hub_values = hubs
+            self._hub_offsets = offsets
+        return self._hub_values, self._hub_offsets
 
     def common_ancestor_counts(self, s: np.ndarray, t: np.ndarray) -> np.ndarray:
         """Vectorised ``|anc(s) ∩ anc(t)|`` over pair arrays.
@@ -189,27 +163,51 @@ class QueryEngine:
     def _batch_kernel(
         self, s: np.ndarray, t: np.ndarray, want_hubs: bool
     ) -> tuple[np.ndarray, np.ndarray | None]:
-        matrix = self.label_matrix()
-        hubs_table = self.hub_matrix() if want_hubs else None
+        labels = self.labels
+        values = labels.values
+        starts = labels.offsets
+        last = len(values) - 1
         k = self.common_ancestor_counts(s, t)
         count = len(s)
-        h = matrix.shape[1]
         out = np.empty(count, dtype=np.float64)
         hubs = np.full(count, -1, dtype=np.int64) if want_hubs else None
-        columns = np.arange(h, dtype=np.int64)
-        chunk = max(1, _CHUNK_CELLS // max(1, h))
-        for lo in range(0, count, chunk):
-            sl = slice(lo, min(lo + chunk, count))
-            sums = matrix[s[sl]] + matrix[t[sl]]
-            # Columns at or past k are ancestors of only one endpoint (or
-            # padding); masking them to inf makes the row-min range-exact.
-            np.copyto(sums, np.inf, where=columns >= k[sl, None])
-            if want_hubs:
-                best = np.argmin(sums, axis=1)
-                out[sl] = sums[np.arange(len(best)), best]
-                hubs[sl] = hubs_table[s[sl], best]
-            else:
-                out[sl] = sums.min(axis=1)
+        if want_hubs:
+            hub_values, hub_offsets = self.hub_store()
+        # Pairs are bucketed by K into power-of-two gather widths: on
+        # road hierarchies the mean K is far below the maximum, so most
+        # pairs are answered through a narrow gather instead of paying
+        # for the global worst case — a rectangular label matrix cannot
+        # make this move, the CSR store gets it for free.
+        order = np.argsort(k, kind="stable")
+        ks = k[order]
+        lo = 0
+        width = 1
+        while lo < count:
+            while width < ks[lo]:
+                width *= 2
+            hi = int(np.searchsorted(ks, width, side="right"))
+            columns = np.arange(width, dtype=np.int64)
+            chunk = max(1, _CHUNK_CELLS // width)
+            for seg_lo in range(lo, hi, chunk):
+                seg = order[seg_lo : min(seg_lo + chunk, hi)]
+                kc = ks[seg_lo : min(seg_lo + chunk, hi)]
+                # L_v[i] sits at values[offsets[v] + i]; columns < K are
+                # always within v's label because K <= min(tau) + 1.
+                # Columns past K may land in a neighbouring slot (or past
+                # the buffer, hence the clip) — they are masked to inf
+                # before the row-min.
+                pos_s = np.minimum(starts[s[seg], None] + columns, last)
+                pos_t = np.minimum(starts[t[seg], None] + columns, last)
+                sums = values[pos_s] + values[pos_t]
+                np.copyto(sums, np.inf, where=columns >= kc[:, None])
+                if want_hubs:
+                    best = np.argmin(sums, axis=1)
+                    out[seg] = sums[np.arange(len(best)), best]
+                    hubs[seg] = hub_values[hub_offsets[s[seg]] + best]
+                else:
+                    out[seg] = sums.min(axis=1)
+            lo = hi
+            width *= 2
         same = s == t
         if same.any():
             out[same] = 0.0
@@ -218,7 +216,7 @@ class QueryEngine:
         return out, hubs
 
     def distances(self, pairs: Sequence[tuple[int, int]]) -> np.ndarray:
-        """Batch distances, vectorised over pairs through the label matrix."""
+        """Batch distances, gathered straight from the flat label store."""
         pairs = list(pairs)
         if not pairs:
             return np.empty(0, dtype=np.float64)

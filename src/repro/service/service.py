@@ -3,9 +3,10 @@
 Fronts :class:`~repro.core.index.DHLIndex` with the three mechanisms a
 query-heavy dynamic service needs:
 
-1. **batched queries** — a batch of pairs is answered through the
-   engine's padded label matrix with numpy reductions (duplicate pairs
-   inside a batch are computed once);
+1. **batched queries** — a batch of pairs is answered by the engine's
+   zero-copy kernel, which gathers straight from the flat CSR label
+   store with numpy reductions (duplicate pairs inside a batch are
+   computed once);
 2. **an epoch-guarded result cache** — repeated pairs are served from an
    LRU keyed on the index maintenance epoch; invalidation is either a
    lazy O(1) watermark bump or fine-grained eviction of only the pairs

@@ -71,7 +71,7 @@ class EulerTourLCA:
                 sparse[k] = sparse[k - 1]
                 continue
             left = sparse[k - 1, :width]
-            right = sparse[k - 1, half:half + width]
+            right = sparse[k - 1, half : half + width]
             take_right = depths[right] < depths[left]
             sparse[k, :width] = np.where(take_right, right, left)
             sparse[k, width:] = sparse[k - 1, width:]

@@ -2,14 +2,12 @@
 
 from __future__ import annotations
 
-import math
-
 import pytest
 
 from repro.baselines.astar import ALTHeuristic, astar_distance, euclidean_heuristic
 from repro.baselines.dijkstra import dijkstra
 from repro.exceptions import GraphError
-from repro.graph.generators import delaunay_network, random_connected_graph
+from repro.graph.generators import random_connected_graph
 
 
 class TestEuclideanAStar:

@@ -87,14 +87,14 @@ class TestBatchKernel:
         assert np.array_equal(d, expected)
 
 
-class TestMatrixMaintenance:
-    def test_matrix_refreshes_after_updates(self, small_index):
+class TestKernelAfterMaintenance:
+    def test_kernel_reads_fresh_labels_after_updates(self, small_index):
         n = small_index.graph.num_vertices
         pairs = sample_pairs(n, 2_000, make_rng(2), distinct=False)
-        before = small_index.distances(pairs)  # materialises the matrix
+        before = small_index.distances(pairs)
         edges = list(small_index.graph.edges())[:30]
         stats = small_index.increase([(u, v, 2 * w) for u, v, w in edges])
-        assert stats.affected_labels  # fine-grained refresh exercised
+        assert stats.affected_labels  # maintenance touched the flat store
         after = small_index.distances(pairs)
         assert np.array_equal(after, scalar_distances(small_index, pairs))
         small_index.decrease([(u, v, w) for u, v, w in edges])
@@ -110,7 +110,7 @@ class TestMatrixMaintenance:
         small_index.update([(u, v, w)])  # no-op: nothing applied
         assert small_index.epoch == 2
 
-    def test_parallel_updates_refresh_matrix(self, small_index):
+    def test_parallel_updates_visible_to_kernel(self, small_index):
         n = small_index.graph.num_vertices
         pairs = sample_pairs(n, 1_000, make_rng(4), distinct=False)
         small_index.distances(pairs)

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 
 from repro.baselines.dch import DCHIndex

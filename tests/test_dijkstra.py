@@ -5,7 +5,6 @@ from __future__ import annotations
 import math
 
 import networkx as nx
-import pytest
 from hypothesis import HealthCheck, given, settings
 
 from repro.baselines.dijkstra import (

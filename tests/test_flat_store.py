@@ -1,0 +1,209 @@
+"""Flat CSR label store: structure, slack growth, and snapshot round-trips.
+
+The snapshot tests cover the serialization contract of the flat store:
+save → load (plain and ``mmap_mode="r"``) reproduces identical distances
+and ``num_entries`` for both the undirected and the directed index, and
+a memory-mapped index still accepts maintenance (copy-on-first-write).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.config import DHLConfig
+from repro.core.directed import DirectedDHLIndex
+from repro.core.index import DHLIndex
+from repro.exceptions import SerializationError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_connected_graph
+from repro.labelling.labels import HierarchicalLabelling
+from repro.utils.rng import make_rng, sample_pairs
+
+
+@pytest.fixture
+def asym_digraph() -> DiGraph:
+    g = random_connected_graph(60, extra_edges=50, seed=8)
+    dg = DiGraph.from_undirected(g)
+    rng = np.random.default_rng(4)
+    for u, v, w in list(dg.arcs())[: dg.num_arcs // 2]:
+        dg.set_weight(u, v, float(w + rng.integers(0, 25)))
+    return dg
+
+
+@pytest.fixture
+def directed_index(asym_digraph) -> DirectedDHLIndex:
+    return DirectedDHLIndex.build(asym_digraph.copy(), DHLConfig(leaf_size=4))
+
+
+class TestFlatStoreStructure:
+    def test_store_is_contiguous_and_packed(self, small_index):
+        labels = small_index.labels
+        assert labels.values.dtype == np.float64
+        assert labels.offsets.dtype == np.int64
+        assert labels.is_packed
+        assert labels.num_entries == len(labels.values)
+        assert np.array_equal(
+            labels.offsets, np.concatenate([[0], np.cumsum(labels.lengths)])
+        )
+
+    def test_views_share_the_flat_buffer(self, small_index):
+        labels = small_index.labels
+        view = labels.view(7)
+        view[0] += 3.0
+        assert labels.values[labels.offsets[7]] == view[0]
+        assert labels.views()[7][0] == view[0]
+
+    def test_from_arrays_round_trip(self, small_index):
+        labels = small_index.labels
+        rebuilt = HierarchicalLabelling.from_arrays(
+            [labels.view(v).copy() for v in range(labels.num_vertices)],
+            labels.tau,
+        )
+        assert rebuilt.equals(labels)
+        assert rebuilt.num_entries == labels.num_entries
+
+    def test_slack_store_serves_identical_labels(self, small_index):
+        labels = small_index.labels
+        slacked = HierarchicalLabelling.from_arrays(
+            [labels.view(v).copy() for v in range(labels.num_vertices)],
+            labels.tau,
+            slack=0.5,
+        )
+        assert not slacked.is_packed
+        assert slacked.num_entries == labels.num_entries
+        assert slacked.equals(labels)
+        values, offsets = slacked.packed()
+        assert len(values) == labels.num_entries
+        assert np.array_equal(offsets, labels.offsets)
+
+    def test_extend_label_uses_slack_then_doubles(self):
+        tau = np.array([2, 1, 0])
+        store = HierarchicalLabelling.from_arrays(
+            [
+                np.array([5.0, 6.0, 0.0]),
+                np.array([7.0, 0.0]),
+                np.array([0.0]),
+            ],
+            tau,
+            slack=1.0,  # capacity 6 / 4 / 2
+        )
+        buffer_before = store.values
+        view = store.extend_label(0, 5)  # fits in the slack: no rebuild
+        assert store.values is buffer_before
+        assert len(view) == 5
+        assert np.array_equal(view[:3], [5.0, 6.0, 0.0])
+        assert np.isinf(view[3:]).all()
+        view = store.extend_label(0, 9)  # exceeds capacity: rebuild + double
+        assert store.values is not buffer_before
+        assert len(view) == 9
+        assert int(store.offsets[1] - store.offsets[0]) >= 12
+        assert np.array_equal(view[:3], [5.0, 6.0, 0.0])
+        assert np.isinf(view[3:]).all()
+        # Other vertices are untouched by the rebuild.
+        assert np.array_equal(store.view(1), [7.0, 0.0])
+        assert np.array_equal(store.view(2), [0.0])
+
+
+class TestUndirectedSnapshots:
+    @pytest.mark.parametrize("mmap_labels", [False, True])
+    def test_round_trip_identical_distances(
+        self, small_index, tmp_path, mmap_labels
+    ):
+        small_index.save(tmp_path / "idx")
+        loaded = DHLIndex.load(tmp_path / "idx", mmap_labels=mmap_labels)
+        assert loaded.labels.num_entries == small_index.labels.num_entries
+        assert loaded.labels.equals(small_index.labels)
+        n = small_index.graph.num_vertices
+        pairs = sample_pairs(n, 2_000, make_rng(3), distinct=False)
+        assert np.array_equal(
+            loaded.distances(pairs), small_index.distances(pairs)
+        )
+
+    def test_mmap_values_are_read_only_until_materialised(
+        self, small_index, tmp_path
+    ):
+        small_index.save(tmp_path / "idx")
+        loaded = DHLIndex.load(tmp_path / "idx", mmap_labels=True)
+        assert not loaded.labels.values.flags.writeable
+        loaded.labels.ensure_writable()
+        assert loaded.labels.values.flags.writeable
+        assert loaded.labels.equals(small_index.labels)
+
+    def test_mmap_load_then_maintain(self, small_index, tmp_path):
+        small_index.save(tmp_path / "idx")
+        loaded = DHLIndex.load(tmp_path / "idx", mmap_labels=True)
+        edges = list(loaded.graph.edges())[:25]
+        loaded.increase([(u, v, 2 * w) for u, v, w in edges])
+        small_index.increase([(u, v, 2 * w) for u, v, w in edges])
+        assert loaded.labels.equals(small_index.labels)
+        loaded.decrease([(u, v, w) for u, v, w in edges])
+        small_index.decrease([(u, v, w) for u, v, w in edges])
+        assert loaded.labels.equals(small_index.labels)
+        n = loaded.graph.num_vertices
+        pairs = sample_pairs(n, 500, make_rng(9), distinct=False)
+        assert np.array_equal(
+            loaded.distances(pairs), small_index.distances(pairs)
+        )
+
+    def test_snapshot_files_on_disk(self, small_index, tmp_path):
+        small_index.save(tmp_path / "idx")
+        assert (tmp_path / "idx" / "manifest.json").exists()
+        assert (tmp_path / "idx" / "arrays.npz").exists()
+        assert (tmp_path / "idx" / "label_values.npy").exists()
+        assert (tmp_path / "idx" / "label_offsets.npy").exists()
+
+    def test_missing_label_snapshot_raises(self, small_index, tmp_path):
+        small_index.save(tmp_path / "idx")
+        (tmp_path / "idx" / "label_values.npy").unlink()
+        with pytest.raises(SerializationError):
+            DHLIndex.load(tmp_path / "idx")
+
+
+class TestDirectedSnapshots:
+    @pytest.mark.parametrize("mmap_labels", [False, True])
+    def test_round_trip_identical_distances(
+        self, directed_index, tmp_path, mmap_labels
+    ):
+        directed_index.save(tmp_path / "didx")
+        loaded = DirectedDHLIndex.load(
+            tmp_path / "didx", mmap_labels=mmap_labels
+        )
+        assert (
+            loaded.labels_out.num_entries
+            == directed_index.labels_out.num_entries
+        )
+        assert (
+            loaded.labels_in.num_entries
+            == directed_index.labels_in.num_entries
+        )
+        assert loaded.labels_out.equals(directed_index.labels_out)
+        assert loaded.labels_in.equals(directed_index.labels_in)
+        n = directed_index.digraph.num_vertices
+        for s in range(0, n, 7):
+            for t in range(0, n, 5):
+                assert loaded.distance(s, t) == directed_index.distance(s, t)
+
+    def test_mmap_load_then_maintain(self, directed_index, tmp_path):
+        directed_index.save(tmp_path / "didx")
+        loaded = DirectedDHLIndex.load(tmp_path / "didx", mmap_labels=True)
+        arcs = [
+            (a, b, w)
+            for a, b, w in list(loaded.digraph.arcs())[:15]
+            if math.isfinite(w)
+        ]
+        loaded.increase([(a, b, 2 * w) for a, b, w in arcs])
+        directed_index.increase([(a, b, 2 * w) for a, b, w in arcs])
+        assert loaded.labels_out.equals(directed_index.labels_out)
+        assert loaded.labels_in.equals(directed_index.labels_in)
+        n = loaded.digraph.num_vertices
+        for s in range(0, n, 9):
+            for t in range(0, n, 11):
+                assert loaded.distance(s, t) == directed_index.distance(s, t)
+
+    def test_kind_mismatch_raises(self, small_index, tmp_path):
+        small_index.save(tmp_path / "idx")
+        with pytest.raises(SerializationError):
+            DirectedDHLIndex.load(tmp_path / "idx")

@@ -5,7 +5,6 @@ from __future__ import annotations
 import math
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 
 from repro.baselines.dijkstra import dijkstra

@@ -9,7 +9,6 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
 
@@ -17,11 +16,7 @@ from repro.baselines.dijkstra import dijkstra
 from repro.core.config import DHLConfig
 from repro.core.index import DHLIndex
 from repro.exceptions import MaintenanceError
-from repro.graph.generators import random_connected_graph
-from repro.labelling.build import build_labelling
 from repro.labelling.maintenance import (
-    apply_decrease,
-    apply_increase,
     maintain_shortcuts_decrease,
     maintain_shortcuts_increase,
 )

@@ -18,7 +18,6 @@ from __future__ import annotations
 import math
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 
 from repro.baselines.dijkstra import dijkstra_subgraph
@@ -133,7 +132,7 @@ class TestLemma63AndCorollary65:
                 in_g = dijkstra_subgraph(
                     graph, v, a, lambda x, a=a: hq.precedes(a, x)
                 )
-                assert labels.arrays[v][i] == in_g
+                assert labels.view(v)[i] == in_g
 
 
 class TestComplexityCounters:

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -14,7 +12,7 @@ from repro.core.index import DHLIndex
 from repro.exceptions import ReproError
 from repro.graph.graph import Graph
 from repro.labelling.paths import PathReconstructor
-from tests.strategies import connected_graphs, update_sequences
+from tests.strategies import connected_graphs
 
 
 def reconstructor(index: DHLIndex) -> PathReconstructor:

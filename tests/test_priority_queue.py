@@ -2,9 +2,6 @@
 
 from __future__ import annotations
 
-import heapq
-import random
-
 import pytest
 from hypothesis import given, strategies as st
 

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 
 from repro.graph.generators import delaunay_network
