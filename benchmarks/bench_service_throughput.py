@@ -15,7 +15,13 @@ CI perf-regression gate::
 The quick mode times the three kernels plus a service replay with
 best-of-N wall-clock loops (no pytest-benchmark dependency) and writes
 one JSON document that ``check_service_regression.py`` compares against
-the committed baseline.
+the committed baseline. It also exercises the k=4 sharded backend:
+interleaved monolithic-vs-sharded build timings, uniform and
+cross-region query throughput (checked for exact agreement with the
+monolithic index), and the update-isolation evidence that an
+intra-region batch touches only its owning shard. Pass
+``--shard-breakdown-out`` to dump the per-shard build-time breakdown
+(uploaded as a CI artifact).
 """
 
 from __future__ import annotations
@@ -146,6 +152,115 @@ def _best_seconds(fn, repeats: int) -> float:
     return min(times)
 
 
+def run_sharded_quick(
+    graph,
+    index: DHLIndex,
+    num_pairs: int,
+    repeats: int,
+    k: int = 4,
+) -> tuple[dict, dict]:
+    """Sharded backend measurements: build, queries, update isolation.
+
+    Returns ``(metrics, breakdown)`` — flat gateable metrics plus the
+    per-shard build-time breakdown uploaded as a CI artifact. The
+    monolithic and sharded build timings are *interleaved* (alternating
+    best-of-N samples) so a transient load spike on a shared runner
+    cannot skew the speedup ratio by hitting only one side.
+    """
+    import os
+
+    from repro.core.sharded import ShardedDHLIndex
+    from repro.experiments.workloads import cross_region_pairs, random_query_pairs
+
+    workers = min(k, os.cpu_count() or 1)
+    build_repeats = max(3, repeats // 3)
+
+    def build() -> ShardedDHLIndex:
+        return ShardedDHLIndex.build(
+            graph.copy(), k=k, config=DHLConfig(seed=0), build_workers=workers
+        )
+
+    sharded = build()
+    mono_times: list[float] = []
+    shard_times: list[float] = []
+    for _ in range(build_repeats):
+        start = time.perf_counter()
+        DHLIndex.build(graph.copy(), DHLConfig(seed=0))
+        mono_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        build()
+        shard_times.append(time.perf_counter() - start)
+    monolithic_build_seconds = min(mono_times)
+    sharded_build_seconds = min(shard_times)
+    stats = sharded.stats()
+
+    uniform = random_query_pairs(graph.num_vertices, num_pairs, seed=1)
+    commute = cross_region_pairs(
+        sharded.region_of,
+        num_pairs,
+        seed=2,
+        boundary=sharded.partition.boundary,
+    )
+    if not np.array_equal(index.distances(uniform), sharded.distances(uniform)):
+        raise AssertionError("sharded backend disagrees with monolithic (uniform)")
+    if not np.array_equal(index.distances(commute), sharded.distances(commute)):
+        raise AssertionError("sharded backend disagrees with monolithic (commute)")
+
+    sharded_uniform_qps = num_pairs / _best_seconds(
+        lambda: sharded.distances(uniform), repeats
+    )
+    sharded_cross_qps = num_pairs / _best_seconds(
+        lambda: sharded.distances(commute), repeats
+    )
+    mono_cross_qps = num_pairs / _best_seconds(
+        lambda: index.distances(commute), repeats
+    )
+
+    # Update isolation: one intra-region batch must touch one shard.
+    from repro.experiments.sharded import intra_region_update_batch
+
+    rid, batch = intra_region_update_batch(sharded, size=16)
+    update_stats = sharded.update(batch)
+    touched = update_stats.touched_shards
+    restore = [(u, v, graph.weight(u, v)) for u, v, _ in batch]
+    sharded.update(restore)
+
+    metrics = {
+        "monolithic_build_seconds": round(monolithic_build_seconds, 3),
+        "sharded_build_seconds": round(sharded_build_seconds, 3),
+        "sharded_build_speedup": round(
+            monolithic_build_seconds / max(sharded_build_seconds, 1e-9), 3
+        ),
+        "sharded_uniform_qps": round(sharded_uniform_qps, 1),
+        "sharded_cross_qps": round(sharded_cross_qps, 1),
+        "cross_shard_slowdown": round(
+            mono_cross_qps / max(sharded_cross_qps, 1e-9), 3
+        ),
+        "update_touched_shards": len(touched),
+    }
+    breakdown = {
+        "k": sharded.k,
+        "build_workers": workers,
+        "parallel_build": stats.build.parallel,
+        "partition_seconds": round(stats.partition_seconds, 4),
+        "overlay_seconds": round(stats.overlay_seconds, 4),
+        "per_shard_build_seconds": [
+            round(s, 4) for s in stats.build.per_shard_seconds
+        ],
+        "per_shard_vertices": [len(v) for v in sharded.shard_vertices],
+        "boundary_vertices": stats.boundary_vertices,
+        "cut_edges": stats.cut_edges,
+        "overlay_edges": stats.overlay_edges,
+        "update_target_shard": rid,
+        "update_touched_shards": touched,
+        "update_labels_changed_per_shard": {
+            str(sid): s.labels_changed
+            for sid, s in update_stats.per_shard.items()
+        },
+    }
+    return metrics, breakdown
+
+
 def run_quick(
     dataset: str = "FLA",
     num_pairs: int = 20_000,
@@ -193,6 +308,10 @@ def run_quick(
     report = replay(service, events)
     replay_qps = report.queries / (time.perf_counter() - replay_start)
 
+    sharded_metrics, sharded_breakdown = run_sharded_quick(
+        graph, index, num_pairs, repeats
+    )
+
     return {
         "meta": {
             "dataset": dataset,
@@ -211,7 +330,9 @@ def run_quick(
             "zero_copy_over_per_pair": round(zero_copy_qps / per_pair_qps, 3),
             "replay_qps": round(replay_qps, 1),
             "cache_hit_rate": round(report.service.cache.hit_rate, 4),
+            **sharded_metrics,
         },
+        "sharded": sharded_breakdown,
     }
 
 
@@ -227,6 +348,11 @@ def main(argv: list[str] | None = None) -> int:
         "--out", type=Path, default=Path("BENCH_service.json"),
         help="where to write the JSON report",
     )
+    parser.add_argument(
+        "--shard-breakdown-out", type=Path, default=None,
+        help="also write the per-shard build-time breakdown to this path "
+        "(uploaded as a CI artifact)",
+    )
     args = parser.parse_args(argv)
     if not args.quick:
         parser.error(
@@ -235,6 +361,10 @@ def main(argv: list[str] | None = None) -> int:
         )
     payload = run_quick(args.dataset, args.pairs, args.repeats)
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    if args.shard_breakdown_out is not None:
+        args.shard_breakdown_out.write_text(
+            json.dumps(payload["sharded"], indent=2) + "\n"
+        )
     print(json.dumps(payload["metrics"], indent=2))
     return 0
 

@@ -9,11 +9,21 @@ runners are noisy; the gate exists to catch order-of-kernel regressions
 (an accidental padded copy, a per-pair fallback), not single-digit
 jitter.
 
-Two ratio invariants are also enforced, because they are
-machine-independent:
+Key sets are compared *symmetrically*: a metric present in only one of
+the two documents fails with an explicit message naming the missing
+side, so a schema change (adding the sharded metrics, renaming a
+kernel) surfaces as "update the committed baseline" instead of a
+KeyError or a silently skipped check.
+
+Machine-independent ratio invariants are also enforced:
 
 * the zero-copy kernel must at least match the padded-matrix reference;
-* the batch kernel must stay well above the per-pair loop.
+* the batch kernel must stay well above the per-pair loop;
+* the parallel k=4 sharded build must stay at least at parity with the
+  monolithic build (slack for scheduler noise);
+* cross-shard queries may cost at most ``MAX_CROSS_SHARD_SLOWDOWN``
+  times the monolithic kernel on the same pairs;
+* a single intra-region update batch must touch exactly one shard.
 
 Usage::
 
@@ -33,41 +43,103 @@ DEFAULT_TOLERANCE = 1.5
 # of slack absorbs scheduler noise on shared CI runners.
 MIN_ZERO_COPY_OVER_PADDED = 1.0
 MIN_ZERO_COPY_OVER_PER_PAIR = 3.0
+# The k=4 partition-parallel build beats the monolithic one comfortably
+# (four small builds undercut one big build even serially); 0.8 leaves
+# noise slack while still catching a sharded build-path regression.
+MIN_SHARDED_BUILD_SPEEDUP = 0.8
+# Cross-shard queries pay boundary fans plus the overlay combine — in
+# practice ~3.5x the monolithic kernel on the same pairs. The bound is
+# a same-machine ratio, so it is gated tightly enough to catch a lost
+# fan dedup or an uncached overlay block (each worth >3x on its own).
+MAX_CROSS_SHARD_SLOWDOWN = 10.0
+
+
+def _metrics(doc: dict, label: str) -> dict:
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        raise SystemExit(
+            f"ERROR {label}: no 'metrics' object — not a quick-mode "
+            "BENCH_service.json?"
+        )
+    return metrics
+
+
+def _require(metrics: dict, key: str, failures: list[str]) -> float | None:
+    value = metrics.get(key)
+    if value is None:
+        failures.append(
+            f"{key}: missing from current run — bench and gate disagree on "
+            "the metric schema"
+        )
+    return value
 
 
 def check(current: dict, baseline: dict, tolerance: float) -> list[str]:
     failures: list[str] = []
-    cur = current["metrics"]
-    base = baseline["metrics"]
-    for key, reference in base.items():
-        if not key.endswith("_qps"):
-            continue
+    cur = _metrics(current, "current")
+    base = _metrics(baseline, "baseline")
+
+    cur_qps = {k for k in cur if k.endswith("_qps")}
+    base_qps = {k for k in base if k.endswith("_qps")}
+    for key in sorted(base_qps - cur_qps):
+        failures.append(
+            f"{key}: in baseline but missing from current run — the bench "
+            "dropped a metric; update benchmarks/BENCH_service.json if "
+            "intentional"
+        )
+    for key in sorted(cur_qps - base_qps):
+        failures.append(
+            f"{key}: in current run but missing from baseline — regenerate "
+            "the committed benchmarks/BENCH_service.json to cover it"
+        )
+
+    for key in sorted(base_qps & cur_qps):
         # The scalar loop is pure interpreter work — the most
         # machine-sensitive number of the set and not a serving path.
         # Its regressions surface through zero_copy_over_per_pair below.
         if key == "per_pair_qps":
             continue
-        value = cur.get(key)
-        if value is None:
-            failures.append(f"{key}: missing from current run")
-            continue
+        reference = base[key]
+        value = cur[key]
         floor = reference / tolerance
         if value < floor:
             failures.append(
                 f"{key}: {value:,.0f} qps < floor {floor:,.0f} "
                 f"(baseline {reference:,.0f} / tolerance {tolerance})"
             )
-    ratio = cur.get("zero_copy_over_padded", 0.0)
-    if ratio < MIN_ZERO_COPY_OVER_PADDED:
+
+    ratio = _require(cur, "zero_copy_over_padded", failures)
+    if ratio is not None and ratio < MIN_ZERO_COPY_OVER_PADDED:
         failures.append(
             f"zero_copy_over_padded: {ratio} < {MIN_ZERO_COPY_OVER_PADDED} "
             "(flat-store kernel slower than the padded-matrix reference)"
         )
-    speedup = cur.get("zero_copy_over_per_pair", 0.0)
-    if speedup < MIN_ZERO_COPY_OVER_PER_PAIR:
+    speedup = _require(cur, "zero_copy_over_per_pair", failures)
+    if speedup is not None and speedup < MIN_ZERO_COPY_OVER_PER_PAIR:
         failures.append(
-            f"zero_copy_over_per_pair: {speedup} < {MIN_ZERO_COPY_OVER_PER_PAIR} "
+            f"zero_copy_over_per_pair: {speedup} < "
+            f"{MIN_ZERO_COPY_OVER_PER_PAIR} "
             "(batch kernel barely beats the scalar loop)"
+        )
+    build_speedup = _require(cur, "sharded_build_speedup", failures)
+    if build_speedup is not None and build_speedup < MIN_SHARDED_BUILD_SPEEDUP:
+        failures.append(
+            f"sharded_build_speedup: {build_speedup} < "
+            f"{MIN_SHARDED_BUILD_SPEEDUP} "
+            "(partition-parallel shard build no longer beats monolithic)"
+        )
+    slowdown = _require(cur, "cross_shard_slowdown", failures)
+    if slowdown is not None and slowdown > MAX_CROSS_SHARD_SLOWDOWN:
+        failures.append(
+            f"cross_shard_slowdown: {slowdown} > {MAX_CROSS_SHARD_SLOWDOWN} "
+            "(cross-shard routing overhead drifted too far from the "
+            "monolithic kernel)"
+        )
+    touched = _require(cur, "update_touched_shards", failures)
+    if touched is not None and touched != 1:
+        failures.append(
+            f"update_touched_shards: {touched} != 1 "
+            "(an intra-region update leaked outside its owning shard)"
         )
     return failures
 
@@ -87,8 +159,8 @@ def main(argv: list[str] | None = None) -> int:
     baseline = json.loads(args.baseline.read_text())
     failures = check(current, baseline, args.tolerance)
 
-    print(f"baseline : {baseline['metrics']}")
-    print(f"current  : {current['metrics']}")
+    print(f"baseline : {baseline.get('metrics')}")
+    print(f"current  : {current.get('metrics')}")
     if failures:
         for failure in failures:
             print(f"FAIL {failure}", file=sys.stderr)

@@ -3,14 +3,24 @@
 :class:`DHLIndex` bundles the three components of the paper's solution —
 query hierarchy H_Q, update hierarchy H_U and hierarchical labelling L —
 behind a build/query/update API. :class:`DirectedDHLIndex` adds the
-Section 8 directed extension; structural updates (edge/vertex
-insert/delete) live in :mod:`repro.core.structural` and are exposed as
-index methods.
+Section 8 directed extension; :class:`ShardedDHLIndex` runs the same
+facade as k region shards plus a boundary overlay (partition-parallel
+builds, shard-routed queries and maintenance); structural updates
+(edge/vertex insert/delete) live in :mod:`repro.core.structural` and are
+exposed as index methods.
 """
 
 from repro.core.config import DHLConfig
 from repro.core.stats import IndexStats
 from repro.core.index import DHLIndex
 from repro.core.directed import DirectedDHLIndex
+from repro.core.sharded import ShardedDHLIndex, ShardedIndexStats
 
-__all__ = ["DHLConfig", "IndexStats", "DHLIndex", "DirectedDHLIndex"]
+__all__ = [
+    "DHLConfig",
+    "IndexStats",
+    "DHLIndex",
+    "DirectedDHLIndex",
+    "ShardedDHLIndex",
+    "ShardedIndexStats",
+]

@@ -39,9 +39,15 @@ __all__ = [
     "load_index",
     "save_directed_index",
     "load_directed_index",
+    "save_sharded_index",
+    "load_sharded_index",
 ]
 
 _FORMAT_VERSION = 2
+# Sharded snapshots (format v3) are a directory of per-shard v2
+# snapshot directories plus partition metadata, so every shard's label
+# store keeps the mmap fast path.
+_SHARDED_FORMAT_VERSION = 3
 
 
 def _flatten_ragged(rows: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
@@ -307,7 +313,11 @@ def load_directed_index(path: Path, mmap_labels: bool = False):
         data["arc_dst"].tolist(),
         data["arc_weight"].tolist(),
     ):
-        digraph.add_arc(a, b, w)
+        if np.isfinite(w):
+            digraph.add_arc(a, b, w)
+        else:  # logically deleted arc: allocate the slot, then mark
+            digraph.add_arc(a, b, 0.0)
+            digraph.set_weight(a, b, w)
 
     hq = _hq_from_payload(data, [int(b) for b in manifest["node_bits"]], n)
     order = hq.contraction_order()
@@ -341,5 +351,93 @@ def load_directed_index(path: Path, mmap_labels: bool = False):
         digraph, hq, rank, up, down, down_sets, wout, win,
         labels_out, labels_in, config, stats,
     )
+    index._refresh_size_stats()
+    return index
+
+
+# ---------------------------------------------------------------------------
+# sharded ShardedDHLIndex (format v3)
+# ---------------------------------------------------------------------------
+
+def save_sharded_index(index, path: Path) -> None:
+    """Write a :class:`~repro.core.sharded.ShardedDHLIndex` to *path*.
+
+    Layout: ``manifest.json`` (scalars + global graph + region
+    assignment), one ``shard_NN/`` v2 snapshot directory per region,
+    and ``overlay/`` for the boundary index when one exists. Each
+    component directory is a complete, individually loadable index with
+    bare ``.npy`` label arrays — the mmap fast path applies per shard.
+    """
+    path.mkdir(parents=True, exist_ok=True)
+    for i, shard in enumerate(index.shards):
+        save_index(shard, path / f"shard_{i:02d}")
+    if index.overlay is not None:
+        save_index(index.overlay, path / "overlay")
+    np.save(path / "region_of.npy", np.asarray(index.region_of, dtype=np.int64))
+    manifest = {
+        "format_version": _SHARDED_FORMAT_VERSION,
+        "kind": "sharded",
+        "k": index.k,
+        "n": index.graph.num_vertices,
+        "has_overlay": index.overlay is not None,
+        "config": _config_payload(index.config),
+        "graph": json.loads(graph_to_json(index.graph)),
+    }
+    (path / "manifest.json").write_text(json.dumps(manifest))
+
+
+def load_sharded_index(path: Path, mmap_labels: bool = False):
+    """Load an index saved by :func:`save_sharded_index`.
+
+    ``mmap_labels=True`` propagates to every shard and the overlay:
+    each component's label values open with ``np.load(mmap_mode="r")``.
+    """
+    from repro.core.config import DHLConfig
+    from repro.core.sharded import ShardedDHLIndex, ShardedIndexStats
+    from repro.partition.regions import regions_from_assignment
+
+    manifest_path = path / "manifest.json"
+    if not manifest_path.exists():
+        raise SerializationError(f"{path} does not contain a saved sharded index")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"corrupt manifest: {exc}") from exc
+    if manifest.get("format_version") != _SHARDED_FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported sharded format version "
+            f"{manifest.get('format_version')!r}"
+        )
+    if manifest.get("kind") != "sharded":
+        raise SerializationError(
+            f"{path} holds a {manifest.get('kind')!r} index; expected sharded"
+        )
+    graph = graph_from_json(json.dumps(manifest["graph"]))
+    config = DHLConfig(**manifest["config"])
+    region_of = np.load(path / "region_of.npy")
+    partition = regions_from_assignment(graph, region_of)
+    if partition.k != manifest["k"]:
+        raise SerializationError(
+            f"stored assignment has {partition.k} regions, manifest says "
+            f"{manifest['k']}"
+        )
+    shards = [
+        load_index(path / f"shard_{i:02d}", mmap_labels=mmap_labels)
+        for i in range(manifest["k"])
+    ]
+    overlay = (
+        load_index(path / "overlay", mmap_labels=mmap_labels)
+        if manifest["has_overlay"]
+        else None
+    )
+    stats = ShardedIndexStats(
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        k=partition.k,
+        boundary_vertices=sum(len(b) for b in partition.boundary),
+        cut_edges=len(partition.cut_edges),
+        overlay_edges=overlay.graph.num_edges if overlay is not None else 0,
+    )
+    index = ShardedDHLIndex(graph, partition, shards, overlay, config, stats)
     index._refresh_size_stats()
     return index

@@ -1,0 +1,394 @@
+"""The sharded DHL index facade: k region shards plus a boundary overlay.
+
+:class:`ShardedDHLIndex` exposes the same ``distance / distances /
+update / save / load`` surface as the monolithic
+:class:`~repro.core.index.DHLIndex`, but internally runs as
+
+1. a k-way region partition with boundary extraction
+   (:func:`repro.partition.partition_regions`);
+2. one independent DHL index per region, built **in parallel** across
+   processes (:mod:`repro.sharding.build`);
+3. a small overlay DHL index on the boundary-vertex graph — cut edges
+   plus per-region boundary cliques weighted by intra-shard distances
+   (:mod:`repro.sharding.overlay`).
+
+Queries route through :class:`repro.sharding.engine.ShardedQueryEngine`;
+weight updates route to the owning shard (cut edges go straight to the
+overlay) and then refresh only the overlay clique edges whose endpoints'
+boundary distances could have moved — tracked via the maintenance pass's
+``affected_labels``.
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.config import DHLConfig
+from repro.core.index import DHLIndex
+from repro.core.stats import IndexStats
+from repro.exceptions import IndexBuildError, MaintenanceError
+from repro.graph.graph import Graph
+from repro.labelling.maintenance import MaintenanceStats
+from repro.partition.regions import RegionPartition, partition_regions
+from repro.sharding.build import ShardBuildReport, build_shards
+from repro.sharding.engine import ShardedQueryEngine
+from repro.sharding.overlay import build_overlay_graph, clique_refresh_changes
+from repro.sharding.stats import ShardedMaintenanceStats
+from repro.utils.timing import Stopwatch
+
+__all__ = ["ShardedDHLIndex", "ShardedIndexStats"]
+
+WeightChange = tuple[int, int, float]
+
+
+@dataclass
+class ShardedIndexStats:
+    """Size/build snapshot of a sharded index."""
+
+    num_vertices: int
+    num_edges: int
+    k: int
+    boundary_vertices: int
+    cut_edges: int
+    overlay_edges: int
+    partition_seconds: float = 0.0
+    overlay_seconds: float = 0.0
+    build: ShardBuildReport = field(default_factory=ShardBuildReport)
+    shards: list[IndexStats] = field(default_factory=list)
+    overlay: IndexStats | None = None
+
+    @property
+    def label_entries(self) -> int:
+        total = sum(s.label_entries for s in self.shards)
+        if self.overlay is not None:
+            total += self.overlay.label_entries
+        return total
+
+    @property
+    def label_bytes(self) -> int:
+        total = sum(s.label_bytes for s in self.shards)
+        if self.overlay is not None:
+            total += self.overlay.label_bytes
+        return total
+
+
+class ShardedDHLIndex:
+    """Region-sharded dual-hierarchy distance index.
+
+    Build with :meth:`build`; query with :meth:`distance` /
+    :meth:`distances`; maintain with :meth:`update` /
+    :meth:`update_coalesced`; persist with :meth:`save` / :meth:`load`.
+    The facade matches :class:`~repro.core.index.DHLIndex`, so the
+    serving layer accepts either backend.
+    """
+
+    kind = "sharded"
+    # Sharded distances depend on boundary/overlay labels too, so no
+    # per-pair hub certifies them; the serving layer's fine-grained
+    # cache eviction must downgrade to epoch invalidation.
+    supports_fine_grained_eviction = False
+
+    def __init__(
+        self,
+        graph: Graph,
+        partition: RegionPartition,
+        shards: list[DHLIndex],
+        overlay: DHLIndex | None,
+        config: DHLConfig,
+        stats: ShardedIndexStats,
+    ):
+        self.graph = graph
+        self.partition = partition
+        self.shards = shards
+        self.overlay = overlay
+        self.config = config
+        self._stats = stats
+        n = graph.num_vertices
+        self.k = partition.k
+        self.region_of = partition.region_of
+        # Shard-local ids, aligned with each shard's vertex numbering
+        # (induced_subgraph numbers a region's vertices in list order).
+        self.local_of = np.empty(n, dtype=np.int64)
+        self.shard_vertices: list[np.ndarray] = []
+        for vertices in partition.regions:
+            arr = np.asarray(vertices, dtype=np.int64)
+            self.shard_vertices.append(arr)
+            self.local_of[arr] = np.arange(len(arr))
+        # Overlay numbering: boundary vertices sorted by global id.
+        boundary_global = np.asarray(partition.boundary_vertices(), dtype=np.int64)
+        self.boundary_global = boundary_global
+        self.overlay_of = np.full(n, -1, dtype=np.int64)
+        self.overlay_of[boundary_global] = np.arange(len(boundary_global))
+        self.boundary_local: list[np.ndarray] = []
+        self.boundary_overlay: list[np.ndarray] = []
+        for bverts in partition.boundary:
+            barr = np.asarray(bverts, dtype=np.int64)
+            self.boundary_local.append(self.local_of[barr])
+            self.boundary_overlay.append(self.overlay_of[barr])
+        self._engine = ShardedQueryEngine(self)
+        self._epoch = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        graph: Graph,
+        k: int = 4,
+        config: DHLConfig | None = None,
+        build_workers: int | None = None,
+        region_beta: float = 0.45,
+    ) -> "ShardedDHLIndex":
+        """Partition into *k* regions, build shards in parallel, overlay.
+
+        ``build_workers`` sizes the shard-build process pool (default:
+        one process per shard, capped at the shard count); pass 1 to
+        force a serial build. ``region_beta`` balances the *region*
+        split only (the shard hierarchies keep ``config.beta``): near
+        0.5 the shards come out even, which shortens both the parallel
+        critical path (largest shard) and the serial sum — build cost
+        grows superlinearly in shard size — at the price of a slightly
+        larger cut, i.e. a few more boundary vertices.
+        """
+        config = config or DHLConfig()
+        if graph.num_vertices == 0:
+            raise IndexBuildError("cannot index an empty graph")
+        watch = Stopwatch()
+        with watch:
+            partition = partition_regions(
+                graph,
+                k,
+                beta=region_beta,
+                seed=config.seed,
+                coarsest_size=config.coarsest_size,
+            )
+        partition_seconds = watch.laps[-1]
+
+        subgraphs = [
+            graph.induced_subgraph(vertices)[0] for vertices in partition.regions
+        ]
+        workers = len(subgraphs) if build_workers is None else build_workers
+        shards, report = build_shards(subgraphs, config, workers)
+
+        stats = ShardedIndexStats(
+            num_vertices=graph.num_vertices,
+            num_edges=graph.num_edges,
+            k=partition.k,
+            boundary_vertices=sum(len(b) for b in partition.boundary),
+            cut_edges=len(partition.cut_edges),
+            overlay_edges=0,
+            partition_seconds=partition_seconds,
+            build=report,
+        )
+        index = cls(graph, partition, shards, None, config, stats)
+        with watch:
+            index._build_overlay()
+        stats.overlay_seconds = watch.laps[-1]
+        index._refresh_size_stats()
+        return index
+
+    def _build_overlay(self) -> None:
+        """Construct (or reconstruct) the overlay index from scratch."""
+        if not len(self.boundary_global):
+            self.overlay = None
+            return
+        overlay_graph = build_overlay_graph(
+            self.shards,
+            self.boundary_local,
+            self.boundary_overlay,
+            self.partition.cut_edges,
+            self.overlay_of,
+            len(self.boundary_global),
+        )
+        self.overlay = DHLIndex.build(overlay_graph, self.config)
+        self._engine.invalidate_blocks()
+
+    def _refresh_size_stats(self) -> None:
+        self._stats.shards = [shard.stats() for shard in self.shards]
+        self._stats.overlay = (
+            self.overlay.stats() if self.overlay is not None else None
+        )
+        self._stats.overlay_edges = (
+            self.overlay.graph.num_edges if self.overlay is not None else 0
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def distance(self, s: int, t: int) -> float:
+        """Exact shortest-path distance (``inf`` when disconnected)."""
+        return self._engine.distance(s, t)
+
+    def distances(self, pairs: Sequence[tuple[int, int]]) -> np.ndarray:
+        """Batch distances for ``(s, t)`` pairs."""
+        return self._engine.distances(list(pairs))
+
+    def distances_from(self, s: int, targets: Sequence[int]) -> np.ndarray:
+        """One-to-many distances from *s*."""
+        return self._engine.distances([(s, t) for t in targets])
+
+    def k_nearest(
+        self, s: int, candidates: Sequence[int], k: int
+    ) -> list[tuple[int, float]]:
+        """The *k* candidates closest to *s* by road distance."""
+        distances = self.distances_from(s, candidates)
+        order = np.argsort(distances, kind="stable")
+        out: list[tuple[int, float]] = []
+        for i in order[: max(0, k)]:
+            if not math.isfinite(distances[i]):
+                break
+            out.append((candidates[int(i)], float(distances[i])))
+        return out
+
+    @property
+    def engine(self) -> ShardedQueryEngine:
+        return self._engine
+
+    @property
+    def epoch(self) -> int:
+        """Number of maintenance batches applied since construction."""
+        return self._epoch
+
+    # ------------------------------------------------------------------
+    # dynamic updates
+    # ------------------------------------------------------------------
+    def update(
+        self, changes: Iterable[WeightChange], workers: int | None = None
+    ) -> ShardedMaintenanceStats:
+        """Apply a mixed weight-change batch, routed per shard.
+
+        Intra-region changes go to the owning shard's DHL+/DHL- pass
+        (shards run concurrently when the config asks for workers); cut
+        edge changes go straight to the overlay. After shard passes,
+        only the overlay clique edges incident to an *affected* boundary
+        label are recomputed and folded into one overlay pass.
+        """
+        per_shard: dict[int, list[WeightChange]] = {}
+        overlay_changes: list[WeightChange] = []
+        applied: list[WeightChange] = []
+        for u, v, w in changes:
+            current = self.graph.weight(u, v)
+            if w < 0 or math.isnan(w):
+                raise MaintenanceError(f"invalid weight {w!r} for edge ({u}, {v})")
+            if w == current:
+                continue
+            ru = int(self.region_of[u])
+            rv = int(self.region_of[v])
+            if ru == rv:
+                per_shard.setdefault(ru, []).append(
+                    (int(self.local_of[u]), int(self.local_of[v]), w)
+                )
+            else:
+                overlay_changes.append(
+                    (int(self.overlay_of[u]), int(self.overlay_of[v]), w)
+                )
+            applied.append((u, v, w))
+
+        stats = ShardedMaintenanceStats()
+        if not applied:
+            return stats
+
+        workers = self.config.workers if workers is None else workers
+        shard_results = self._apply_shard_batches(per_shard, workers)
+        for rid, shard_stats in shard_results.items():
+            stats.per_shard[rid] = shard_stats
+            stats.absorb(shard_stats, self.shard_vertices[rid])
+            if self.overlay is not None:
+                overlay_changes.extend(
+                    clique_refresh_changes(
+                        self.shards[rid],
+                        self.boundary_local[rid],
+                        self.boundary_overlay[rid],
+                        self.overlay.graph,
+                        shard_stats.affected_labels,
+                    )
+                )
+
+        if overlay_changes and self.overlay is not None:
+            overlay_stats = self.overlay.update(overlay_changes, workers)
+            stats.overlay_stats = overlay_stats
+            stats.absorb(overlay_stats, self.boundary_global)
+            self._engine.invalidate_blocks()
+
+        # Keep the global graph in lockstep with shard/overlay state so
+        # coalescers draining against it classify changes correctly.
+        for u, v, w in applied:
+            self.graph.set_weight(u, v, w)
+        self._epoch += 1
+        return stats
+
+    def _apply_shard_batches(
+        self, per_shard: dict[int, list[WeightChange]], workers: int | None
+    ) -> dict[int, MaintenanceStats]:
+        """Run each shard's batch; shard-parallel when workers allow."""
+        if not per_shard:
+            return {}
+        if workers and workers > 1 and len(per_shard) > 1:
+            with ThreadPoolExecutor(
+                max_workers=min(workers, len(per_shard))
+            ) as pool:
+                futures = {
+                    rid: pool.submit(self.shards[rid].update, batch, 1)
+                    for rid, batch in per_shard.items()
+                }
+                return {rid: fut.result() for rid, fut in futures.items()}
+        return {
+            rid: self.shards[rid].update(batch, 1)
+            for rid, batch in per_shard.items()
+        }
+
+    def update_coalesced(
+        self, changes: Iterable[WeightChange], workers: int | None = None
+    ) -> ShardedMaintenanceStats:
+        """Apply a raw change stream as one merged batch (last write wins)."""
+        final: dict[tuple[int, int], float] = {}
+        for u, v, w in changes:
+            final[(u, v) if u <= v else (v, u)] = w
+        return self.update([(u, v, w) for (u, v), w in final.items()], workers)
+
+    # ------------------------------------------------------------------
+    # persistence and introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> ShardedIndexStats:
+        self._refresh_size_stats()
+        return self._stats
+
+    def save(self, path: str | Path) -> None:
+        """Persist to a directory of per-shard ``.npy`` snapshot dirs."""
+        from repro.core.serialization import save_sharded_index
+
+        save_sharded_index(self, Path(path))
+
+    @classmethod
+    def load(
+        cls, path: str | Path, mmap_labels: bool = False
+    ) -> "ShardedDHLIndex":
+        """Load an index saved by :meth:`save`.
+
+        ``mmap_labels=True`` memory-maps every shard's (and the
+        overlay's) label store read-only.
+        """
+        from repro.core.serialization import load_sharded_index
+
+        return load_sharded_index(Path(path), mmap_labels=mmap_labels)
+
+    def verify(self) -> None:
+        """Run every component's invariant suite (slow; tests only)."""
+        for shard in self.shards:
+            shard.verify()
+        if self.overlay is not None:
+            self.overlay.verify()
+        self.partition.validate()
+
+    def __repr__(self) -> str:  # pragma: no cover - repr sugar
+        return (
+            f"ShardedDHLIndex(n={self.graph.num_vertices}, k={self.k}, "
+            f"boundary={len(self.boundary_global)})"
+        )

@@ -26,6 +26,7 @@ from repro.experiments.figures import (
 )
 from repro.experiments.report import save_results
 from repro.experiments.service import service_scenarios
+from repro.experiments.sharded import sharded_scenarios
 from repro.experiments.tables import (
     figure1_summary,
     table1_datasets,
@@ -45,6 +46,7 @@ EXPERIMENTS = {
     "figure6": figure6_query_sets,
     "figure7": figure7_scalability,
     "service": service_scenarios,
+    "sharded": sharded_scenarios,
     "verify": verify_correctness,
 }
 

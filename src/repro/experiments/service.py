@@ -24,9 +24,11 @@ from repro.core.config import DHLConfig
 from repro.core.index import DHLIndex
 from repro.experiments.context import ExperimentContext
 from repro.experiments.report import ascii_table
+from repro.partition.regions import partition_regions
 from repro.service.service import DistanceService
 from repro.service.workload import (
     Event,
+    commute_traffic,
     replay,
     rush_hour_traffic,
     uniform_traffic,
@@ -35,7 +37,7 @@ from repro.service.workload import (
 
 __all__ = ["service_scenarios"]
 
-_SCENARIOS = ("uniform", "hotspot", "rush_hour")
+_SCENARIOS = ("uniform", "hotspot", "rush_hour", "commute")
 
 
 def _make_events(name: str, graph, seed: int) -> list[Event]:
@@ -43,6 +45,18 @@ def _make_events(name: str, graph, seed: int) -> list[Event]:
         return uniform_traffic(graph, query_batches=30, batch_size=300, seed=seed)
     if name == "hotspot":
         return zipf_hotspot_traffic(graph, query_batches=30, batch_size=300, seed=seed)
+    if name == "commute":
+        # The same k=4 split the sharded backend would use; pairs then
+        # straddle partitions and churn is biased onto cut edges.
+        partition = partition_regions(graph, 4, seed=seed)
+        return commute_traffic(
+            graph,
+            partition.region_of,
+            boundary=partition.boundary,
+            query_batches=30,
+            batch_size=300,
+            seed=seed,
+        )
     return rush_hour_traffic(graph, cycles=3, peak_batch_size=300, seed=seed)
 
 

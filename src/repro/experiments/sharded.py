@@ -1,0 +1,151 @@
+"""Sharded-vs-monolithic comparison: builds, queries, update routing.
+
+Not a table from the paper — this experiment measures what region
+sharding buys on the ROADMAP's production axis. Per dataset it
+
+* builds the monolithic index and the k=4 sharded index (partition-
+  parallel) and compares wall clocks, with the per-shard breakdown;
+* answers the same uniform and cross-region commute query sets on both
+  backends, checks the distances agree exactly, and compares latency;
+* applies an intra-region update batch to both and reports how many
+  shards the sharded backend touched (the routing evidence: one).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.config import DHLConfig
+from repro.core.sharded import ShardedDHLIndex
+from repro.experiments.context import ExperimentContext
+from repro.experiments.report import ascii_table
+from repro.experiments.workloads import cross_region_pairs, random_query_pairs
+
+__all__ = ["sharded_scenarios", "intra_region_update_batch"]
+
+_K = 4
+
+
+def _timed_distances(index, pairs) -> tuple[np.ndarray, float]:
+    start = time.perf_counter()
+    out = index.distances(pairs)
+    return out, time.perf_counter() - start
+
+
+def intra_region_update_batch(
+    sharded: ShardedDHLIndex, size: int = 8
+) -> tuple[int, list[tuple[int, int, float]]]:
+    """A weight-doubling batch confined to one region (largest shard).
+
+    Returns ``(region_id, changes)``; the update-isolation evidence
+    (both this experiment and the CI quick bench) applies the batch and
+    asserts only ``region_id``'s shard sees work.
+    """
+    rid = max(range(sharded.k), key=lambda i: len(sharded.shard_vertices[i]))
+    region = set(sharded.shard_vertices[rid].tolist())
+    batch = []
+    for u, v, w in sharded.graph.edges():
+        if u in region and v in region and np.isfinite(w):
+            batch.append((u, v, 2.0 * w))
+            if len(batch) >= size:
+                break
+    return rid, batch
+
+
+def sharded_scenarios(ctx: ExperimentContext) -> dict:
+    """Compare the sharded backend against the monolithic index."""
+    rows = []
+    raw: dict[str, dict] = {}
+    config = DHLConfig(seed=ctx.seed)
+    for name in ctx.datasets:
+        graph = ctx.graph(name)
+        ctx.dhl(name)  # monolithic build, timed by the context
+        built = ctx.built(name)
+        mono = built.dhl
+        sharded = ShardedDHLIndex.build(
+            graph.copy(), k=_K, config=config, build_workers=ctx.workers
+        )
+        stats = sharded.stats()
+
+        n = graph.num_vertices
+        count = min(ctx.query_count, 4_000)
+        uniform = random_query_pairs(n, count, seed=ctx.seed)
+        commute = cross_region_pairs(
+            sharded.region_of,
+            count,
+            seed=ctx.seed,
+            boundary=sharded.partition.boundary,
+        )
+        mono_uniform, mono_uniform_s = _timed_distances(mono, uniform)
+        shard_uniform, shard_uniform_s = _timed_distances(sharded, uniform)
+        mono_commute, mono_commute_s = _timed_distances(mono, commute)
+        shard_commute, shard_commute_s = _timed_distances(sharded, commute)
+        if not np.array_equal(mono_uniform, shard_uniform) or not np.array_equal(
+            mono_commute, shard_commute
+        ):
+            raise AssertionError(
+                f"{name}: sharded distances disagree with monolithic"
+            )
+
+        rid, batch = intra_region_update_batch(sharded)
+        update_stats = sharded.update(batch)
+        mono.update(batch)
+        after = random_query_pairs(n, min(count, 500), seed=ctx.seed + 1)
+        if not np.array_equal(mono.distances(after), sharded.distances(after)):
+            raise AssertionError(f"{name}: post-update sharded drift")
+        # Restore so later experiments see base weights.
+        restore = [(u, v, graph.weight(u, v)) for u, v, _ in batch]
+        sharded.update(restore)
+        mono.update(restore)
+
+        raw[name] = {
+            "monolithic_build_seconds": built.dhl_seconds,
+            "sharded_build_seconds": stats.build.total_seconds
+            + stats.partition_seconds
+            + stats.overlay_seconds,
+            "per_shard_build_seconds": stats.build.per_shard_seconds,
+            "partition_seconds": stats.partition_seconds,
+            "overlay_seconds": stats.overlay_seconds,
+            "boundary_vertices": stats.boundary_vertices,
+            "cut_edges": stats.cut_edges,
+            "uniform_qps_monolithic": count / max(mono_uniform_s, 1e-9),
+            "uniform_qps_sharded": count / max(shard_uniform_s, 1e-9),
+            "commute_qps_monolithic": count / max(mono_commute_s, 1e-9),
+            "commute_qps_sharded": count / max(shard_commute_s, 1e-9),
+            "update_target_shard": rid,
+            "update_touched_shards": update_stats.touched_shards,
+            "update_labels_changed_per_shard": {
+                sid: s.labels_changed
+                for sid, s in update_stats.per_shard.items()
+            },
+        }
+        rows.append(
+            [
+                name,
+                f"{built.dhl_seconds:.2f}",
+                f"{raw[name]['sharded_build_seconds']:.2f}",
+                str(stats.boundary_vertices),
+                f"{raw[name]['uniform_qps_sharded']:,.0f}",
+                f"{raw[name]['commute_qps_sharded']:,.0f}",
+                f"{raw[name]['commute_qps_monolithic']:,.0f}",
+                "/".join(str(s) for s in update_stats.touched_shards) or "-",
+            ]
+        )
+    text = ascii_table(
+        [
+            "dataset",
+            "mono build s",
+            f"sharded k={_K} s",
+            "boundary",
+            "shard uni q/s",
+            "shard commute q/s",
+            "mono commute q/s",
+            "upd shards",
+        ],
+        rows,
+        title="Sharded backend: partition-parallel builds, boundary overlay, "
+        "shard-routed updates",
+    )
+    return {"experiment": "sharded", "raw": raw, "rows": rows, "text": text}

@@ -88,6 +88,22 @@ class HierarchicalLabelling:
             values[offsets[v] : offsets[v] + lengths[v]] = row
         return cls(values, offsets, lengths, tau)
 
+    # -- pickling ---------------------------------------------------------
+    def __getstate__(self):
+        """Pickle without the view cache.
+
+        ``_views`` holds numpy *views* into ``values``; pickling would
+        materialise them as detached copies, and an unpickled store
+        would then route maintenance writes into dead buffers (the
+        parallel shard build ships label stores across processes this
+        way). The views are rebuilt lazily on first use instead.
+        """
+        return (self.values, self.offsets, self.lengths, self.tau)
+
+    def __setstate__(self, state) -> None:
+        self.values, self.offsets, self.lengths, self.tau = state
+        self._views = None
+
     # -- per-vertex views -------------------------------------------------
     def view(self, v: int) -> np.ndarray:
         """Zero-copy view of vertex *v*'s label (shares the flat buffer)."""

@@ -220,14 +220,30 @@ class QueryEngine:
         pairs = list(pairs)
         if not pairs:
             return np.empty(0, dtype=np.float64)
-        if not self.supports_batch_kernel():
-            out = np.empty(len(pairs), dtype=np.float64)
-            distance = self.distance
-            for idx, (s, t) in enumerate(pairs):
-                out[idx] = distance(s, t)
-            return out
         arr = np.asarray(pairs, dtype=np.int64)
-        out, _ = self._batch_kernel(arr[:, 0], arr[:, 1], want_hubs=False)
+        return self.distances_arrays(arr[:, 0], arr[:, 1])
+
+    def distances_arrays(self, s: np.ndarray, t: np.ndarray) -> np.ndarray:
+        """Batch distances over parallel source/target id arrays.
+
+        The array-native entry point to the zero-copy kernel: callers
+        that already hold vertex ids as numpy arrays (the sharded
+        engine's source-to-boundary fans, bulk matrix fills) skip the
+        pair-list round trip entirely.
+        """
+        s = np.asarray(s, dtype=np.int64)
+        t = np.asarray(t, dtype=np.int64)
+        if len(s) != len(t):
+            raise ValueError(f"length mismatch: {len(s)} sources, {len(t)} targets")
+        if not len(s):
+            return np.empty(0, dtype=np.float64)
+        if not self.supports_batch_kernel():
+            out = np.empty(len(s), dtype=np.float64)
+            distance = self.distance
+            for idx in range(len(s)):
+                out[idx] = distance(int(s[idx]), int(t[idx]))
+            return out
+        out, _ = self._batch_kernel(s, t, want_hubs=False)
         return out
 
     def distances_with_hubs(

@@ -19,6 +19,11 @@ from repro.partition.matching import hopcroft_karp
 from repro.partition.separator import minimum_vertex_separator
 from repro.partition.multilevel import multilevel_bisection
 from repro.partition.recursive import PartitionTreeNode, recursive_bisection
+from repro.partition.regions import (
+    RegionPartition,
+    partition_regions,
+    regions_from_assignment,
+)
 
 __all__ = [
     "Bipartition",
@@ -28,4 +33,7 @@ __all__ = [
     "multilevel_bisection",
     "PartitionTreeNode",
     "recursive_bisection",
+    "RegionPartition",
+    "partition_regions",
+    "regions_from_assignment",
 ]

@@ -24,6 +24,7 @@ from repro.service.workload import (
     QueryBatch,
     ReplayReport,
     UpdateBatch,
+    commute_traffic,
     replay,
     rush_hour_traffic,
     uniform_traffic,
@@ -45,6 +46,7 @@ __all__ = [
     "QueryBatch",
     "UpdateBatch",
     "ReplayReport",
+    "commute_traffic",
     "replay",
     "rush_hour_traffic",
     "uniform_traffic",

@@ -26,11 +26,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable, Sequence, Union
 
 import numpy as np
 
 from repro.core.index import DHLIndex
+from repro.core.sharded import ShardedDHLIndex
 from repro.labelling.maintenance import MaintenanceStats
 from repro.service.cache import CacheStats, EpochLRUCache
 from repro.service.coalescer import CoalescerStats, UpdateCoalescer
@@ -39,6 +40,8 @@ from repro.service.metrics import LatencyRecorder, LatencySummary, Timer
 __all__ = ["ServiceStats", "DistanceService"]
 
 WeightChange = tuple[int, int, float]
+#: Any index exposing the build/query/update facade the service drives.
+IndexBackend = Union[DHLIndex, ShardedDHLIndex]
 
 
 @dataclass(frozen=True)
@@ -76,15 +79,20 @@ class DistanceService:
     Parameters
     ----------
     index:
-        The built index; the service owns its update path (submit weight
-        changes through the service, not the index, or flush manually).
+        The built index — monolithic :class:`DHLIndex` or region-sharded
+        :class:`ShardedDHLIndex`; the service owns its update path
+        (submit weight changes through the service, not the index, or
+        flush manually).
     cache_capacity:
         Maximum cached pair results (LRU beyond that).
     fine_grained_eviction:
         When True, a flush evicts only cached pairs whose endpoint or
         hub was touched by the update (``MaintenanceStats``'s affected
         label vertices and shortcut endpoints); when False, the whole
-        cache is invalidated by an O(1) epoch watermark bump.
+        cache is invalidated by an O(1) epoch watermark bump. Backends
+        that cannot certify per-pair staleness (the sharded index, whose
+        distances also depend on boundary/overlay labels) downgrade this
+        to the epoch watermark automatically.
     flush_threshold:
         Auto-flush once this many distinct edges are buffered.
     auto_flush_on_query:
@@ -97,7 +105,7 @@ class DistanceService:
 
     def __init__(
         self,
-        index: DHLIndex,
+        index: IndexBackend,
         *,
         cache_capacity: int = 65_536,
         fine_grained_eviction: bool = False,
@@ -108,7 +116,9 @@ class DistanceService:
         self.index = index
         self.cache = EpochLRUCache(cache_capacity)
         self.coalescer = UpdateCoalescer()
-        self.fine_grained_eviction = fine_grained_eviction
+        self.fine_grained_eviction = fine_grained_eviction and getattr(
+            index, "supports_fine_grained_eviction", True
+        )
         self.flush_threshold = max(1, flush_threshold)
         self.auto_flush_on_query = auto_flush_on_query
         self.workers = workers

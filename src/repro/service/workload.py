@@ -9,7 +9,11 @@ service actually sees:
   airports) where a result cache should shine;
 * :func:`rush_hour_traffic` — congestion cycles: arterial edges ramp up
   in consecutive bursts (exercising the coalescer), a query storm hits
-  while congested, then weights clear and off-peak queries trickle.
+  while congested, then weights clear and off-peak queries trickle;
+* :func:`commute_traffic` — cross-region commutes: every query pair
+  straddles a partition boundary and weight churn is biased onto the
+  cut edges, the worst case for a region-sharded backend (no query is
+  answerable by one shard; most updates force overlay refreshes).
 
 Events are generated up-front against the graph's *base* weights, so a
 replay is deterministic for a given seed and always ends with the graph
@@ -35,6 +39,7 @@ __all__ = [
     "uniform_traffic",
     "zipf_hotspot_traffic",
     "rush_hour_traffic",
+    "commute_traffic",
     "replay",
     "ReplayReport",
 ]
@@ -195,6 +200,66 @@ def rush_hour_traffic(
             events.append(
                 QueryBatch(tuple(sample_pairs(n, offpeak_batch_size, rng)))
             )
+    return events
+
+
+def commute_traffic(
+    graph: Graph,
+    region_of: np.ndarray,
+    *,
+    boundary: "list[list[int]] | None" = None,
+    query_batches: int = 50,
+    batch_size: int = 200,
+    update_every: int = 5,
+    update_size: int = 16,
+    cut_edge_bias: float = 0.5,
+    seed: int | np.random.Generator | None = 0,
+) -> list[Event]:
+    """Cross-region commute stream over a fixed region assignment.
+
+    Query pairs always straddle two regions (drawn via
+    :func:`repro.experiments.workloads.cross_region_pairs`, boundary-
+    biased when *boundary* is given); periodic weight churn picks cut
+    edges with probability *cut_edge_bias* — the exact updates that
+    force a sharded backend to refresh its overlay.
+    """
+    from repro.experiments.workloads import cross_region_pairs
+
+    rng = make_rng(seed)
+    region_of = np.asarray(region_of, dtype=np.int64)
+    edges = _finite_edges(graph)
+    cut = [
+        (u, v, w) for u, v, w in edges if region_of[u] != region_of[v]
+    ]
+    factors = (0.5, 0.75, 1.5, 2.0)
+
+    def churn() -> UpdateBatch:
+        changes = []
+        seen: set[tuple[int, int]] = set()
+        while len(changes) < min(update_size, len(edges)):
+            pool = cut if cut and rng.random() < cut_edge_bias else edges
+            u, v, w = pool[int(rng.integers(len(pool)))]
+            if (u, v) in seen:
+                continue
+            seen.add((u, v))
+            factor = factors[int(rng.integers(len(factors)))]
+            changes.append((u, v, _scaled(w, factor)))
+        return UpdateBatch(tuple(changes))
+
+    events: list[Event] = []
+    for batch_no in range(query_batches):
+        if update_every and batch_no and batch_no % update_every == 0:
+            events.append(churn())
+        events.append(
+            QueryBatch(
+                tuple(
+                    cross_region_pairs(
+                        region_of, batch_size, rng, boundary=boundary
+                    )
+                )
+            )
+        )
+    events.append(UpdateBatch(tuple((u, v, w) for u, v, w in edges)))
     return events
 
 

@@ -1,0 +1,194 @@
+"""Shard-routed query kernel for the sharded index.
+
+Batch pairs are grouped by ``(source region, target region)``:
+
+* **intra-shard** groups go straight to the owning shard's zero-copy
+  flat-store kernel;
+* **every** group additionally considers the boundary route — the
+  min-plus combine ``min over (b1, b2)`` of
+  ``d_shard(s, b1) + d_overlay(b1, b2) + d_shard(b2, t)`` — because a
+  shortest path may leave and re-enter a region. Source/target fans are
+  answered by the shards' batch kernel (duplicated endpoints computed
+  once), and the overlay boundary-to-boundary block is a per-region-pair
+  matrix cached until the overlay's maintenance epoch moves.
+
+For cross-region pairs the intra-shard term is skipped (no such path
+exists); for regions without boundary vertices (k = 1, or an isolated
+region) the boundary route is skipped.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["ShardedQueryEngine"]
+
+# Cap for the (pairs x |B_i| x |B_j|) min-plus intermediate, in cells.
+_MIN_PLUS_CELLS = 4_000_000
+
+
+class ShardedQueryEngine:
+    """Distance oracle routing between region shards and the overlay."""
+
+    def __init__(self, owner):
+        # ``owner`` is the ShardedDHLIndex; the engine reads its shard
+        # list, overlay index and id-mapping arrays but owns no state
+        # beyond the overlay block cache.
+        self.owner = owner
+        self._blocks: dict[tuple[int, int], np.ndarray] = {}
+        self._blocks_epoch = -1
+
+    # ------------------------------------------------------------------
+    # overlay boundary-to-boundary blocks
+    # ------------------------------------------------------------------
+    def _overlay_block(self, i: int, j: int) -> np.ndarray:
+        """``(|B_i|, |B_j|)`` overlay distances, cached per overlay epoch.
+
+        The overlay is undirected, so only the ``i <= j`` orientation is
+        computed and stored; the reverse is served as its transpose.
+        """
+        owner = self.owner
+        overlay = owner.overlay
+        epoch = overlay.epoch if overlay is not None else 0
+        if epoch != self._blocks_epoch:
+            self._blocks.clear()
+            self._blocks_epoch = epoch
+        a, b = (i, j) if i <= j else (j, i)
+        block = self._blocks.get((a, b))
+        if block is None:
+            ba = owner.boundary_overlay[a]
+            bb = owner.boundary_overlay[b]
+            s = np.repeat(ba, len(bb))
+            t = np.tile(bb, len(ba))
+            block = overlay.engine.distances_arrays(s, t).reshape(len(ba), len(bb))
+            self._blocks[(a, b)] = block
+        return block if (a, b) == (i, j) else block.T
+
+    def _boundary_fan(
+        self, shard, sources_local: np.ndarray, boundary_local: np.ndarray
+    ) -> np.ndarray:
+        """``(len(sources), |B|)`` shard distances to the boundary set.
+
+        Duplicate sources (hot endpoints, k-nearest fans) collapse to
+        one kernel row each.
+        """
+        uniq, inverse = np.unique(sources_local, return_inverse=True)
+        s = np.repeat(uniq, len(boundary_local))
+        t = np.tile(boundary_local, len(uniq))
+        matrix = shard.engine.distances_arrays(s, t).reshape(
+            len(uniq), len(boundary_local)
+        )
+        return matrix[inverse]
+
+    @staticmethod
+    def _min_plus(ds: np.ndarray, block: np.ndarray, dt: np.ndarray) -> np.ndarray:
+        """Row-wise ``min_{a,b} ds[p,a] + block[a,b] + dt[p,b]``."""
+        count, width_a = ds.shape
+        width_b = dt.shape[1]
+        out = np.empty(count, dtype=np.float64)
+        chunk = max(1, _MIN_PLUS_CELLS // max(1, width_a * width_b))
+        for lo in range(0, count, chunk):
+            hi = min(lo + chunk, count)
+            # Collapse the first hop: tmp[p, b] = min_a ds[p, a] + block[a, b].
+            tmp = (ds[lo:hi, :, None] + block[None, :, :]).min(axis=1)
+            out[lo:hi] = (tmp + dt[lo:hi]).min(axis=1)
+        return out
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def distances_arrays(self, s: np.ndarray, t: np.ndarray) -> np.ndarray:
+        """Batch distances over parallel global-id arrays."""
+        owner = self.owner
+        s = np.asarray(s, dtype=np.int64)
+        t = np.asarray(t, dtype=np.int64)
+        if not len(s):
+            return np.empty(0, dtype=np.float64)
+        region_of = owner.region_of
+        local_of = owner.local_of
+        rs = region_of[s]
+        rt = region_of[t]
+        out = np.full(len(s), np.inf, dtype=np.float64)
+        # Group pairs by (region_s, region_t); each group is answered in
+        # two vectorised strokes (shard kernel + min-plus combine).
+        key = rs * owner.k + rt
+        order = np.argsort(key, kind="stable")
+        sorted_key = key[order]
+        starts = np.flatnonzero(np.r_[True, sorted_key[1:] != sorted_key[:-1]])
+        bounds = np.r_[starts, len(sorted_key)]
+        for g in range(len(starts)):
+            idx = order[bounds[g] : bounds[g + 1]]
+            i = int(rs[idx[0]])
+            j = int(rt[idx[0]])
+            s_local = local_of[s[idx]]
+            t_local = local_of[t[idx]]
+            if i == j:
+                best = owner.shards[i].engine.distances_arrays(s_local, t_local)
+            else:
+                best = np.full(len(idx), np.inf, dtype=np.float64)
+            bi = owner.boundary_local[i]
+            bj = owner.boundary_local[j]
+            if owner.overlay is not None and len(bi) and len(bj):
+                ds = self._boundary_fan(owner.shards[i], s_local, bi)
+                dt = self._boundary_fan(owner.shards[j], t_local, bj)
+                block = self._overlay_block(i, j)
+                best = np.minimum(best, self._min_plus(ds, block, dt))
+            out[idx] = best
+        out[s == t] = 0.0
+        return out
+
+    def distances(self, pairs: Sequence[tuple[int, int]]) -> np.ndarray:
+        """Batch distances for ``(s, t)`` pairs (global ids)."""
+        pairs = list(pairs)
+        if not pairs:
+            return np.empty(0, dtype=np.float64)
+        arr = np.asarray(pairs, dtype=np.int64)
+        return self.distances_arrays(arr[:, 0], arr[:, 1])
+
+    def distance(self, s: int, t: int) -> float:
+        """Exact shortest-path distance (``inf`` when disconnected)."""
+        return float(self.distances_arrays(np.array([s]), np.array([t]))[0])
+
+    # ------------------------------------------------------------------
+    # hub-compatible surface (service cache integration)
+    # ------------------------------------------------------------------
+    def distance_with_hub(self, s: int, t: int) -> tuple[float, int]:
+        """Distance plus a hub placeholder.
+
+        A sharded distance is not a function of two label arrays alone
+        (boundary and overlay labels participate), so no single hub
+        vertex certifies it; -1 is returned and the serving layer falls
+        back to coarse epoch invalidation.
+        """
+        return self.distance(s, t), -1
+
+    def distances_with_hubs(
+        self, pairs: Sequence[tuple[int, int]]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batch counterpart of :meth:`distance_with_hub` (hubs all -1)."""
+        out = self.distances(pairs)
+        return out, np.full(len(out), -1, dtype=np.int64)
+
+    def search_space_size(self, s: int, t: int) -> int:
+        """Label entries a pair inspects (shard fans + overlay block)."""
+        owner = self.owner
+        i = int(owner.region_of[s])
+        j = int(owner.region_of[t])
+        size = 0
+        if i == j:
+            size += owner.shards[i].engine.search_space_size(
+                int(owner.local_of[s]), int(owner.local_of[t])
+            )
+        size += len(owner.boundary_local[i]) + len(owner.boundary_local[j])
+        return size
+
+    def invalidate_blocks(self) -> None:
+        """Drop cached overlay blocks (called after overlay maintenance)."""
+        self._blocks.clear()
+        self._blocks_epoch = -1
+
+    def __repr__(self) -> str:  # pragma: no cover - repr sugar
+        cached = sum(b.size for b in self._blocks.values())
+        return f"ShardedQueryEngine(k={self.owner.k}, cached_block_cells={cached})"

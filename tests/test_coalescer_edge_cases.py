@@ -1,0 +1,83 @@
+"""Update-coalescer edge cases: no-ops, reversed duplicates, empty flushes."""
+
+from __future__ import annotations
+
+from repro.core.config import DHLConfig
+from repro.core.index import DHLIndex
+from repro.graph.generators import delaunay_network
+from repro.service.coalescer import UpdateCoalescer
+from repro.service.service import DistanceService
+
+
+def build_index():
+    graph = delaunay_network(120, seed=21, style="city", edge_factor=1.35)
+    return DHLIndex.build(graph, DHLConfig(seed=0))
+
+
+def first_edge(graph):
+    return next(iter(graph.edges()))
+
+
+def test_resetting_current_weight_is_dropped_as_noop():
+    index = build_index()
+    u, v, w = first_edge(index.graph)
+    coalescer = UpdateCoalescer()
+    coalescer.add(u, v, w)  # re-report of the live weight
+    assert coalescer.pending_edges == 1  # buffered: graph not consulted yet
+    batch = coalescer.drain(index.graph)
+    assert batch.size == 0
+    assert batch.noops == 1
+    assert coalescer.stats().noops_dropped == 1
+    assert not coalescer
+
+
+def test_reversed_duplicate_edge_merges_to_one_change():
+    index = build_index()
+    u, v, w = first_edge(index.graph)
+    coalescer = UpdateCoalescer()
+    coalescer.add(u, v, 2.0 * w)
+    coalescer.add(v, u, 3.0 * w)  # same road, reversed endpoints
+    assert coalescer.pending_edges == 1
+    assert coalescer.stats().merged_duplicates == 1
+    batch = coalescer.drain(index.graph)
+    assert batch.size == 1
+    ((bu, bv, bw),) = batch.changes()
+    assert {bu, bv} == {u, v}
+    assert bw == 3.0 * w  # last write wins across orientations
+
+
+def test_empty_coalesced_batch_leaves_epoch_untouched():
+    index = build_index()
+    u, v, w = first_edge(index.graph)
+    service = DistanceService(index)
+    before = index.epoch
+
+    # Flush with nothing buffered.
+    service.flush()
+    assert index.epoch == before
+
+    # Raise-then-restore coalesces to a no-op: nothing reaches the index.
+    service.submit(u, v, 2.0 * w)
+    service.submit(v, u, w)
+    service.flush()
+    assert index.epoch == before
+
+    # Re-reporting the current weight is equally free.
+    service.submit(u, v, w)
+    service.flush()
+    assert index.epoch == before
+
+    # A real change does bump the epoch — the guard is not inert.
+    service.submit(u, v, 2.0 * w)
+    service.flush()
+    assert index.epoch == before + 1
+
+
+def test_index_level_coalescing_matches_service_semantics():
+    index = build_index()
+    u, v, w = first_edge(index.graph)
+    before = index.epoch
+    stats = index.update_coalesced([(u, v, 5.0 * w), (v, u, w)])
+    assert index.epoch == before  # net no-op applied nothing
+    assert stats.shortcuts_changed == 0
+    assert stats.labels_changed == 0

@@ -67,3 +67,30 @@ class TestSaveLoad:
         small_index.save(tmp_path / "idx")
         assert (tmp_path / "idx" / "manifest.json").exists()
         assert (tmp_path / "idx" / "arrays.npz").exists()
+
+
+class TestDirectedLogicalDeletionRoundTrip:
+    def test_saved_inf_arcs_reload(self, tmp_path):
+        """Logically deleted arcs (weight inf) must survive save/load.
+
+        The loader rebuilds the digraph arc by arc; add_arc rejects
+        infinite weights, so deleted slots need the allocate-then-mark
+        pattern the graph constructors use.
+        """
+        import math
+
+        from repro.core.directed import DirectedDHLIndex
+        from repro.graph.digraph import DiGraph
+        from repro.graph.generators import random_connected_graph
+
+        g = random_connected_graph(30, extra_edges=25, seed=3)
+        dg = DiGraph.from_undirected(g)
+        index = DirectedDHLIndex.build(dg, DHLConfig(leaf_size=4, seed=0))
+        u, v, _ = next(iter(dg.arcs()))
+        index.increase([(u, v, math.inf)])  # logical deletion
+        index.save(tmp_path / "idx")
+        loaded = DirectedDHLIndex.load(tmp_path / "idx")
+        assert math.isinf(loaded.digraph.weight(u, v))
+        pairs = [(s, t) for s in range(0, 30, 5) for t in range(0, 30, 7)]
+        for s, t in pairs:
+            assert loaded.distance(s, t) == index.distance(s, t)
