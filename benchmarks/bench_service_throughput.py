@@ -19,15 +19,20 @@ the committed baseline. It also exercises the k=4 sharded backend:
 interleaved monolithic-vs-sharded build timings, uniform and
 cross-region query throughput (checked for exact agreement with the
 monolithic index), and the update-isolation evidence that an
-intra-region batch touches only its owning shard. Pass
-``--shard-breakdown-out`` to dump the per-shard build-time breakdown
-(uploaded as a CI artifact).
+intra-region batch touches only its owning shard. The same sharded
+index is then served through a :class:`ShardWorkerRuntime` worker pool:
+batch throughput on both query sets (checked for exact agreement), the
+batch-scheduler split counters, and the epoch-broadcast evidence that a
+maintenance flush reaches workers as shared-memory *deltas* (no
+republish). Pass ``--shard-breakdown-out`` to dump the per-shard
+build-time breakdown (uploaded as a CI artifact).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import time
 from pathlib import Path
@@ -167,8 +172,6 @@ def run_sharded_quick(
     best-of-N samples) so a transient load spike on a shared runner
     cannot skew the speedup ratio by hitting only one side.
     """
-    import os
-
     from repro.core.sharded import ShardedDHLIndex
     from repro.experiments.workloads import cross_region_pairs, random_query_pairs
 
@@ -225,6 +228,16 @@ def run_sharded_quick(
     restore = [(u, v, graph.weight(u, v)) for u, v, _ in batch]
     sharded.update(restore)
 
+    worker_metrics, worker_breakdown = run_worker_pool_quick(
+        sharded,
+        index,
+        uniform,
+        commute,
+        repeats,
+        sharded_uniform_qps=sharded_uniform_qps,
+        sharded_cross_qps=sharded_cross_qps,
+    )
+
     metrics = {
         "monolithic_build_seconds": round(monolithic_build_seconds, 3),
         "sharded_build_seconds": round(sharded_build_seconds, 3),
@@ -237,9 +250,11 @@ def run_sharded_quick(
             mono_cross_qps / max(sharded_cross_qps, 1e-9), 3
         ),
         "update_touched_shards": len(touched),
+        **worker_metrics,
     }
     breakdown = {
         "k": sharded.k,
+        "worker_pool": worker_breakdown,
         "build_workers": workers,
         "parallel_build": stats.build.parallel,
         "partition_seconds": round(stats.partition_seconds, 4),
@@ -259,6 +274,83 @@ def run_sharded_quick(
         },
     }
     return metrics, breakdown
+
+
+def run_worker_pool_quick(
+    sharded,
+    index: DHLIndex,
+    uniform,
+    commute,
+    repeats: int,
+    *,
+    sharded_uniform_qps: float,
+    sharded_cross_qps: float,
+) -> tuple[dict, dict]:
+    """Worker-pool runtime measurements over the already-built shards.
+
+    Returns ``(metrics, breakdown)``: batch throughput on the same pair
+    sets the in-process backend answered (exact agreement enforced),
+    the in-process-to-worker-pool ratio the gate checks (interpreted
+    against ``meta.cpu_count`` — a single-core runner can only measure
+    scheduling overhead, never a parallel win), and the scheduler-split
+    plus epoch-broadcast counters. The maintenance probe asserts the
+    worker sync used the delta path: one shared-memory delta broadcast,
+    zero whole-buffer republishes.
+    """
+    from repro.service.workers import ShardWorkerRuntime
+
+    num_pairs = len(uniform)
+    runtime = ShardWorkerRuntime(sharded)
+    try:
+        if not np.array_equal(index.distances(uniform), runtime.distances(uniform)):
+            raise AssertionError("worker pool disagrees with monolithic (uniform)")
+        if not np.array_equal(index.distances(commute), runtime.distances(commute)):
+            raise AssertionError("worker pool disagrees with monolithic (commute)")
+
+        worker_uniform_qps = num_pairs / _best_seconds(
+            lambda: runtime.distances(uniform), repeats
+        )
+        worker_cross_qps = num_pairs / _best_seconds(
+            lambda: runtime.distances(commute), repeats
+        )
+
+        # Maintenance through the runtime: the flush must reach workers
+        # as an in-place delta plus an epoch broadcast, not a republish.
+        from repro.experiments.sharded import intra_region_update_batch
+
+        graph = sharded.graph
+        rid, batch = intra_region_update_batch(sharded, size=16)
+        restore = [(u, v, graph.weight(u, v)) for u, v, _ in batch]
+        runtime.apply_update(batch)
+        index.update(batch)
+        if not np.array_equal(
+            index.distances(commute), runtime.distances(commute)
+        ):
+            raise AssertionError("worker pool stale after epoch broadcast")
+        runtime.apply_update(restore)
+        index.update(restore)
+        scheduler = runtime.stats.as_dict()
+
+        metrics = {
+            "worker_uniform_qps": round(worker_uniform_qps, 1),
+            "worker_cross_qps": round(worker_cross_qps, 1),
+            "worker_pool_over_inprocess": round(
+                worker_cross_qps / max(sharded_cross_qps, 1e-9), 3
+            ),
+            "worker_pool_over_inprocess_uniform": round(
+                worker_uniform_qps / max(sharded_uniform_qps, 1e-9), 3
+            ),
+            "worker_republishes": scheduler["republishes"],
+            "worker_delta_syncs": scheduler["delta_syncs"],
+        }
+        breakdown = {
+            "workers": runtime.worker_count,
+            "backend": runtime.backend,
+            "scheduler": scheduler,
+        }
+        return metrics, breakdown
+    finally:
+        runtime.close()
 
 
 def run_quick(
@@ -320,6 +412,9 @@ def run_quick(
             "pairs": num_pairs,
             "height": index.hq.height,
             "python": platform.python_version(),
+            # The worker-pool gate is interpreted against this: a
+            # single-core runner cannot show a parallel win.
+            "cpu_count": os.cpu_count() or 1,
             "mode": "quick",
         },
         "metrics": {

@@ -80,6 +80,8 @@ class _DirectionView:
 class DirectedDHLIndex:
     """DHL index over a directed graph with forward and reverse labels."""
 
+    kind = "directed"
+
     def __init__(
         self,
         digraph: DiGraph,

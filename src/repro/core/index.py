@@ -58,6 +58,8 @@ class DHLIndex:
     hierarchies and labels stay consistent.
     """
 
+    kind = "monolithic"
+
     def __init__(
         self,
         graph: Graph,

@@ -62,8 +62,14 @@ def _unflatten(flat: np.ndarray, offsets: np.ndarray) -> list[np.ndarray]:
 
 
 def _save_labels(path: Path, labels: HierarchicalLabelling, prefix: str) -> None:
-    """Dump the flat store as two bare .npy files (mmap-able on load)."""
-    values, offsets = labels.packed()
+    """Dump the flat store as two bare .npy files (mmap-able on load).
+
+    Uses the same packed ``(values, offsets)`` pair that shard workers
+    attach over shared memory (:meth:`HierarchicalLabelling
+    .export_buffers`), so the on-disk layout and the cross-process
+    layout are one format.
+    """
+    values, offsets = labels.export_buffers()
     np.save(path / f"{prefix}_values.npy", np.ascontiguousarray(values))
     np.save(path / f"{prefix}_offsets.npy", offsets)
 

@@ -354,6 +354,64 @@ class ShardedDHLIndex:
         return self.update([(u, v, w) for (u, v), w in final.items()], workers)
 
     # ------------------------------------------------------------------
+    # cross-process serving hooks (shared-memory shard workers)
+    # ------------------------------------------------------------------
+    def shard_buffers(self, sid: int) -> tuple[np.ndarray, np.ndarray]:
+        """Shard *sid*'s packed ``(label_values, label_offsets)`` pair.
+
+        The exact buffers a serving runtime publishes once into
+        ``multiprocessing.shared_memory`` so worker processes can gather
+        zero-copy — the same two-array layout the v3 snapshot writes to
+        disk (:meth:`~repro.labelling.labels.HierarchicalLabelling
+        .export_buffers`).
+        """
+        return self.shards[sid].labels.export_buffers()
+
+    def shard_worker_payload(self, sid: int) -> bytes:
+        """Shard *sid*'s structure, pickled with the label payload elided.
+
+        Everything a worker process needs to answer shard-local queries
+        — graph, hierarchies, config, and the shard's boundary vertex
+        ids — *except* the label buffers, which the worker attaches via
+        shared memory (:meth:`shard_buffers`) and re-binds with
+        :meth:`~repro.labelling.labels.HierarchicalLabelling
+        .from_shared_buffers`. Shipped once per worker at startup; label
+        maintenance afterwards travels as in-place shared-memory deltas,
+        never as a re-pickle.
+        """
+        import pickle
+
+        from repro.labelling.labels import HierarchicalLabelling
+
+        shard = self.shards[sid]
+        labels = shard.labels
+        engine = shard._engine
+        n = labels.num_vertices
+        stub = HierarchicalLabelling(
+            np.empty(0, dtype=np.float64),
+            np.zeros(n + 1, dtype=np.int64),
+            np.zeros(n, dtype=np.int64),
+            labels.tau,
+        )
+        # Temporarily detach the store (and the engine bound to it) so the
+        # pickle carries structure only; restored before returning.
+        shard.labels = stub
+        shard._engine = None
+        try:
+            return pickle.dumps(
+                {
+                    "index": shard,
+                    "boundary_local": np.asarray(
+                        self.boundary_local[sid], dtype=np.int64
+                    ),
+                },
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        finally:
+            shard.labels = labels
+            shard._engine = engine
+
+    # ------------------------------------------------------------------
     # persistence and introspection
     # ------------------------------------------------------------------
     def stats(self) -> ShardedIndexStats:

@@ -18,6 +18,8 @@ __all__ = [
     "IndexBuildError",
     "MaintenanceError",
     "SerializationError",
+    "ServiceRuntimeError",
+    "WorkerEpochError",
 ]
 
 
@@ -68,3 +70,11 @@ class MaintenanceError(ReproError):
 
 class SerializationError(ReproError):
     """Saving or loading an index failed."""
+
+
+class ServiceRuntimeError(ReproError):
+    """A serving execution runtime (worker pool, shared memory) failed."""
+
+
+class WorkerEpochError(ServiceRuntimeError):
+    """A shard worker refused a batch stamped with an epoch it does not hold."""

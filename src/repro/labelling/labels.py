@@ -183,6 +183,34 @@ class HierarchicalLabelling:
         self._views = None
         return self.view(v)
 
+    # -- cross-process buffer publication ---------------------------------
+    def export_buffers(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(values, offsets)`` packed for publication outside this process.
+
+        The two arrays are exactly the format-v3 snapshot layout
+        (``label_values.npy`` + ``label_offsets.npy``) and exactly what
+        :meth:`from_shared_buffers` re-binds on the far side, so the same
+        buffers serve disk snapshots, memory maps, and shared-memory
+        shard workers. Zero-copy when the store is already packed.
+        """
+        return self.packed()
+
+    @classmethod
+    def from_shared_buffers(
+        cls, values: np.ndarray, offsets: np.ndarray, tau: np.ndarray
+    ) -> "HierarchicalLabelling":
+        """Bind a labelling onto externally owned buffers without copying.
+
+        ``values``/``offsets`` are the :meth:`export_buffers` pair —
+        typically numpy views over ``multiprocessing.shared_memory``
+        segments published by another process. The store keeps reading
+        whatever the owner writes into those buffers, which is how shard
+        workers observe the parent's delta re-publishes; callers that
+        mutate must coordinate an epoch protocol around it.
+        """
+        offsets = np.asarray(offsets, dtype=np.int64)
+        return cls(values, offsets, np.diff(offsets), tau)
+
     # -- packed export ----------------------------------------------------
     @property
     def is_packed(self) -> bool:

@@ -10,6 +10,10 @@ service:
   fine-grained per-vertex invalidation (:mod:`repro.service.cache`);
 * :class:`UpdateCoalescer` — folds redundant change streams into one
   maintenance batch (:mod:`repro.service.coalescer`);
+* :class:`ExecutionRuntime` — the pluggable execution layer: queries
+  and maintenance run in-process (:class:`InProcessRuntime`) or across
+  shared-memory shard worker processes (:class:`ShardWorkerRuntime`,
+  :mod:`repro.service.workers`);
 * :mod:`repro.service.workload` — uniform / Zipf-hotspot / rush-hour
   traffic generators and the :func:`replay` driver;
 * :mod:`repro.service.metrics` — latency percentile recorders.
@@ -18,7 +22,9 @@ service:
 from repro.service.cache import CacheStats, EpochLRUCache
 from repro.service.coalescer import CoalescedBatch, CoalescerStats, UpdateCoalescer
 from repro.service.metrics import LatencyRecorder, LatencySummary, Timer
+from repro.service.runtime import ExecutionRuntime, InProcessRuntime
 from repro.service.service import DistanceService, ServiceStats
+from repro.service.workers import ShardWorkerRuntime, WorkerPoolStats
 from repro.service.workload import (
     Event,
     QueryBatch,
@@ -40,6 +46,10 @@ __all__ = [
     "LatencyRecorder",
     "LatencySummary",
     "Timer",
+    "ExecutionRuntime",
+    "InProcessRuntime",
+    "ShardWorkerRuntime",
+    "WorkerPoolStats",
     "DistanceService",
     "ServiceStats",
     "Event",

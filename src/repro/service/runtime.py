@@ -1,0 +1,147 @@
+"""The pluggable execution layer under :class:`DistanceService`.
+
+The serving frontend (cache, coalescer, latency accounting) is backend
+agnostic: all query execution and index maintenance is delegated to an
+:class:`ExecutionRuntime`. Two implementations exist:
+
+* :class:`InProcessRuntime` — the index's own query engine and update
+  path, running in the service's process. Works with every backend
+  (monolithic, directed, sharded) and is the default.
+* :class:`~repro.service.workers.ShardWorkerRuntime` — each region
+  shard of a :class:`~repro.core.sharded.ShardedDHLIndex` is hosted in
+  a long-lived worker process that attaches the shard's flat label
+  buffers over ``multiprocessing.shared_memory``; queries are split
+  into per-shard sub-batches dispatched concurrently, so throughput is
+  no longer capped by one interpreter's GIL.
+
+Runtimes own operating-system resources (processes, shared-memory
+segments); callers must :meth:`~ExecutionRuntime.close` them — the
+service forwards its own ``close()``/context-manager exit.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.labelling.maintenance import MaintenanceStats
+
+__all__ = ["ExecutionRuntime", "InProcessRuntime"]
+
+WeightChange = tuple[int, int, float]
+
+
+class ExecutionRuntime(abc.ABC):
+    """Where a :class:`DistanceService` executes queries and updates.
+
+    Implementations expose the built index as :attr:`index` (the service
+    reads its epoch and graph), answer pair batches, and apply
+    maintenance batches — keeping whatever execution substrate they
+    manage (nothing, worker processes, remote shards) consistent with
+    the index afterwards.
+    """
+
+    #: The index backend this runtime executes against.
+    index = None
+
+    @property
+    @abc.abstractmethod
+    def backend(self) -> str:
+        """Human-readable backend tag for stats/bench artifacts.
+
+        Examples: ``in-process/monolithic``, ``in-process/sharded``,
+        ``worker-pool/sharded[4 workers]``.
+        """
+
+    @property
+    def worker_count(self) -> int:
+        """Worker processes serving queries (0 for in-process)."""
+        return 0
+
+    @property
+    def supports_fine_grained_eviction(self) -> bool:
+        """Whether per-pair hubs certify cached results on this backend."""
+        return getattr(self.index, "supports_fine_grained_eviction", True)
+
+    # -- queries --------------------------------------------------------
+    @abc.abstractmethod
+    def distances(self, pairs: Sequence[tuple[int, int]]) -> np.ndarray:
+        """Batch distances for ``(s, t)`` global-id pairs."""
+
+    def distances_with_hubs(
+        self, pairs: Sequence[tuple[int, int]]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batch ``(distances, hubs)``; hub -1 where no hub certifies."""
+        out = self.distances(pairs)
+        return out, np.full(len(out), -1, dtype=np.int64)
+
+    def distance(self, s: int, t: int) -> float:
+        """Single-pair distance (batch round trip unless overridden)."""
+        return float(self.distances([(s, t)])[0])
+
+    def distance_with_hub(self, s: int, t: int) -> tuple[float, int]:
+        """Single-pair ``(distance, hub)`` counterpart."""
+        values, hubs = self.distances_with_hubs([(s, t)])
+        return float(values[0]), int(hubs[0])
+
+    # -- maintenance ----------------------------------------------------
+    @abc.abstractmethod
+    def apply_update(
+        self, changes: Iterable[WeightChange], workers: int | None = None
+    ) -> MaintenanceStats:
+        """Apply one weight-change batch and re-sync the substrate.
+
+        Implementations must leave every execution path (worker label
+        buffers, epochs) consistent with :attr:`index` before returning.
+        """
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Release runtime-owned resources; idempotent."""
+
+    def __enter__(self) -> "ExecutionRuntime":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class InProcessRuntime(ExecutionRuntime):
+    """Execute directly on the index's engine in the calling process.
+
+    This is the pre-runtime serving path extracted verbatim: batch
+    misses hit the backend's zero-copy kernel (or the sharded routing
+    engine), updates call the index's maintenance entry point. No
+    resources are owned, so :meth:`close` is a no-op.
+    """
+
+    def __init__(self, index):
+        self.index = index
+
+    @property
+    def backend(self) -> str:
+        return f"in-process/{getattr(self.index, 'kind', 'monolithic')}"
+
+    def distances(self, pairs: Sequence[tuple[int, int]]) -> np.ndarray:
+        return self.index.engine.distances(pairs)
+
+    def distances_with_hubs(
+        self, pairs: Sequence[tuple[int, int]]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        return self.index.engine.distances_with_hubs(pairs)
+
+    def distance(self, s: int, t: int) -> float:
+        return self.index.engine.distance(s, t)
+
+    def distance_with_hub(self, s: int, t: int) -> tuple[float, int]:
+        return self.index.engine.distance_with_hub(s, t)
+
+    def apply_update(
+        self, changes: Iterable[WeightChange], workers: int | None = None
+    ) -> MaintenanceStats:
+        return self.index.update(changes, workers)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr sugar
+        return f"InProcessRuntime({self.backend})"

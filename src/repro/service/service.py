@@ -17,6 +17,14 @@ query-heavy dynamic service needs:
    fresh state, the buffer hits ``flush_threshold``, or :meth:`flush`
    is called.
 
+The service itself is backend agnostic: query execution and maintenance
+are delegated to an :class:`~repro.service.runtime.ExecutionRuntime` —
+in-process over any index by default, or a
+:class:`~repro.service.workers.ShardWorkerRuntime` pool of
+shared-memory shard worker processes for multi-core serving. Runtimes
+may own processes and shared memory, so a service should be
+:meth:`close`\\ d (or used as a context manager) when it goes away.
+
 Queries always reflect every submitted update: by default the service
 flushes pending changes before answering, so coalescing trades no
 consistency — it only batches work between queries.
@@ -36,6 +44,7 @@ from repro.labelling.maintenance import MaintenanceStats
 from repro.service.cache import CacheStats, EpochLRUCache
 from repro.service.coalescer import CoalescerStats, UpdateCoalescer
 from repro.service.metrics import LatencyRecorder, LatencySummary, Timer
+from repro.service.runtime import ExecutionRuntime, InProcessRuntime
 
 __all__ = ["ServiceStats", "DistanceService"]
 
@@ -57,12 +66,17 @@ class ServiceStats:
     update_latency: LatencySummary
     shortcuts_changed: int
     labels_changed: int
+    #: Execution backend tag — ``in-process/monolithic``,
+    #: ``in-process/sharded``, ``worker-pool/sharded[4 workers]`` — so
+    #: bench artifacts and logs can tell runtimes apart.
+    backend: str = "in-process/monolithic"
 
     def summary(self) -> str:
         return "\n".join(
             [
                 f"epoch {self.epoch}: {self.queries} queries in "
                 f"{self.batches} calls",
+                f"  backend : {self.backend}",
                 f"  queries : {self.query_latency}",
                 f"  updates : {self.update_latency}",
                 f"  cache   : {self.cache}",
@@ -80,9 +94,12 @@ class DistanceService:
     ----------
     index:
         The built index — monolithic :class:`DHLIndex` or region-sharded
-        :class:`ShardedDHLIndex`; the service owns its update path
-        (submit weight changes through the service, not the index, or
-        flush manually).
+        :class:`ShardedDHLIndex` — *or* an already-constructed
+        :class:`~repro.service.runtime.ExecutionRuntime` wrapping one
+        (e.g. a :class:`~repro.service.workers.ShardWorkerRuntime`).
+        The service owns the update path (submit weight changes through
+        the service, not the index, or flush manually) and, when handed
+        a runtime, its lifecycle (:meth:`close` closes it).
     cache_capacity:
         Maximum cached pair results (LRU beyond that).
     fine_grained_eviction:
@@ -105,7 +122,7 @@ class DistanceService:
 
     def __init__(
         self,
-        index: IndexBackend,
+        index: IndexBackend | ExecutionRuntime,
         *,
         cache_capacity: int = 65_536,
         fine_grained_eviction: bool = False,
@@ -113,11 +130,15 @@ class DistanceService:
         auto_flush_on_query: bool = True,
         workers: int | None = None,
     ):
-        self.index = index
+        if isinstance(index, ExecutionRuntime):
+            self.runtime = index
+        else:
+            self.runtime = InProcessRuntime(index)
+        self.index = self.runtime.index
         self.cache = EpochLRUCache(cache_capacity)
         self.coalescer = UpdateCoalescer()
-        self.fine_grained_eviction = fine_grained_eviction and getattr(
-            index, "supports_fine_grained_eviction", True
+        self.fine_grained_eviction = (
+            fine_grained_eviction and self.runtime.supports_fine_grained_eviction
         )
         self.flush_threshold = max(1, flush_threshold)
         self.auto_flush_on_query = auto_flush_on_query
@@ -132,7 +153,7 @@ class DistanceService:
         # Updates applied directly on the index (structural ops, another
         # caller) advance the epoch without telling us which pairs moved,
         # so any drift forces a conservative full invalidation.
-        self._synced_epoch = index.epoch
+        self._synced_epoch = self.index.epoch
 
     # ------------------------------------------------------------------
     # queries
@@ -171,9 +192,9 @@ class DistanceService:
             return entry[0]
         # Hubs only earn their cost when fine-grained eviction reads them.
         if self.fine_grained_eviction:
-            value, hub = self.index.engine.distance_with_hub(s, t)
+            value, hub = self.runtime.distance_with_hub(s, t)
         else:
-            value, hub = self.index.engine.distance(s, t), -1
+            value, hub = self.runtime.distance(s, t), -1
         self.cache.put(key, value, hub, self.index.epoch)
         return value
 
@@ -196,10 +217,10 @@ class DistanceService:
         if miss_positions:
             keys = list(miss_positions)
             if self.fine_grained_eviction:
-                values, hubs = self.index.engine.distances_with_hubs(keys)
+                values, hubs = self.runtime.distances_with_hubs(keys)
                 hubs = hubs.tolist()
             else:
-                values = self.index.engine.distances(keys)
+                values = self.runtime.distances(keys)
                 hubs = [-1] * len(keys)
             epoch = self.index.epoch
             for key, value, hub in zip(keys, values, hubs):
@@ -247,7 +268,7 @@ class DistanceService:
         if not batch.size:
             return MaintenanceStats()
         with Timer() as timer:
-            stats = self.index.update(batch.changes(), self.workers)
+            stats = self.runtime.apply_update(batch.changes(), self.workers)
         self.update_latency.record(timer.seconds, batch.size)
         self._shortcuts_changed += stats.shortcuts_changed
         self._labels_changed += stats.labels_changed
@@ -279,6 +300,21 @@ class DistanceService:
             self._synced_epoch = epoch
 
     # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the runtime's resources (worker processes, shared
+        memory segments); idempotent. In-process runtimes own nothing,
+        so this is free — always safe to call."""
+        self.runtime.close()
+
+    def __enter__(self) -> "DistanceService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     def stats(self) -> ServiceStats:
@@ -292,10 +328,12 @@ class DistanceService:
             update_latency=self.update_latency.summary(),
             shortcuts_changed=self._shortcuts_changed,
             labels_changed=self._labels_changed,
+            backend=self.runtime.backend,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - repr sugar
         return (
             f"DistanceService(epoch={self.index.epoch}, "
+            f"backend={self.runtime.backend}, "
             f"cached={len(self.cache)}, pending={self.pending_updates})"
         )

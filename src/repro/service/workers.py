@@ -1,0 +1,773 @@
+"""Shared-memory shard workers: the multiprocess execution runtime.
+
+:class:`ShardWorkerRuntime` hosts each region shard of a
+:class:`~repro.core.sharded.ShardedDHLIndex` in a long-lived worker
+process. At startup the parent *publishes* every shard's packed flat
+label buffers (``label_values`` float64 + ``label_offsets`` int64 — the
+same two-array layout the v3 snapshots write to disk) into
+``multiprocessing.shared_memory`` segments; each worker attaches them
+and re-binds a :class:`~repro.labelling.labels.HierarchicalLabelling`
+onto the shared buffers, so the big label payload crosses the process
+boundary exactly once and queries gather from it zero-copy.
+
+**Batch scheduling.** An incoming pair batch is grouped by
+``(source region, target region)`` exactly like the in-process sharded
+engine; each group becomes worker requests dispatched concurrently
+(one I/O thread per worker, workers truly parallel across cores):
+intra-shard groups ask the owning worker for the shard-kernel distances
+plus both boundary fans in one round trip, cross-shard groups ask the
+two owning workers for one fan each. The parent then runs the overlay
+min-plus combine over the returned fans — the overlay index itself
+never leaves the parent.
+
+**Epoch broadcast.** ``apply_update`` runs maintenance in the parent
+(where the authoritative shards live), then re-publishes only what
+moved: for each touched shard the parent copies the *changed label
+slots* — driven by ``MaintenanceStats.affected_labels`` — into the
+shared segment in place and broadcasts the shard's new epoch. Workers
+stamp-check every batch and refuse one carrying a newer epoch than they
+hold (a missed broadcast), so a stale worker can never serve silently
+wrong distances. Only a label-layout change (an extended label slot, a
+store rebuild) falls back to publishing fresh segments.
+
+Worker processes are started with the ``spawn`` method — no fork-only
+assumptions — and every segment is unlinked by :meth:`close` (or the
+runtime's context manager), including on construction failure.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from multiprocessing import get_context, shared_memory
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ServiceRuntimeError, WorkerEpochError
+from repro.service.runtime import ExecutionRuntime
+from repro.sharding.engine import (
+    boundary_fan,
+    min_plus_compact,
+    region_pair_groups,
+)
+from repro.sharding.stats import ShardedMaintenanceStats
+
+__all__ = ["ShardWorkerRuntime", "WorkerPoolStats"]
+
+WeightChange = tuple[int, int, float]
+
+_STARTUP_TIMEOUT = 120.0
+_SHUTDOWN_TIMEOUT = 5.0
+
+
+# ---------------------------------------------------------------------------
+# shared-memory helpers
+# ---------------------------------------------------------------------------
+
+def _attach_shm(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing segment without adopting its lifetime.
+
+    The parent owns every segment (it created them and unlinks them in
+    ``close``); an attaching worker must not register the segment with
+    the resource tracker — spawned children share the *parent's*
+    tracker process, so a worker-side registration (or unregistration)
+    corrupts the parent's bookkeeping and can unlink live segments.
+    Python 3.13 has ``track=False`` for exactly this; older
+    interpreters suppress the registration call instead. The patch
+    window is safe: workers are single-threaded when attaching.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # py<3.13: no track parameter
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+
+        def skip_shared_memory(rname, rtype):
+            if rtype != "shared_memory":  # pragma: no cover - not hit here
+                original(rname, rtype)
+
+        resource_tracker.register = skip_shared_memory
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+@dataclass
+class _Segment:
+    """A parent-owned shared-memory segment and its numpy view."""
+
+    shm: shared_memory.SharedMemory
+    array: np.ndarray
+
+    @property
+    def meta(self) -> tuple[str, int]:
+        return self.shm.name, len(self.array)
+
+    def destroy(self) -> None:
+        self.array = None
+        self.shm.close()
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
+def _publish_array(array: np.ndarray, dtype) -> _Segment:
+    """Create a segment sized for *array* and copy the data in."""
+    array = np.ascontiguousarray(array, dtype=dtype)
+    shm = shared_memory.SharedMemory(create=True, size=max(1, array.nbytes))
+    view = np.ndarray(array.shape, dtype=dtype, buffer=shm.buf)
+    view[...] = array
+    return _Segment(shm, view)
+
+
+# ---------------------------------------------------------------------------
+# the worker process
+# ---------------------------------------------------------------------------
+
+def _worker_attach(index, values_meta, offsets_meta) -> list:
+    """Bind *index*'s labelling onto the published segments (zero-copy)."""
+    from repro.labelling.labels import HierarchicalLabelling
+    from repro.labelling.query import QueryEngine
+
+    values_shm = _attach_shm(values_meta[0])
+    offsets_shm = _attach_shm(offsets_meta[0])
+    values = np.ndarray((values_meta[1],), dtype=np.float64, buffer=values_shm.buf)
+    offsets = np.ndarray((offsets_meta[1],), dtype=np.int64, buffer=offsets_shm.buf)
+    # The parent is the only writer; a worker-side write would silently
+    # diverge from the authoritative store, so make it raise instead.
+    values.flags.writeable = False
+    offsets.flags.writeable = False
+    labels = HierarchicalLabelling.from_shared_buffers(values, offsets, index.hq.tau)
+    index.labels = labels
+    index._engine = QueryEngine(index.hq, labels)
+    return [values_shm, offsets_shm]
+
+
+def _worker_main(conn) -> None:
+    """One shard worker: attach buffers, answer requests until shutdown.
+
+    Runs as the target of a spawned process (module-level, so it is
+    importable under any start method). The protocol is one pickled
+    tuple per request, answered in order:
+
+    ``("spec", payload, values_meta, offsets_meta)``
+        First message. Unpickle the shard structure, attach the shared
+        label buffers, reply ``("ready", num_vertices)``.
+    ``("compute", epoch, subs)``
+        Answer one batch's worth of shard-local work at *epoch* — all
+        of this worker's sub-batches travel in one message, so a batch
+        costs one pipe round trip per worker. Each sub is
+        ``(s, t, fan_src, fan_dst, block)``: batch distances for the
+        ``s``/``t`` local-id arrays (or ``None``), boundary fans for
+        the ``fan_src``/``fan_dst`` arrays (or ``None``), and — for
+        intra-shard sub-batches — the overlay boundary block, so the
+        worker runs the min-plus combine itself and ships back one
+        final array instead of two fan matrices. The block only
+        changes with overlay maintenance, so the parent ships it once
+        per overlay epoch and sends the marker string ``"cached"``
+        afterwards; the worker keeps the last received block. Fans are
+        returned in deduplicated ``(unique_matrix, inverse)`` form, so
+        pipe bytes scale with unique endpoints, not raw pair count.
+        Replies ``("ok", [(best_or_intra, ds, dt), ...])`` — or
+        ``("stale", held, stamped)`` without touching the buffers when
+        the epoch does not match.
+    ``("epoch", new_epoch)``
+        The parent finished an in-place delta publish; adopt the epoch.
+    ``("republish", new_epoch, values_meta, offsets_meta)``
+        The label layout changed: detach, attach the new segments,
+        adopt the epoch. Replies ``("ok",)`` *before* the parent unlinks
+        the old segments.
+    ``("shutdown",)``
+        Reply ``("bye",)``, detach everything, exit.
+    """
+    index = None
+    boundary_local = None
+    shms: list = []
+    epoch = 0
+    cached_block = None
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:
+                break
+            op = message[0]
+            try:
+                if op == "spec":
+                    payload = pickle.loads(message[1])
+                    index = payload["index"]
+                    boundary_local = payload["boundary_local"]
+                    shms = _worker_attach(index, message[2], message[3])
+                    reply = ("ready", index.graph.num_vertices)
+                elif op == "compute":
+                    stamped = message[1]
+                    if stamped != epoch:
+                        reply = ("stale", epoch, stamped)
+                    else:
+                        engine = index.engine
+                        results = []
+                        for s, t, fan_src, fan_dst, block in message[2]:
+                            if isinstance(block, str):  # "cached" marker
+                                if cached_block is None:
+                                    raise RuntimeError(
+                                        "no cached overlay block held"
+                                    )
+                                block = cached_block
+                            elif block is not None:
+                                cached_block = block
+                            intra = (
+                                engine.distances_arrays(s, t)
+                                if s is not None
+                                else None
+                            )
+                            ds = (
+                                boundary_fan(
+                                    engine, fan_src, boundary_local, compact=True
+                                )
+                                if fan_src is not None
+                                else None
+                            )
+                            dt = (
+                                boundary_fan(
+                                    engine, fan_dst, boundary_local, compact=True
+                                )
+                                if fan_dst is not None
+                                else None
+                            )
+                            if block is not None:
+                                # Intra-shard sub: fold the boundary
+                                # route here, return the final array.
+                                best = min_plus_compact(
+                                    ds[0], ds[1], block, dt[0], dt[1]
+                                )
+                                if intra is not None:
+                                    best = np.minimum(intra, best)
+                                results.append((best, None, None))
+                            else:
+                                results.append((intra, ds, dt))
+                        reply = ("ok", results)
+                elif op == "epoch":
+                    epoch = message[1]
+                    reply = ("ok",)
+                elif op == "republish":
+                    old = shms
+                    shms = _worker_attach(index, message[2], message[3])
+                    for shm in old:
+                        shm.close()
+                    epoch = message[1]
+                    reply = ("ok",)
+                elif op == "shutdown":
+                    conn.send(("bye",))
+                    break
+                else:
+                    reply = ("error", f"unknown op {op!r}")
+            except Exception as exc:  # surface instead of hanging the parent
+                reply = ("error", f"{type(exc).__name__}: {exc}")
+            conn.send(reply)
+    finally:
+        for shm in shms:
+            try:
+                shm.close()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+        conn.close()
+
+
+# ---------------------------------------------------------------------------
+# parent-side worker handle
+# ---------------------------------------------------------------------------
+
+class _WorkerHandle:
+    """Parent-side endpoint of one shard worker.
+
+    Owns the shard's shared segments and the duplex pipe. All traffic
+    goes through :meth:`request`, serialised by a lock — within one
+    batch the scheduler already funnels a worker's requests through a
+    single I/O thread, the lock guards cross-batch races.
+    """
+
+    def __init__(self, ctx, sid: int, index):
+        self.sid = sid
+        self.process = None
+        self.conn = None
+        self.segments: list[_Segment] = []
+        self._lock = threading.Lock()
+        try:
+            values, offsets = index.shard_buffers(sid)
+            self.values_seg = _publish_array(values, np.float64)
+            self.segments.append(self.values_seg)
+            self.offsets_seg = _publish_array(offsets, np.int64)
+            self.segments.append(self.offsets_seg)
+            self.conn, child_conn = ctx.Pipe()
+            self.process = ctx.Process(
+                target=_worker_main,
+                args=(child_conn,),
+                name=f"dhl-shard-worker-{sid}",
+                daemon=True,
+            )
+            self.process.start()
+            child_conn.close()
+            self.conn.send(
+                (
+                    "spec",
+                    index.shard_worker_payload(sid),
+                    self.values_seg.meta,
+                    self.offsets_seg.meta,
+                )
+            )
+            reply = self.request_reply(timeout=_STARTUP_TIMEOUT)
+            if reply[0] != "ready":
+                raise ServiceRuntimeError(
+                    f"shard worker {sid} failed to start: {reply!r}"
+                )
+        except BaseException:
+            self.destroy()
+            raise
+
+    def request_reply(self, timeout: float | None = None):
+        if timeout is not None and not self.conn.poll(timeout):
+            raise ServiceRuntimeError(
+                f"shard worker {self.sid} did not answer within {timeout}s"
+            )
+        return self.conn.recv()
+
+    def request(self, message: tuple, timeout: float | None = None):
+        """Send one request and decode the worker's reply."""
+        with self._lock:
+            try:
+                self.conn.send(message)
+                reply = self.request_reply(timeout)
+            except (BrokenPipeError, EOFError, OSError) as exc:
+                raise ServiceRuntimeError(
+                    f"shard worker {self.sid} is gone ({exc!r}); "
+                    "the runtime must be closed"
+                ) from exc
+        if reply[0] == "error":
+            raise ServiceRuntimeError(f"shard worker {self.sid}: {reply[1]}")
+        if reply[0] == "stale":
+            held, stamped = reply[1], reply[2]
+            raise WorkerEpochError(
+                f"shard worker {self.sid} holds epoch {held} but the batch "
+                f"is stamped {stamped}"
+                + (" (missed epoch broadcast)" if stamped > held else "")
+            )
+        return reply
+
+    # -- delta publication ----------------------------------------------
+    def delta_applicable(self, labels) -> bool:
+        """True when the live store still fits the published layout."""
+        return bool(
+            np.array_equal(np.diff(self.offsets_seg.array), labels.lengths)
+        )
+
+    def write_full(self, labels) -> int:
+        """Copy the whole value buffer into the segment, in place.
+
+        Used when the parent index moved without telling the runtime
+        which labels changed (a direct ``index.update`` bypassing
+        ``apply_update``); requires :meth:`delta_applicable`.
+        """
+        values, _ = labels.export_buffers()
+        self.values_seg.array[...] = values
+        return int(values.nbytes)
+
+    def write_deltas(self, labels, affected: Iterable[int]) -> int:
+        """Copy changed label slots into the shared segment, in place.
+
+        Returns bytes written. Only valid when :meth:`delta_applicable`;
+        the worker sees the new values immediately (same pages), the
+        epoch broadcast afterwards makes the cut-over explicit.
+        """
+        offsets = self.offsets_seg.array
+        values = self.values_seg.array
+        shipped = 0
+        for v in affected:
+            start = int(offsets[v])
+            length = int(offsets[v + 1]) - start
+            values[start : start + length] = labels.view(v)
+            shipped += 8 * length
+        return shipped
+
+    def republish(self, labels, new_epoch: int) -> int:
+        """Publish fresh segments (layout changed) and swap the worker over."""
+        values, offsets = labels.export_buffers()
+        old = self.segments
+        self.values_seg = _publish_array(values, np.float64)
+        self.offsets_seg = _publish_array(offsets, np.int64)
+        self.segments = [self.values_seg, self.offsets_seg]
+        try:
+            self.request(
+                ("republish", new_epoch, self.values_seg.meta, self.offsets_seg.meta)
+            )
+        finally:
+            # Unlink the old pair whether the worker acked re-attachment
+            # or died mid-swap — a failed request must not strand the
+            # (large) previous label segments in /dev/shm.
+            for segment in old:
+                segment.destroy()
+        return int(self.values_seg.array.nbytes + self.offsets_seg.array.nbytes)
+
+    # -- teardown --------------------------------------------------------
+    def destroy(self) -> None:
+        """Join the worker and unlink every owned segment; idempotent."""
+        if self.process is not None and self.process.is_alive():
+            try:
+                with self._lock:
+                    self.conn.send(("shutdown",))
+                    self.request_reply(timeout=_SHUTDOWN_TIMEOUT)
+            except Exception:
+                pass
+            self.process.join(_SHUTDOWN_TIMEOUT)
+            if self.process.is_alive():  # pragma: no cover - stuck worker
+                self.process.terminate()
+                self.process.join(_SHUTDOWN_TIMEOUT)
+        if self.conn is not None:
+            self.conn.close()
+            self.conn = None
+        self.process = None
+        for segment in self.segments:
+            segment.destroy()
+        self.segments = []
+
+
+# ---------------------------------------------------------------------------
+# the runtime
+# ---------------------------------------------------------------------------
+
+@dataclass
+class WorkerPoolStats:
+    """Scheduler and epoch-broadcast counters of a worker-pool runtime.
+
+    ``sub_batches`` counts worker requests (the split granularity),
+    ``intra_pairs``/``cross_pairs`` how the traffic divided, and the
+    broadcast counters certify the delta path: after N flushes,
+    ``delta_syncs + republishes == shards touched across those flushes``
+    and ``delta_bytes`` stays far below N full buffer copies.
+    """
+
+    batches: int = 0
+    pairs: int = 0
+    intra_pairs: int = 0
+    cross_pairs: int = 0
+    sub_batches: int = 0
+    epoch_broadcasts: int = 0
+    delta_syncs: int = 0
+    delta_bytes: int = 0
+    republishes: int = 0
+    republish_bytes: int = 0
+    #: Whole-buffer re-syncs forced by maintenance that bypassed
+    #: ``apply_update`` (direct index updates; epoch drift).
+    full_syncs: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+
+class ShardWorkerRuntime(ExecutionRuntime):
+    """Serve a sharded index from one worker process per region shard.
+
+    Parameters
+    ----------
+    index:
+        A built :class:`~repro.core.sharded.ShardedDHLIndex`. The
+        parent keeps the authoritative copy (updates apply here); the
+        workers hold attached label buffers for query execution.
+    start_method:
+        ``multiprocessing`` start method; ``spawn`` by default and the
+        only method the runtime is tested with (fork would work on
+        Linux but inherits arbitrary parent state).
+    """
+
+    kind = "worker-pool"
+    # Sharded distances have no per-pair hub certificate (see
+    # ShardedDHLIndex); the cache must use epoch invalidation.
+    supports_fine_grained_eviction = False
+
+    def __init__(self, index, *, start_method: str = "spawn"):
+        from repro.core.sharded import ShardedDHLIndex
+
+        if not isinstance(index, ShardedDHLIndex):
+            raise TypeError(
+                "ShardWorkerRuntime requires a ShardedDHLIndex; got "
+                f"{type(index).__name__} (use InProcessRuntime instead)"
+            )
+        self.index = index
+        self.stats = WorkerPoolStats()
+        self._epochs = [0] * index.k
+        # Overlay epoch at which each worker last received its intra
+        # boundary block (-1: never shipped).
+        self._block_epochs = [-1] * index.k
+        self._index_epoch = index.epoch
+        self._workers: list[_WorkerHandle] = []
+        self._pool: ThreadPoolExecutor | None = None
+        self._closed = False
+        ctx = get_context(start_method)
+        try:
+            self._pool = ThreadPoolExecutor(
+                max_workers=index.k, thread_name_prefix="shard-io"
+            )
+            # Spawn + handshake concurrently: interpreter boot dominates
+            # worker startup, so k workers come up in ~one boot.
+            futures = [
+                self._pool.submit(_WorkerHandle, ctx, sid, index)
+                for sid in range(index.k)
+            ]
+            errors = []
+            for future in futures:
+                try:
+                    self._workers.append(future.result())
+                except BaseException as exc:
+                    errors.append(exc)
+            if errors:
+                raise errors[0]
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # ExecutionRuntime surface
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> str:
+        return f"worker-pool/sharded[{len(self._workers)} workers]"
+
+    @property
+    def worker_count(self) -> int:
+        return len(self._workers)
+
+    def distances(self, pairs: Sequence[tuple[int, int]]) -> np.ndarray:
+        pairs = list(pairs)
+        if not pairs:
+            return np.empty(0, dtype=np.float64)
+        arr = np.asarray(pairs, dtype=np.int64)
+        return self.distances_arrays(arr[:, 0], arr[:, 1])
+
+    def distances_arrays(self, s: np.ndarray, t: np.ndarray) -> np.ndarray:
+        """Batch distances via the region-pair-aware batch scheduler."""
+        if self._closed:
+            raise ServiceRuntimeError("runtime is closed")
+        self._reconcile_index_epoch()
+        owner = self.index
+        s = np.asarray(s, dtype=np.int64)
+        t = np.asarray(t, dtype=np.int64)
+        if not len(s):
+            return np.empty(0, dtype=np.float64)
+        out = np.full(len(s), np.inf, dtype=np.float64)
+        rs = owner.region_of[s]
+        rt = owner.region_of[t]
+        local_s = owner.local_of[s]
+        local_t = owner.local_of[t]
+        has_overlay = owner.overlay is not None
+        overlay_epoch = owner.overlay.epoch if has_overlay else 0
+
+        groups: list[tuple[np.ndarray, int, int]] = []
+        requests: dict[int, list[tuple[tuple[int, int], tuple]]] = {}
+        shipped_blocks: dict[int, int] = {}
+
+        def enqueue(sid: int, slot: tuple[int, int], sub: tuple) -> None:
+            requests.setdefault(sid, []).append((slot, sub))
+            self.stats.sub_batches += 1
+
+        def intra_block(i: int):
+            # The worker keeps the last block it saw; only an overlay
+            # maintenance epoch forces a fresh ship.
+            if self._block_epochs[i] == overlay_epoch:
+                return "cached"
+            shipped_blocks[i] = overlay_epoch
+            return engine.overlay_block(i, i)
+
+        engine = owner.engine  # overlay blocks + their epoch cache
+        # Same (region_s, region_t) split as the in-process sharded
+        # engine, but each group becomes worker sub-batches.
+        for g, (idx, i, j) in enumerate(region_pair_groups(rs, rt, owner.k)):
+            groups.append((idx, i, j))
+            s_local = local_s[idx]
+            t_local = local_t[idx]
+            fan = (
+                has_overlay
+                and len(owner.boundary_local[i])
+                and len(owner.boundary_local[j])
+            )
+            if i == j:
+                self.stats.intra_pairs += len(idx)
+                # The (tiny, epoch-cached) overlay block travels with
+                # the sub-batch: the owning worker folds the boundary
+                # route itself and ships back one final array.
+                enqueue(
+                    i,
+                    (g, "final"),
+                    (
+                        s_local,
+                        t_local,
+                        s_local if fan else None,
+                        t_local if fan else None,
+                        intra_block(i) if fan else None,
+                    ),
+                )
+            else:
+                self.stats.cross_pairs += len(idx)
+                if fan:
+                    engine.overlay_block(i, j)  # warm the cache serially
+                    enqueue(i, (g, "src"), (None, None, s_local, None, None))
+                    enqueue(j, (g, "dst"), (None, None, None, t_local, None))
+
+        replies = self._dispatch(requests)
+        # Only a delivered block counts as held worker-side; a failed
+        # dispatch re-ships next batch.
+        for sid, stamp in shipped_blocks.items():
+            self._block_epochs[sid] = stamp
+
+        # Cross-shard combines need both workers' fans, so they run in
+        # the parent — spread across the I/O threads (numpy releases
+        # the GIL for the large intermediates).
+        combines = []
+        for g, (idx, i, j) in enumerate(groups):
+            if i == j:
+                out[idx] = replies[(g, "final")][0]
+            elif (g, "src") in replies:
+                combines.append((g, idx, i, j))
+
+        def combine(item):
+            g, idx, i, j = item
+            ds, ds_inv = replies[(g, "src")][1]
+            dt, dt_inv = replies[(g, "dst")][2]
+            out[idx] = min_plus_compact(
+                ds, ds_inv, engine.overlay_block(i, j), dt, dt_inv
+            )
+
+        if len(combines) > 1:
+            list(self._pool.map(combine, combines))
+        elif combines:
+            combine(combines[0])
+        out[s == t] = 0.0
+        self.stats.batches += 1
+        self.stats.pairs += len(s)
+        return out
+
+    def _dispatch(
+        self, requests: dict[int, list[tuple[tuple[int, int], tuple]]]
+    ) -> dict[tuple[int, int], tuple]:
+        """Ship each worker its sub-batches in one message, concurrently.
+
+        One pipe round trip per worker per batch (the I/O threads only
+        wait on their worker, so the k shard processes compute in
+        parallel); replies map scheduler slots to ``(intra, ds, dt)``
+        triples.
+        """
+
+        def run(sid: int, items):
+            handle = self._workers[sid]
+            subs = [sub for _, sub in items]
+            reply = handle.request(("compute", self._epochs[sid], subs))
+            return [(slot, result) for (slot, _), result in zip(items, reply[1])]
+
+        futures = [
+            self._pool.submit(run, sid, items) for sid, items in requests.items()
+        ]
+        replies: dict[tuple[int, int], tuple] = {}
+        for future in futures:
+            for slot, reply in future.result():
+                replies[slot] = reply
+        return replies
+
+    def distance(self, s: int, t: int) -> float:
+        return float(
+            self.distances_arrays(
+                np.array([s], dtype=np.int64), np.array([t], dtype=np.int64)
+            )[0]
+        )
+
+    # ------------------------------------------------------------------
+    # maintenance + epoch broadcast
+    # ------------------------------------------------------------------
+    def apply_update(
+        self, changes: Iterable[WeightChange], workers: int | None = None
+    ) -> ShardedMaintenanceStats:
+        """Apply the batch in the parent, then broadcast shard deltas.
+
+        Overlay maintenance needs no broadcast (the overlay index lives
+        only in the parent); a touched shard gets its changed label
+        slots copied into the shared segment plus an epoch bump — or a
+        full republish if maintenance changed the label layout.
+        """
+        if self._closed:
+            raise ServiceRuntimeError("runtime is closed")
+        self._reconcile_index_epoch()
+        stats = self.index.update(changes, workers)
+        self._index_epoch = self.index.epoch
+        for sid in stats.touched_shards:
+            handle = self._workers[sid]
+            labels = self.index.shards[sid].labels
+            self._epochs[sid] += 1
+            if handle.delta_applicable(labels):
+                self.stats.delta_bytes += handle.write_deltas(
+                    labels, stats.per_shard[sid].affected_labels
+                )
+                handle.request(("epoch", self._epochs[sid]))
+                self.stats.delta_syncs += 1
+            else:  # label layout moved: publish fresh buffers
+                self.stats.republish_bytes += handle.republish(
+                    labels, self._epochs[sid]
+                )
+                self.stats.republishes += 1
+            self.stats.epoch_broadcasts += 1
+        return stats
+
+    def _reconcile_index_epoch(self) -> None:
+        """Re-sync workers after maintenance that bypassed this runtime.
+
+        A direct ``index.update(...)`` (structural op, another caller)
+        advances the index epoch without telling us which labels moved;
+        the only safe answer is a whole-buffer publish per shard —
+        in place when the layout still fits, fresh segments otherwise.
+        """
+        if self.index.epoch == self._index_epoch:
+            return
+        for sid, handle in enumerate(self._workers):
+            labels = self.index.shards[sid].labels
+            self._epochs[sid] += 1
+            if handle.delta_applicable(labels):
+                handle.write_full(labels)
+                handle.request(("epoch", self._epochs[sid]))
+            else:
+                self.stats.republish_bytes += handle.republish(
+                    labels, self._epochs[sid]
+                )
+                self.stats.republishes += 1
+            self.stats.full_syncs += 1
+            self.stats.epoch_broadcasts += 1
+        self._index_epoch = self.index.epoch
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Join every worker and unlink every shared segment; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._workers:
+            try:
+                handle.destroy()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+        self._workers = []
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __del__(self):  # pragma: no cover - safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - repr sugar
+        state = "closed" if self._closed else f"{len(self._workers)} workers"
+        return f"ShardWorkerRuntime(k={self.index.k}, {state})"

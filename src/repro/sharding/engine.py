@@ -23,10 +23,110 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["ShardedQueryEngine"]
+__all__ = [
+    "ShardedQueryEngine",
+    "boundary_fan",
+    "min_plus",
+    "min_plus_compact",
+    "region_pair_groups",
+]
 
 # Cap for the (pairs x |B_i| x |B_j|) min-plus intermediate, in cells.
 _MIN_PLUS_CELLS = 4_000_000
+
+
+def region_pair_groups(rs: np.ndarray, rt: np.ndarray, k: int):
+    """Yield ``(idx, i, j)`` position groups by (source, target) region.
+
+    The canonical batch split shared by the in-process engine and the
+    worker-pool scheduler: positions are grouped with one stable
+    argsort over the composite key, so each group is answered in a few
+    vectorised strokes (or becomes one worker sub-batch).
+    """
+    key = rs * k + rt
+    order = np.argsort(key, kind="stable")
+    sorted_key = key[order]
+    starts = np.flatnonzero(np.r_[True, sorted_key[1:] != sorted_key[:-1]])
+    bounds = np.r_[starts, len(sorted_key)]
+    for g in range(len(starts)):
+        idx = order[bounds[g] : bounds[g + 1]]
+        yield idx, int(rs[idx[0]]), int(rt[idx[0]])
+
+
+def boundary_fan(
+    engine,
+    sources_local: np.ndarray,
+    boundary_local: np.ndarray,
+    compact: bool = False,
+):
+    """Shard distances to the boundary set, one row per source.
+
+    ``engine`` is any query engine exposing ``distances_arrays`` over
+    shard-local ids. Duplicate sources (hot endpoints, k-nearest fans)
+    collapse to one kernel row each; with ``compact=True`` the
+    deduplicated form ``(unique_matrix, inverse)`` is returned instead
+    of the expanded ``(len(sources), |B|)`` matrix — what shard worker
+    processes ship over the pipe (bytes scale with unique endpoints,
+    not raw pair count) and what :func:`min_plus_compact` consumes.
+    Module-level so workers can compute fans next to the label buffers.
+    """
+    uniq, inverse = np.unique(sources_local, return_inverse=True)
+    s = np.repeat(uniq, len(boundary_local))
+    t = np.tile(boundary_local, len(uniq))
+    matrix = engine.distances_arrays(s, t).reshape(len(uniq), len(boundary_local))
+    if compact:
+        return matrix, inverse
+    return matrix[inverse]
+
+
+def min_plus(ds: np.ndarray, block: np.ndarray, dt: np.ndarray) -> np.ndarray:
+    """Row-wise ``min_{a,b} ds[p,a] + block[a,b] + dt[p,b]``.
+
+    The boundary-route combine: ``ds``/``dt`` are source/target fans,
+    ``block`` the overlay boundary-to-boundary matrix. Chunked so the
+    3-D intermediate stays bounded regardless of batch size.
+    """
+    count, width_a = ds.shape
+    width_b = dt.shape[1]
+    out = np.empty(count, dtype=np.float64)
+    chunk = max(1, _MIN_PLUS_CELLS // max(1, width_a * width_b))
+    for lo in range(0, count, chunk):
+        hi = min(lo + chunk, count)
+        # Collapse the first hop: tmp[p, b] = min_a ds[p, a] + block[a, b].
+        tmp = (ds[lo:hi, :, None] + block[None, :, :]).min(axis=1)
+        out[lo:hi] = (tmp + dt[lo:hi]).min(axis=1)
+    return out
+
+
+def min_plus_compact(
+    ds: np.ndarray,
+    ds_inverse: np.ndarray,
+    block: np.ndarray,
+    dt: np.ndarray,
+    dt_inverse: np.ndarray,
+) -> np.ndarray:
+    """:func:`min_plus` over deduplicated fans (``compact=True`` form).
+
+    The expensive first hop — ``min_a ds[u, a] + block[a, b]`` — runs
+    once per *unique* source instead of once per pair, then the cheap
+    second hop gathers through the inverse maps. Bit-identical to
+    expanding the fans and calling :func:`min_plus` (same float ops in
+    the same order per row).
+    """
+    unique_count, width_a = ds.shape
+    width_b = dt.shape[1]
+    tmp = np.empty((unique_count, width_b), dtype=np.float64)
+    chunk = max(1, _MIN_PLUS_CELLS // max(1, width_a * width_b))
+    for lo in range(0, unique_count, chunk):
+        hi = min(lo + chunk, unique_count)
+        tmp[lo:hi] = (ds[lo:hi, :, None] + block[None, :, :]).min(axis=1)
+    count = len(ds_inverse)
+    out = np.empty(count, dtype=np.float64)
+    chunk = max(1, _MIN_PLUS_CELLS // max(1, width_b))
+    for lo in range(0, count, chunk):
+        hi = min(lo + chunk, count)
+        out[lo:hi] = (tmp[ds_inverse[lo:hi]] + dt[dt_inverse[lo:hi]]).min(axis=1)
+    return out
 
 
 class ShardedQueryEngine:
@@ -43,11 +143,13 @@ class ShardedQueryEngine:
     # ------------------------------------------------------------------
     # overlay boundary-to-boundary blocks
     # ------------------------------------------------------------------
-    def _overlay_block(self, i: int, j: int) -> np.ndarray:
+    def overlay_block(self, i: int, j: int) -> np.ndarray:
         """``(|B_i|, |B_j|)`` overlay distances, cached per overlay epoch.
 
         The overlay is undirected, so only the ``i <= j`` orientation is
         computed and stored; the reverse is served as its transpose.
+        Public because the worker-pool runtime runs the same min-plus
+        combine in the parent over worker-computed fans.
         """
         owner = self.owner
         overlay = owner.overlay
@@ -66,36 +168,6 @@ class ShardedQueryEngine:
             self._blocks[(a, b)] = block
         return block if (a, b) == (i, j) else block.T
 
-    def _boundary_fan(
-        self, shard, sources_local: np.ndarray, boundary_local: np.ndarray
-    ) -> np.ndarray:
-        """``(len(sources), |B|)`` shard distances to the boundary set.
-
-        Duplicate sources (hot endpoints, k-nearest fans) collapse to
-        one kernel row each.
-        """
-        uniq, inverse = np.unique(sources_local, return_inverse=True)
-        s = np.repeat(uniq, len(boundary_local))
-        t = np.tile(boundary_local, len(uniq))
-        matrix = shard.engine.distances_arrays(s, t).reshape(
-            len(uniq), len(boundary_local)
-        )
-        return matrix[inverse]
-
-    @staticmethod
-    def _min_plus(ds: np.ndarray, block: np.ndarray, dt: np.ndarray) -> np.ndarray:
-        """Row-wise ``min_{a,b} ds[p,a] + block[a,b] + dt[p,b]``."""
-        count, width_a = ds.shape
-        width_b = dt.shape[1]
-        out = np.empty(count, dtype=np.float64)
-        chunk = max(1, _MIN_PLUS_CELLS // max(1, width_a * width_b))
-        for lo in range(0, count, chunk):
-            hi = min(lo + chunk, count)
-            # Collapse the first hop: tmp[p, b] = min_a ds[p, a] + block[a, b].
-            tmp = (ds[lo:hi, :, None] + block[None, :, :]).min(axis=1)
-            out[lo:hi] = (tmp + dt[lo:hi]).min(axis=1)
-        return out
-
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
@@ -113,15 +185,7 @@ class ShardedQueryEngine:
         out = np.full(len(s), np.inf, dtype=np.float64)
         # Group pairs by (region_s, region_t); each group is answered in
         # two vectorised strokes (shard kernel + min-plus combine).
-        key = rs * owner.k + rt
-        order = np.argsort(key, kind="stable")
-        sorted_key = key[order]
-        starts = np.flatnonzero(np.r_[True, sorted_key[1:] != sorted_key[:-1]])
-        bounds = np.r_[starts, len(sorted_key)]
-        for g in range(len(starts)):
-            idx = order[bounds[g] : bounds[g + 1]]
-            i = int(rs[idx[0]])
-            j = int(rt[idx[0]])
+        for idx, i, j in region_pair_groups(rs, rt, owner.k):
             s_local = local_of[s[idx]]
             t_local = local_of[t[idx]]
             if i == j:
@@ -131,10 +195,16 @@ class ShardedQueryEngine:
             bi = owner.boundary_local[i]
             bj = owner.boundary_local[j]
             if owner.overlay is not None and len(bi) and len(bj):
-                ds = self._boundary_fan(owner.shards[i], s_local, bi)
-                dt = self._boundary_fan(owner.shards[j], t_local, bj)
-                block = self._overlay_block(i, j)
-                best = np.minimum(best, self._min_plus(ds, block, dt))
+                ds, ds_inv = boundary_fan(
+                    owner.shards[i].engine, s_local, bi, compact=True
+                )
+                dt, dt_inv = boundary_fan(
+                    owner.shards[j].engine, t_local, bj, compact=True
+                )
+                block = self.overlay_block(i, j)
+                best = np.minimum(
+                    best, min_plus_compact(ds, ds_inv, block, dt, dt_inv)
+                )
             out[idx] = best
         out[s == t] = 0.0
         return out
