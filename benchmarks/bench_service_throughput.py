@@ -24,8 +24,12 @@ index is then served through a :class:`ShardWorkerRuntime` worker pool:
 batch throughput on both query sets (checked for exact agreement), the
 batch-scheduler split counters, and the epoch-broadcast evidence that a
 maintenance flush reaches workers as shared-memory *deltas* (no
-republish). Pass ``--shard-breakdown-out`` to dump the per-shard
-build-time breakdown (uploaded as a CI artifact).
+republish). The update group times the same double-then-restore batch
+protocol through both maintenance engines (frontier-batched array
+kernels vs the scalar reference) and the serving-layer flush latency;
+``check_service_regression.py`` gates the array-over-reference ratio.
+Pass ``--shard-breakdown-out`` to dump the per-shard build-time
+breakdown (uploaded as a CI artifact).
 """
 
 from __future__ import annotations
@@ -155,6 +159,66 @@ def _best_seconds(fn, repeats: int) -> float:
         fn()
         times.append(time.perf_counter() - start)
     return min(times)
+
+
+def run_update_quick(graph, repeats: int, batch_size: int = 256) -> dict:
+    """Maintenance-engine measurements: batch-update throughput + flush.
+
+    Times the same double-then-restore update protocol (one increase
+    batch at 2x weight, one decrease batch back — state-invariant, so
+    best-of-N loops are honest) through the frontier-batched array
+    engine and the scalar reference engine, plus the serving-layer
+    ``DistanceService.flush`` latency on the array engine — the number
+    that bounds ``ShardWorkerRuntime`` epoch-broadcast staleness.
+    """
+    from repro.service import DistanceService
+
+    edges = list(graph.edges())
+    rng = np.random.default_rng(7)
+    picked = rng.choice(len(edges), size=min(batch_size, len(edges)), replace=False)
+    batch = [edges[i] for i in picked]
+    up_batch = [(u, v, 2 * w) for u, v, w in batch]
+    down_batch = [(u, v, w) for u, v, w in batch]
+    changes_per_roundtrip = 2 * len(batch)
+
+    throughput = {}
+    indexes = {}
+    for engine in ("array", "reference"):
+        index = DHLIndex.build(graph.copy(), DHLConfig(seed=0, engine=engine))
+        indexes[engine] = index
+
+        def roundtrip(index=index):
+            index.increase(up_batch)
+            index.decrease(down_batch)
+
+        roundtrip()  # warm caches / lazy views
+        best = _best_seconds(roundtrip, repeats)
+        throughput[engine] = changes_per_roundtrip / best
+
+    # Labels must agree after identical protocols on both engines.
+    if not indexes["array"].labels.equals(indexes["reference"].labels):
+        raise AssertionError("array engine labels diverge from reference")
+
+    service = DistanceService(indexes["array"])
+
+    def flush_roundtrip():
+        service.submit_many(up_batch)
+        service.flush()
+        service.submit_many(down_batch)
+        service.flush()
+
+    flush_roundtrip()
+    flush_seconds = _best_seconds(flush_roundtrip, repeats) / 2  # per flush
+    service.close()
+
+    return {
+        "update_throughput_pairs_per_s": round(throughput["array"], 1),
+        "update_reference_pairs_per_s": round(throughput["reference"], 1),
+        "update_array_over_reference": round(
+            throughput["array"] / max(throughput["reference"], 1e-9), 3
+        ),
+        "flush_latency_ms": round(flush_seconds * 1000, 3),
+    }
 
 
 def run_sharded_quick(
@@ -400,6 +464,8 @@ def run_quick(
     report = replay(service, events)
     replay_qps = report.queries / (time.perf_counter() - replay_start)
 
+    update_metrics = run_update_quick(graph, max(3, repeats // 3))
+
     sharded_metrics, sharded_breakdown = run_sharded_quick(
         graph, index, num_pairs, repeats
     )
@@ -425,6 +491,7 @@ def run_quick(
             "zero_copy_over_per_pair": round(zero_copy_qps / per_pair_qps, 3),
             "replay_qps": round(replay_qps, 1),
             "cache_hit_rate": round(report.service.cache.hit_rate, 4),
+            **update_metrics,
             **sharded_metrics,
         },
         "sharded": sharded_breakdown,

@@ -31,7 +31,12 @@ Machine-independent ratio invariants are also enforced:
   only scheduling/IPC overhead is measurable (``meta.cpu_count`` in the
   current run decides which bound applies);
 * a worker-pool maintenance flush must reach workers as shared-memory
-  deltas: at least one delta sync, zero whole-buffer republishes.
+  deltas: at least one delta sync, zero whole-buffer republishes;
+* the frontier-batched array maintenance engine must hold at least
+  ``MIN_UPDATE_ENGINE_SPEEDUP`` times the scalar reference engine's
+  batch-update throughput on the same machine (a same-run ratio, so it
+  is machine independent), and the serving-layer flush latency may not
+  regress past the committed baseline times the tolerance.
 
 Usage::
 
@@ -72,6 +77,11 @@ MAX_CROSS_SHARD_SLOWDOWN = 10.0
 # processes timeshare and the ratio only measures scheduling overhead —
 # in practice ~0.8, so 0.5 still catches a lost sub-batch aggregation
 # or a per-group round-trip regression (each worth ~2x on its own).
+# The array engine replaces per-entry heap pops with per-level numpy
+# reductions; on the quick profile's batch sizes it measures ~5x the
+# reference. 3x leaves runner-noise slack while still catching a lost
+# vectorised path (falling back to scalar work is worth far more).
+MIN_UPDATE_ENGINE_SPEEDUP = 3.0
 MULTI_CORE_THRESHOLD = 4
 MIN_WORKER_POOL_RATIO_MULTI_CORE = float(
     os.environ.get("REPRO_WORKER_POOL_FLOOR", 0.9)
@@ -166,6 +176,34 @@ def check(current: dict, baseline: dict, tolerance: float) -> list[str]:
             f"update_touched_shards: {touched} != 1 "
             "(an intra-region update leaked outside its owning shard)"
         )
+
+    engine_ratio = _require(cur, "update_array_over_reference", failures)
+    if engine_ratio is not None and engine_ratio < MIN_UPDATE_ENGINE_SPEEDUP:
+        failures.append(
+            f"update_array_over_reference: {engine_ratio} < "
+            f"{MIN_UPDATE_ENGINE_SPEEDUP} "
+            "(array maintenance engine lost its batch-update advantage "
+            "over the scalar reference)"
+        )
+    update_tp = _require(cur, "update_throughput_pairs_per_s", failures)
+    base_update_tp = base.get("update_throughput_pairs_per_s")
+    if update_tp is not None and base_update_tp is not None:
+        floor = base_update_tp / tolerance
+        if update_tp < floor:
+            failures.append(
+                f"update_throughput_pairs_per_s: {update_tp:,.0f} < floor "
+                f"{floor:,.0f} (baseline {base_update_tp:,.0f} / "
+                f"tolerance {tolerance})"
+            )
+    flush_ms = _require(cur, "flush_latency_ms", failures)
+    base_flush_ms = base.get("flush_latency_ms")
+    if flush_ms is not None and base_flush_ms is not None:
+        ceiling = base_flush_ms * tolerance
+        if flush_ms > ceiling:
+            failures.append(
+                f"flush_latency_ms: {flush_ms} > ceiling {ceiling:.3f} "
+                f"(baseline {base_flush_ms} * tolerance {tolerance})"
+            )
 
     cores = int(current.get("meta", {}).get("cpu_count") or 1)
     baseline_cores = int(baseline.get("meta", {}).get("cpu_count") or 1)

@@ -45,7 +45,7 @@ class H2HIndex:
         rank = sc.rank
         parent = np.full(n, -1, dtype=np.int64)
         for v in range(n):
-            if sc.up[v]:
+            if len(sc.up[v]):
                 parent[v] = min(sc.up[v], key=lambda u: rank[u])
         self.parent = parent
 

@@ -27,9 +27,17 @@ class DHLConfig:
     coarsest_size:
         Multilevel coarsening stops at roughly this many vertices.
     workers:
-        Default worker count for the parallel maintenance variants
-        (Algorithms 6/7). ``None``/1 processes columns sequentially —
-        same results, deterministic order.
+        Default worker count for the parallel maintenance variants.
+        ``workers`` > 1 explicitly selects the column-partitioned
+        Algorithms 6/7 (thread-pooled, scalar relaxation) regardless of
+        ``engine``; ``None``/1 leaves engine selection to ``engine``.
+    engine:
+        Sequential maintenance engine for Algorithms 2-5. ``"array"``
+        (default) runs the frontier-batched CSR kernels of
+        :mod:`repro.labelling.maintenance_kernels`; ``"reference"``
+        runs the scalar one-pop-per-entry path. Both engines produce
+        identical labels, change counts and affected sets — the
+        reference exists for differential testing.
     validate:
         When True, run the (expensive) structural invariant checks after
         construction: comparability of shortcut endpoints and the
@@ -41,6 +49,7 @@ class DHLConfig:
     seed: int = 0
     coarsest_size: int = 120
     workers: int | None = None
+    engine: str = "array"
     validate: bool = False
 
     def __post_init__(self) -> None:
@@ -54,3 +63,7 @@ class DHLConfig:
             )
         if self.workers is not None and self.workers < 1:
             raise IndexBuildError(f"workers must be >= 1, got {self.workers}")
+        if self.engine not in ("array", "reference"):
+            raise IndexBuildError(
+                f"engine must be 'array' or 'reference', got {self.engine!r}"
+            )

@@ -9,7 +9,10 @@ same algorithms. Concretely:
   serves both directions;
 * every shortcut pair ``(v, u)`` with ``v`` deeper carries two weights:
   ``wout[v][u]`` for the ascending arc ``v -> u`` and ``win[v][u]`` for
-  the descending arc ``u -> v``;
+  the descending arc ``u -> v``. Both live in flat per-direction weight
+  arrays over one shared :class:`~repro.hierarchy.csr.ShortcutCSR`
+  structure, so the frontier-batched maintenance kernels run on either
+  direction through a :class:`_DirectionView`;
 * two labellings are built with Algorithm 1 parameterised by the weight
   direction: ``L_out[v][i]`` = distance ``v -> ancestor_i`` and
   ``L_in[v][i]`` = distance ``ancestor_i -> v`` within the interval
@@ -37,6 +40,7 @@ from repro.core.stats import IndexStats
 from repro.exceptions import IndexBuildError, MaintenanceError
 from repro.graph.digraph import DiGraph
 from repro.graph.graph import Graph
+from repro.hierarchy.csr import CSRShortcutMixin, ShortcutCSR, build_shortcut_csr
 from repro.hierarchy.query_hierarchy import QueryHierarchy
 from repro.labelling.build import build_labelling
 from repro.labelling.labels import HierarchicalLabelling
@@ -44,6 +48,10 @@ from repro.labelling.maintenance import (
     MaintenanceStats,
     maintain_labels_decrease,
     maintain_labels_increase,
+)
+from repro.labelling.maintenance_kernels import (
+    labels_decrease_array,
+    labels_increase_array,
 )
 from repro.labelling.parallel import (
     maintain_labels_decrease_parallel,
@@ -61,20 +69,33 @@ _OUT = 0  # deeper -> shallower (ascending arcs)
 _IN = 1  # shallower -> deeper (descending arcs)
 
 
-class _DirectionView:
-    """Duck-typed stand-in for UpdateHierarchy used by label algorithms.
+class _DirectionView(CSRShortcutMixin):
+    """One direction of the shared shortcut structure.
 
-    Exposes exactly the attributes Algorithm 1/4/5/6/7 implementations
-    touch: ``tau``, ``up``, ``down``, ``wup``.
+    Exposes exactly the store surface the label algorithms touch —
+    ``tau``/``tau_key``, the structural ``csr`` and the direction's flat
+    ``up_weights`` (array kernels), plus the ``up``/``down``/``wup``
+    compatibility views (scalar/parallel reference paths and
+    Algorithm 1).
     """
 
-    __slots__ = ("tau", "up", "down", "wup")
+    __slots__ = (
+        "tau",
+        "tau_key",
+        "csr",
+        "up_weights",
+        "_wup",
+        "_up_rows",
+        "_down_rows",
+        "_down_sets",
+    )
 
-    def __init__(self, tau, up, down, wup):
-        self.tau = tau
-        self.up = up
-        self.down = down
-        self.wup = wup
+    def __init__(self, tau: np.ndarray, csr: ShortcutCSR, weights: np.ndarray):
+        self.tau = np.asarray(tau, dtype=np.int64)
+        self.tau_key = self.tau.astype(np.float64)
+        self.csr = csr
+        self.up_weights = weights
+        self._reset_csr_caches()
 
 
 class DirectedDHLIndex:
@@ -88,8 +109,6 @@ class DirectedDHLIndex:
         hq: QueryHierarchy,
         rank: np.ndarray,
         up: list[list[int]],
-        down: list[list[int]],
-        down_sets: list[set[int]],
         wout: list[dict[int, float]],
         win: list[dict[int, float]],
         labels_out: HierarchicalLabelling,
@@ -99,18 +118,38 @@ class DirectedDHLIndex:
     ):
         self.digraph = digraph
         self.hq = hq
-        self.rank = rank
-        self.up = up
-        self.down = down
-        self.down_sets = down_sets
-        self.wout = wout
-        self.win = win
+        self.rank = np.asarray(rank, dtype=np.int64)
+        self.rank_key = self.rank.astype(np.float64)
+        self.csr, self.out_weights, self.in_weights = build_shortcut_csr(
+            up, self.rank, wout, win
+        )
         self.labels_out = labels_out
         self.labels_in = labels_in
         self.config = config
         self._stats = stats
-        self._out_view = _DirectionView(hq.tau, up, down, wout)
-        self._in_view = _DirectionView(hq.tau, up, down, win)
+        self._out_view = _DirectionView(hq.tau, self.csr, self.out_weights)
+        self._in_view = _DirectionView(hq.tau, self.csr, self.in_weights)
+
+    # -- structural/compat views ----------------------------------------
+    @property
+    def up(self) -> list[np.ndarray]:
+        return self._out_view.up
+
+    @property
+    def down(self) -> list[np.ndarray]:
+        return self._out_view.down
+
+    @property
+    def down_sets(self) -> list[set[int]]:
+        return self._out_view.down_sets
+
+    @property
+    def wout(self):
+        return self._out_view.wup
+
+    @property
+    def win(self):
+        return self._in_view.wup
 
     # ------------------------------------------------------------------
     # construction
@@ -137,18 +176,19 @@ class DirectedDHLIndex:
         stats.partition_seconds = watch.laps[-1]
 
         with watch:
-            rank_, up, down, down_sets, wout, win = cls._contract(digraph, hq)
+            rank_, up, wout, win = cls._contract(digraph, hq)
         stats.contraction_seconds = watch.laps[-1]
 
-        with watch:
-            labels_out = build_labelling(_DirectionView(hq.tau, up, down, wout))
-            labels_in = build_labelling(_DirectionView(hq.tau, up, down, win))
-        stats.labelling_seconds = watch.laps[-1]
-
         index = cls(
-            digraph, hq, rank_, up, down, down_sets, wout, win,
-            labels_out, labels_in, config, stats,
+            digraph, hq, rank_, up, wout, win,
+            # Placeholder labellings; replaced right below once the CSR
+            # direction views exist to build against.
+            None, None, config, stats,  # type: ignore[arg-type]
         )
+        with watch:
+            index.labels_out = build_labelling(index._out_view)
+            index.labels_in = build_labelling(index._in_view)
+        stats.labelling_seconds = watch.laps[-1]
         index._refresh_size_stats()
         return index
 
@@ -201,13 +241,7 @@ class DirectedDHLIndex:
                     row_a[b] = ab if ab < cur_ab else cur_ab
                     row_b[a] = ba if ba < cur_ba else cur_ba
             work[v].clear()
-
-        down: list[list[int]] = [[] for _ in range(n)]
-        for v in range(n):
-            for u in up[v]:
-                down[u].append(v)
-        down_sets = [set(d) for d in down]
-        return rank, up, down, down_sets, wout, win
+        return rank, up, wout, win
 
     def _refresh_size_stats(self) -> None:
         self._stats.label_entries = (
@@ -216,11 +250,13 @@ class DirectedDHLIndex:
         self._stats.label_bytes = (
             self.labels_out.memory_bytes() + self.labels_in.memory_bytes()
         )
-        self._stats.num_shortcuts = sum(len(w) for w in self.wout)
+        self._stats.num_shortcuts = self.csr.num_slots
         self._stats.shortcut_bytes = 24 * self._stats.num_shortcuts
         self._stats.hierarchy_bytes = self.hq.memory_bytes()
         self._stats.height = self.hq.height
-        self._stats.max_up_degree = max((len(u) for u in self.up), default=0)
+        self._stats.max_up_degree = int(
+            np.diff(self.csr.indptr).max(initial=0)
+        )
 
     # ------------------------------------------------------------------
     # queries
@@ -254,24 +290,68 @@ class DirectedDHLIndex:
             return a, b, _OUT
         return b, a, _IN
 
+    def _weights(self, direction: int) -> np.ndarray:
+        return self.out_weights if direction == _OUT else self.in_weights
+
     def _w(self, lo: int, hi: int, direction: int) -> float:
-        store = self.wout if direction == _OUT else self.win
-        return store[lo][hi]
+        return float(self._weights(direction)[self.csr.slot_of(lo, hi)])
 
     def _set_w(self, lo: int, hi: int, direction: int, value: float) -> float:
-        store = self.wout if direction == _OUT else self.win
-        old = store[lo][hi]
-        store[lo][hi] = value
+        weights = self._weights(direction)
+        slot = self.csr.slot_of(lo, hi)
+        old = float(weights[slot])
+        weights[slot] = value
         return old
 
     # ------------------------------------------------------------------
     # dynamic updates
     # ------------------------------------------------------------------
+    def _maintain_labels(
+        self,
+        affected: dict[int, dict],
+        kind: str,
+        workers: int | None,
+    ) -> MaintenanceStats:
+        """Run label maintenance for both directions.
+
+        ``workers`` > 1 explicitly requests the column-parallel
+        Algorithms 6/7; otherwise ``config.engine`` picks the sequential
+        path (array kernels by default, scalar reference on demand).
+        """
+        if not (workers and workers > 1) and self.config.engine == "array":
+            array_fn = (
+                labels_decrease_array if kind == "decrease" else labels_increase_array
+            )
+            stats = array_fn(self._out_view, self.labels_out, affected[_OUT])
+            return stats.merge(
+                array_fn(self._in_view, self.labels_in, affected[_IN])
+            )
+        if workers and workers > 1:
+            parallel_fn = (
+                maintain_labels_decrease_parallel
+                if kind == "decrease"
+                else maintain_labels_increase_parallel
+            )
+            stats = parallel_fn(
+                self._out_view, self.labels_out, affected[_OUT], workers
+            )
+            return stats.merge(
+                parallel_fn(self._in_view, self.labels_in, affected[_IN], workers)
+            )
+        scalar_fn = (
+            maintain_labels_decrease if kind == "decrease" else maintain_labels_increase
+        )
+        stats = scalar_fn(self._out_view, self.labels_out, affected[_OUT])
+        return stats.merge(
+            scalar_fn(self._in_view, self.labels_in, affected[_IN])
+        )
+
     def decrease(
         self, changes: Iterable[WeightChange], workers: int | None = None
     ) -> MaintenanceStats:
         """Arc-weight decreases: directed Algorithm 2 + Algorithm 4/6 x2."""
         affected = {_OUT: {}, _IN: {}}
+        rank_key = self.rank_key
         heap: LazyHeap[tuple[int, int, int]] = LazyHeap()
         for a, b, w_new in changes:
             old_arc = self.digraph.set_weight(a, b, w_new)
@@ -283,7 +363,7 @@ class DirectedDHLIndex:
             if self._w(lo, hi, direction) > w_new:
                 affected[direction].setdefault((lo, hi), self._w(lo, hi, direction))
                 self._set_w(lo, hi, direction, w_new)
-                heap.push((lo, hi, direction), float(self.rank[lo]))
+                heap.push((lo, hi, direction), rank_key[lo])
 
         while heap:
             (lo, hi, direction), _ = heap.pop()
@@ -303,30 +383,15 @@ class DirectedDHLIndex:
                 if self._w(tlo, thi, tdir) > cand:
                     affected[tdir].setdefault((tlo, thi), self._w(tlo, thi, tdir))
                     self._set_w(tlo, thi, tdir, cand)
-                    heap.push((tlo, thi, tdir), float(self.rank[tlo]))
+                    heap.push((tlo, thi, tdir), rank_key[tlo])
 
-        if workers and workers > 1:
-            stats = maintain_labels_decrease_parallel(
-                self._out_view, self.labels_out, affected[_OUT], workers
-            )
-            stats = stats.merge(
-                maintain_labels_decrease_parallel(
-                    self._in_view, self.labels_in, affected[_IN], workers
-                )
-            )
-            return stats
-        stats = maintain_labels_decrease(
-            self._out_view, self.labels_out, affected[_OUT]
-        )
-        stats = stats.merge(
-            maintain_labels_decrease(self._in_view, self.labels_in, affected[_IN])
-        )
-        return stats
+        return self._maintain_labels(affected, "decrease", workers)
 
     def increase(
         self, changes: Iterable[WeightChange], workers: int | None = None
     ) -> MaintenanceStats:
         """Arc-weight increases: directed Algorithm 3 + Algorithm 5/7 x2."""
+        rank_key = self.rank_key
         heap: LazyHeap[tuple[int, int, int]] = LazyHeap()
         for a, b, w_new in changes:
             old_arc = self.digraph.set_weight(a, b, w_new)
@@ -336,23 +401,28 @@ class DirectedDHLIndex:
                 )
             lo, hi, direction = self._key(a, b)
             if self._w(lo, hi, direction) == old_arc:
-                heap.push((lo, hi, direction), float(self.rank[lo]))
+                heap.push((lo, hi, direction), rank_key[lo])
 
         affected = {_OUT: {}, _IN: {}}
         digraph = self.digraph
+        out_weights, in_weights = self.out_weights, self.in_weights
         while heap:
             (lo, hi, direction), _ = heap.pop()
             src, dst = (lo, hi) if direction == _OUT else (hi, lo)
             w_new = digraph.out_neighbors(src).get(dst, math.inf)
-            small, big = self.down_sets[lo], self.down_sets[hi]
-            if len(small) > len(big):
-                small, big = big, small
-            for x in small:
-                if x in big:
-                    # src -> x -> dst; x is deeper than both endpoints.
-                    cand = self.win[x][src] + self.wout[x][dst]
-                    if cand < w_new:
-                        w_new = cand
+            # Property 3.1 over the common down-neighbourhood: a sorted
+            # intersection of the two down-CSR rows; each shared x
+            # contributes the chain src -> x -> dst (one descending and
+            # one ascending weight through the deeper vertex).
+            slots_lo, slots_hi = self.csr.common_down(lo, hi)
+            if len(slots_lo):
+                if direction == _OUT:  # src=lo, dst=hi
+                    triangles = in_weights[slots_lo] + out_weights[slots_hi]
+                else:  # src=hi, dst=lo
+                    triangles = in_weights[slots_hi] + out_weights[slots_lo]
+                best = float(triangles.min())
+                if best < w_new:
+                    w_new = best
             old = self._w(lo, hi, direction)
             if old != w_new:
                 for other in self.up[lo]:
@@ -366,27 +436,11 @@ class DirectedDHLIndex:
                         cand_old = old + self.wout[lo][other]
                     tlo, thi, tdir = self._key(t_src, t_dst)
                     if self._w(tlo, thi, tdir) == cand_old:
-                        heap.push((tlo, thi, tdir), float(self.rank[tlo]))
+                        heap.push((tlo, thi, tdir), rank_key[tlo])
                 affected[direction].setdefault((lo, hi), old)
                 self._set_w(lo, hi, direction, w_new)
 
-        if workers and workers > 1:
-            stats = maintain_labels_increase_parallel(
-                self._out_view, self.labels_out, affected[_OUT], workers
-            )
-            stats = stats.merge(
-                maintain_labels_increase_parallel(
-                    self._in_view, self.labels_in, affected[_IN], workers
-                )
-            )
-            return stats
-        stats = maintain_labels_increase(
-            self._out_view, self.labels_out, affected[_OUT]
-        )
-        stats = stats.merge(
-            maintain_labels_increase(self._in_view, self.labels_in, affected[_IN])
-        )
-        return stats
+        return self._maintain_labels(affected, "increase", workers)
 
     def update(
         self, changes: Iterable[WeightChange], workers: int | None = None

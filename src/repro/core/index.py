@@ -35,6 +35,10 @@ from repro.labelling.maintenance import (
     apply_decrease,
     apply_increase,
 )
+from repro.labelling.maintenance_kernels import (
+    apply_decrease_array,
+    apply_increase_array,
+)
 from repro.labelling.parallel import (
     apply_decrease_parallel,
     apply_increase_parallel,
@@ -210,7 +214,11 @@ class DHLIndex:
         """Apply edge-weight decreases (DHL- / DHL-p).
 
         ``changes`` holds ``(u, v, new_weight)`` triples whose new weight
-        is at most the current one.
+        is at most the current one. ``workers`` > 1 explicitly requests
+        the column-parallel Algorithms 6/7 (DHL-p); otherwise
+        ``config.engine`` picks the sequential path — the
+        frontier-batched array kernels by default, or the scalar
+        reference with ``engine="reference"``.
         """
         batch = self._validated(changes, expect="decrease")
         if not batch:
@@ -218,6 +226,8 @@ class DHLIndex:
         workers = self.config.workers if workers is None else workers
         if workers and workers > 1:
             stats = apply_decrease_parallel(self.hu, self.labels, batch, workers)
+        elif self.config.engine == "array":
+            stats = apply_decrease_array(self.hu, self.labels, batch)
         else:
             stats = apply_decrease(self.hu, self.labels, batch)
         return self._note_maintenance(stats)
@@ -225,13 +235,19 @@ class DHLIndex:
     def increase(
         self, changes: Iterable[WeightChange], workers: int | None = None
     ) -> MaintenanceStats:
-        """Apply edge-weight increases (DHL+ / DHL+p)."""
+        """Apply edge-weight increases (DHL+ / DHL+p).
+
+        ``workers`` > 1 explicitly requests Algorithms 6/7; see
+        :meth:`decrease` for the engine selection rules.
+        """
         batch = self._validated(changes, expect="increase")
         if not batch:
             return MaintenanceStats()
         workers = self.config.workers if workers is None else workers
         if workers and workers > 1:
             stats = apply_increase_parallel(self.hu, self.labels, batch, workers)
+        elif self.config.engine == "array":
+            stats = apply_increase_array(self.hu, self.labels, batch)
         else:
             stats = apply_increase(self.hu, self.labels, batch)
         return self._note_maintenance(stats)

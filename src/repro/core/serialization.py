@@ -136,6 +136,7 @@ def _config_payload(config) -> dict:
         "seed": config.seed,
         "coarsest_size": config.coarsest_size,
         "workers": config.workers,
+        "engine": config.engine,
         "validate": config.validate,
     }
 
@@ -171,20 +172,14 @@ def save_index(index, path: Path) -> None:
     hq = index.hq
     hu = index.hu
 
-    up_rows = [np.asarray(u, dtype=np.int64) for u in hu.up]
-    up_flat, up_offsets = _flatten_ragged(up_rows)
-    wup_rows = [
-        np.asarray([hu.wup[v][u] for u in hu.up[v]], dtype=np.float64)
-        for v in range(len(hu.up))
-    ]
-    wup_flat, _ = _flatten_ragged(wup_rows)
-
+    # The CSR shortcut store is already the on-disk ragged layout:
+    # rank-sorted rows, weights aligned slot-for-slot.
     np.savez_compressed(
         path / "arrays.npz",
         order=hu.order,
-        up_flat=up_flat,
-        up_offsets=up_offsets,
-        wup_flat=wup_flat,
+        up_flat=hu.up_indices,
+        up_offsets=hu.up_indptr,
+        wup_flat=hu.up_weights,
         **_hq_payload(hq),
     )
     _save_labels(path, index.labels, "label")
@@ -252,18 +247,12 @@ def save_directed_index(index, path: Path) -> None:
     hq = index.hq
     n = index.digraph.num_vertices
 
-    up_rows = [np.asarray(u, dtype=np.int64) for u in index.up]
-    up_flat, up_offsets = _flatten_ragged(up_rows)
-    wout_rows = [
-        np.asarray([index.wout[v][u] for u in index.up[v]], dtype=np.float64)
-        for v in range(n)
-    ]
-    win_rows = [
-        np.asarray([index.win[v][u] for u in index.up[v]], dtype=np.float64)
-        for v in range(n)
-    ]
-    wout_flat, _ = _flatten_ragged(wout_rows)
-    win_flat, _ = _flatten_ragged(win_rows)
+    # The shared shortcut structure and both direction weight arrays are
+    # already flat CSR — dump them slot-for-slot.
+    up_flat = index.csr.indices
+    up_offsets = index.csr.indptr
+    wout_flat = index.out_weights
+    win_flat = index.in_weights
 
     arcs = list(index.digraph.arcs())
     arc_src = np.asarray([a for a, _, _ in arcs], dtype=np.int64)
@@ -343,18 +332,13 @@ def load_directed_index(path: Path, mmap_labels: bool = False):
         dict(zip(up[v], win_flat[offsets[v] : offsets[v + 1]].tolist()))
         for v in range(n)
     ]
-    down: list[list[int]] = [[] for _ in range(n)]
-    for v in range(n):
-        for u in up[v]:
-            down[u].append(v)
-    down_sets = [set(d) for d in down]
 
     labels_out = _load_labels(path, "label_out", hq.tau, mmap_labels)
     labels_in = _load_labels(path, "label_in", hq.tau, mmap_labels)
 
     stats = IndexStats(num_vertices=n, num_edges=digraph.num_arcs)
     index = DirectedDHLIndex(
-        digraph, hq, rank, up, down, down_sets, wout, win,
+        digraph, hq, rank, up, wout, win,
         labels_out, labels_in, config, stats,
     )
     index._refresh_size_stats()

@@ -12,6 +12,12 @@ Shortcut weights satisfy the minimum-weight property (Property 3.1):
     w(u, v) = min( w_G(u, v), min_x w(x, u) + w(x, v) )
 
 over all common "down" neighbours ``x`` (contracted before both).
+
+Storage is a flat CSR shortcut store (:mod:`repro.hierarchy.csr`): the
+rank-sorted ``up_indptr``/``up_indices``/``up_weights`` triple plus the
+reverse/down CSR, built once at construction. ``up``/``down``/
+``down_sets``/``wup`` remain available as thin views over the same
+arrays for the scalar reference algorithms and the baselines.
 """
 
 from __future__ import annotations
@@ -22,12 +28,13 @@ from typing import Sequence
 import numpy as np
 
 from repro.graph.graph import Graph
+from repro.hierarchy.csr import CSRShortcutMixin, build_shortcut_csr
 from repro.utils.priority_queue import LazyHeap
 
 __all__ = ["ContractionResult", "contract_in_order", "min_degree_order"]
 
 
-class ContractionResult:
+class ContractionResult(CSRShortcutMixin):
     """Shortcut graph produced by contraction.
 
     Attributes
@@ -40,20 +47,30 @@ class ContractionResult:
     rank:
         ``rank[v]`` = position of ``v`` in ``order``. Up-neighbours have
         larger rank (contracted later).
-    up:
-        ``up[v]`` = list of up-neighbours (N+ in the paper when read
-        through H_U's reversed convention): shortcut partners contracted
-        *after* v.
-    wup:
-        ``wup[v][u]`` = current shortcut weight of ``(v, u)``, stored on
-        the earlier-contracted endpoint.
-    down:
-        ``down[v]`` = shortcut partners contracted *before* v.
-    down_sets:
-        Same as ``down`` but as sets (for triangle intersection).
+    rank_key:
+        ``rank`` as float64 — pre-boxed priority keys for the reference
+        path's heap pushes.
+    csr:
+        The structural :class:`~repro.hierarchy.csr.ShortcutCSR`
+        (``up_indptr``/``up_indices`` + down CSR + slot lookup tables).
+    up_weights:
+        Flat float64 array of current shortcut weights, one per CSR
+        slot — the single source of truth; the ``wup`` mapping view and
+        the array kernels both read and write it.
     """
 
-    __slots__ = ("graph", "order", "rank", "up", "wup", "down", "down_sets")
+    __slots__ = (
+        "graph",
+        "order",
+        "rank",
+        "rank_key",
+        "csr",
+        "up_weights",
+        "_wup",
+        "_up_rows",
+        "_down_rows",
+        "_down_sets",
+    )
 
     def __init__(
         self,
@@ -64,15 +81,37 @@ class ContractionResult:
         wup: list[dict[int, float]],
     ):
         self.graph = graph
-        self.order = order
-        self.rank = rank
-        self.up = up
-        self.wup = wup
-        self.down: list[list[int]] = [[] for _ in range(len(up))]
-        for v in range(len(up)):
-            for u in up[v]:
-                self.down[u].append(v)
-        self.down_sets: list[set[int]] = [set(d) for d in self.down]
+        self.order = np.asarray(order, dtype=np.int64)
+        self.rank = np.asarray(rank, dtype=np.int64)
+        self.rank_key = self.rank.astype(np.float64)
+        self.csr, self.up_weights = build_shortcut_csr(up, self.rank, wup)
+        self._reset_csr_caches()
+
+    # -- pickling ---------------------------------------------------------
+    def __getstate__(self):
+        """Pickle the flat store only; lazy views are rebuilt on demand.
+
+        The cached row views are numpy *views* into the CSR arrays —
+        pickling them would materialise detached copies and route
+        maintenance writes into dead buffers after unpickling (the
+        parallel shard build ships hierarchies across processes).
+        """
+        return {
+            "graph": self.graph,
+            "order": self.order,
+            "rank": self.rank,
+            "csr": self.csr,
+            "up_weights": self.up_weights,
+        }
+
+    def __setstate__(self, state) -> None:
+        self.graph = state["graph"]
+        self.order = state["order"]
+        self.rank = state["rank"]
+        self.rank_key = self.rank.astype(np.float64)
+        self.csr = state["csr"]
+        self.up_weights = state["up_weights"]
+        self._reset_csr_caches()
 
     # -- weight access --------------------------------------------------
     def shortcut_key(self, a: int, b: int) -> tuple[int, int]:
@@ -81,39 +120,52 @@ class ContractionResult:
 
     def has_shortcut(self, a: int, b: int) -> bool:
         lo, hi = self.shortcut_key(a, b)
-        return hi in self.wup[lo]
+        return self.csr.find_slot(lo, hi) >= 0
 
     def weight(self, a: int, b: int) -> float:
         """Current weight of shortcut ``(a, b)``."""
         lo, hi = self.shortcut_key(a, b)
-        return self.wup[lo][hi]
+        return float(self.up_weights[self.csr.slot_of(lo, hi)])
 
     def set_weight(self, a: int, b: int, w: float) -> float:
         """Set shortcut weight; returns the previous value."""
         lo, hi = self.shortcut_key(a, b)
-        old = self.wup[lo][hi]
-        self.wup[lo][hi] = w
+        slot = self.csr.slot_of(lo, hi)
+        old = float(self.up_weights[slot])
+        self.up_weights[slot] = w
         return old
 
     @property
     def num_shortcuts(self) -> int:
-        return sum(len(w) for w in self.wup)
+        return self.csr.num_slots
 
     def memory_bytes(self) -> int:
-        """Rough footprint of the shortcut store (ids + weights + lists)."""
-        entries = self.num_shortcuts
-        # one dict slot (id + float) per shortcut, plus up/down id lists
-        return 16 * entries + 8 * sum(len(u) for u in self.up) + 8 * sum(
-            len(d) for d in self.down
-        ) + self.order.nbytes + self.rank.nbytes
+        """Rough footprint of the CSR shortcut store."""
+        csr = self.csr
+        return (
+            self.up_weights.nbytes
+            + csr.indices.nbytes
+            + csr.indptr.nbytes
+            + csr.ranks.nbytes
+            + csr.owners.nbytes
+            + csr.slot_keys.nbytes
+            + csr.down_indices.nbytes
+            + csr.down_indptr.nbytes
+            + csr.down_slots.nbytes
+            + self.order.nbytes
+            + self.rank.nbytes
+        )
 
     # -- invariant checks (used heavily in tests) ------------------------
     def verify_minimum_weight_property(self, tolerance: float = 0.0) -> None:
         """Assert Property 3.1 for every shortcut; raises AssertionError."""
-        for v in range(len(self.up)):
-            for u in self.up[v]:
+        csr = self.csr
+        for v in range(csr.n):
+            start, end = csr.row_bounds(v)
+            for slot in range(start, end):
+                u = int(csr.indices[slot])
                 expected = self._recomputed_weight(v, u)
-                actual = self.wup[v][u]
+                actual = float(self.up_weights[slot])
                 ok = (
                     actual == expected
                     or (math.isinf(actual) and math.isinf(expected))
@@ -126,14 +178,10 @@ class ContractionResult:
     def _recomputed_weight(self, v: int, u: int) -> float:
         graph = self.graph
         best = graph.weight(v, u) if graph.has_edge(v, u) else math.inf
-        small, big = self.down_sets[v], self.down_sets[u]
-        if len(small) > len(big):
-            small, big = big, small
-        for x in small:
-            if x in big:
-                candidate = self.weight(x, v) + self.weight(x, u)
-                if candidate < best:
-                    best = candidate
+        slots_v, slots_u = self.csr.common_down(v, u)
+        if len(slots_v):
+            triangles = self.up_weights[slots_v] + self.up_weights[slots_u]
+            best = min(best, float(triangles.min()))
         return best
 
 

@@ -1,0 +1,366 @@
+"""Flat CSR storage for the weight-independent shortcut hierarchy.
+
+The shortcut *structure* of a contraction hierarchy never changes under
+weight updates (structural stability, U1), so it is stored once as a
+compressed-sparse-row triple:
+
+* ``indptr``/``indices`` — vertex ``v``'s up-neighbours (shortcut
+  partners contracted later) live at
+  ``indices[indptr[v] : indptr[v + 1]]``, sorted by contraction rank;
+* a parallel **weights** array (owned by the caller — one for the
+  undirected hierarchy, two for the directed index) holds the current
+  shortcut weights, one float64 per slot.
+
+Two derived tables make the maintenance kernels array-native:
+
+* ``slot_keys`` — the globally sorted key ``owner * n + rank[indices]``
+  per slot, so a batch of ``(lo, hi)`` pairs resolves to weight slots
+  with one :func:`numpy.searchsorted` (no per-pair dict probing);
+* the reverse/down CSR (``down_indptr``/``down_indices``/``down_slots``)
+  — vertex ``v``'s down-neighbours sorted by vertex id, each carrying
+  the up-slot of its shortcut, so Property-3.1 recomputation runs as a
+  sorted intersection over two down rows and weight gathers.
+
+:class:`WeightRows` wraps a structure + weights pair in the historical
+``wup[v][u]`` mapping interface so the scalar reference algorithms and
+the baselines keep working against the same single source of truth.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["ShortcutCSR", "WeightRows", "WeightRow", "build_shortcut_csr"]
+
+
+class ShortcutCSR:
+    """Structure-only CSR of a shortcut hierarchy (weights live outside).
+
+    Attributes
+    ----------
+    n:
+        Vertex count.
+    indptr / indices:
+        Up-adjacency rows, each sorted by contraction rank.
+    ranks:
+        ``rank[indices]`` — precomputed for in-row binary searches.
+    owners:
+        Row owner per slot (``repeat(arange(n), row degrees)``).
+    slot_keys:
+        ``owners * n + ranks`` — globally ascending, the searchsorted
+        key space of :meth:`slots_of`.
+    down_indptr / down_indices / down_slots:
+        Reverse adjacency: ``down_indices[down_indptr[v]:down_indptr[v+1]]``
+        are the vertices contracted before ``v`` that share a shortcut
+        with it (ascending vertex id) and ``down_slots`` holds each
+        shortcut's up-slot index.
+    """
+
+    __slots__ = (
+        "n",
+        "rank",
+        "indptr",
+        "indices",
+        "ranks",
+        "owners",
+        "slot_keys",
+        "down_indptr",
+        "down_indices",
+        "down_slots",
+    )
+
+    def __init__(
+        self,
+        n: int,
+        rank: np.ndarray,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+    ):
+        self.n = n
+        self.rank = rank
+        self.indptr = indptr
+        self.indices = indices
+        self.ranks = rank[indices]
+        counts = np.diff(indptr)
+        self.owners = np.repeat(np.arange(n, dtype=np.int64), counts)
+        self.slot_keys = self.owners * np.int64(n) + self.ranks
+        # Reverse (down) CSR: group slots by the shallow endpoint, order
+        # each group by the deep endpoint's vertex id.
+        down_order = np.lexsort((self.owners, self.indices))
+        self.down_indices = self.owners[down_order]
+        self.down_slots = down_order.astype(np.int64)
+        down_counts = np.bincount(self.indices, minlength=n)
+        self.down_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(down_counts, out=self.down_indptr[1:])
+
+    # -- pickling ---------------------------------------------------------
+    def __getstate__(self):
+        # Derived tables are cheap relative to pickling them; ship only
+        # the defining arrays and rebuild on the far side.
+        return (self.n, self.rank, self.indptr, self.indices)
+
+    def __setstate__(self, state) -> None:
+        n, rank, indptr, indices = state
+        self.__init__(n, rank, indptr, indices)
+
+    # -- basic shape ------------------------------------------------------
+    @property
+    def num_slots(self) -> int:
+        return len(self.indices)
+
+    def row_bounds(self, v: int) -> tuple[int, int]:
+        return int(self.indptr[v]), int(self.indptr[v + 1])
+
+    def row(self, v: int) -> np.ndarray:
+        start, end = self.row_bounds(v)
+        return self.indices[start:end]
+
+    def down_row(self, v: int) -> np.ndarray:
+        start, end = int(self.down_indptr[v]), int(self.down_indptr[v + 1])
+        return self.down_indices[start:end]
+
+    # -- slot resolution --------------------------------------------------
+    def slot_of(self, lo: int, hi: int) -> int:
+        """Weight slot of shortcut ``(lo, hi)``; raises when absent."""
+        key = lo * self.n + int(self.rank[hi])
+        slot = int(np.searchsorted(self.slot_keys, key))
+        if slot >= len(self.slot_keys) or self.slot_keys[slot] != key:
+            raise KeyError(f"no shortcut ({lo}, {hi})")
+        return slot
+
+    def find_slot(self, lo: int, hi: int) -> int:
+        """Like :meth:`slot_of` but returns -1 when the pair is absent."""
+        key = lo * self.n + int(self.rank[hi])
+        slot = int(np.searchsorted(self.slot_keys, key))
+        if slot >= len(self.slot_keys) or self.slot_keys[slot] != key:
+            return -1
+        return slot
+
+    def slots_of(self, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`slot_of` over pair arrays (pairs must exist)."""
+        keys = lo.astype(np.int64) * np.int64(self.n) + self.rank[hi]
+        return np.searchsorted(self.slot_keys, keys)
+
+    # -- Property 3.1 support ---------------------------------------------
+    def common_down(self, a: int, b: int) -> tuple[np.ndarray, np.ndarray]:
+        """Aligned up-slots over the common down-neighbourhood of a and b.
+
+        Returns ``(slots_a, slots_b)``: for each shared down-neighbour
+        ``x`` (a vertex contracted before both), the slots of shortcuts
+        ``(x, a)`` and ``(x, b)``. Runs as a sorted intersection of the
+        two down rows.
+        """
+        sa, ea = int(self.down_indptr[a]), int(self.down_indptr[a + 1])
+        sb, eb = int(self.down_indptr[b]), int(self.down_indptr[b + 1])
+        xs_a = self.down_indices[sa:ea]
+        xs_b = self.down_indices[sb:eb]
+        _, ia, ib = np.intersect1d(
+            xs_a, xs_b, assume_unique=True, return_indices=True
+        )
+        return self.down_slots[sa + ia], self.down_slots[sb + ib]
+
+
+def build_shortcut_csr(
+    rows: Sequence[Sequence[int]],
+    rank: np.ndarray,
+    *weight_rows,
+) -> tuple:
+    """Build a :class:`ShortcutCSR` (plus flat weight arrays) from rows.
+
+    ``rows[v]`` lists vertex ``v``'s up-neighbours in any order; each
+    optional ``weight_rows`` entry is an aligned mapping-or-sequence per
+    vertex (``weight_rows[k][v][u]``). Rows are re-sorted by contraction
+    rank, and every returned weight array follows the same permutation.
+
+    Returns ``(csr, w0, w1, ...)``.
+    """
+    n = len(rows)
+    rank = np.asarray(rank, dtype=np.int64)
+    counts = np.fromiter((len(r) for r in rows), dtype=np.int64, count=n)
+    m = int(counts.sum())
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    indices = np.fromiter(
+        (u for row in rows for u in row), dtype=np.int64, count=m
+    )
+    owners = np.repeat(np.arange(n, dtype=np.int64), counts)
+    order = np.lexsort((rank[indices], owners))
+    indices = indices[order]
+
+    flats = []
+    for wrows in weight_rows:
+        flat = np.fromiter(
+            (wrow[u] for row, wrow in zip(rows, wrows) for u in row),
+            dtype=np.float64,
+            count=m,
+        )
+        flats.append(flat[order])
+    return (ShortcutCSR(n, rank, indptr, indices), *flats)
+
+
+class WeightRow:
+    """Mapping view of one vertex's shortcut weights (``wup[v]``-style).
+
+    Reads and writes go straight to the flat weight array, so the view
+    and the array kernels always agree. Keys are the up-neighbour vertex
+    ids in rank order, as in the historical dict-of-dicts store.
+    """
+
+    __slots__ = ("_csr", "_weights", "_v", "_pos")
+
+    def __init__(self, csr: ShortcutCSR, weights: np.ndarray, v: int):
+        self._csr = csr
+        self._weights = weights
+        self._v = v
+        self._pos: dict[int, int] | None = None
+
+    def _positions(self) -> dict[int, int]:
+        if self._pos is None:
+            start, end = self._csr.row_bounds(self._v)
+            self._pos = {
+                int(u): slot
+                for slot, u in zip(
+                    range(start, end), self._csr.indices[start:end]
+                )
+            }
+        return self._pos
+
+    def __getitem__(self, u: int) -> float:
+        return float(self._weights[self._positions()[int(u)]])
+
+    def __setitem__(self, u: int, value: float) -> None:
+        self._weights[self._positions()[int(u)]] = value
+
+    def get(self, u: int, default=None):
+        slot = self._positions().get(int(u))
+        return default if slot is None else float(self._weights[slot])
+
+    def __contains__(self, u: int) -> bool:
+        return int(u) in self._positions()
+
+    def __len__(self) -> int:
+        start, end = self._csr.row_bounds(self._v)
+        return end - start
+
+    def __iter__(self) -> Iterator[int]:
+        return (int(u) for u in self._csr.row(self._v))
+
+    def keys(self):
+        return list(self)
+
+    def values(self):
+        start, end = self._csr.row_bounds(self._v)
+        return [float(w) for w in self._weights[start:end]]
+
+    def items(self):
+        start, end = self._csr.row_bounds(self._v)
+        return [
+            (int(u), float(w))
+            for u, w in zip(
+                self._csr.indices[start:end], self._weights[start:end]
+            )
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - repr sugar
+        return f"WeightRow({dict(self.items())})"
+
+
+class WeightRows:
+    """List-of-mappings view over (structure, weights) — ``wup``-shaped."""
+
+    __slots__ = ("_csr", "_weights", "_rows")
+
+    def __init__(self, csr: ShortcutCSR, weights: np.ndarray):
+        self._csr = csr
+        self._weights = weights
+        self._rows: dict[int, WeightRow] = {}
+
+    def __getitem__(self, v: int) -> WeightRow:
+        row = self._rows.get(v)
+        if row is None:
+            row = self._rows[v] = WeightRow(self._csr, self._weights, v)
+        return row
+
+    def __len__(self) -> int:
+        return self._csr.n
+
+    def __iter__(self) -> Iterator[WeightRow]:
+        return (self[v] for v in range(self._csr.n))
+
+
+class CSRShortcutMixin:
+    """Compatibility surface shared by CSR-backed shortcut stores.
+
+    Concrete classes provide ``csr`` (a :class:`ShortcutCSR`),
+    ``up_weights`` (the flat weight array) and the four cache slots
+    ``_wup`` / ``_up_rows`` / ``_down_rows`` / ``_down_sets``. The mixin
+    exposes the historical ``up`` / ``down`` / ``down_sets`` / ``wup``
+    attributes as lazy views over the flat store, so scalar reference
+    code and the array kernels share one source of truth.
+    """
+
+    __slots__ = ()
+
+    # -- raw CSR attribute aliases (the tentpole's public layout) --------
+    @property
+    def up_indptr(self) -> np.ndarray:
+        return self.csr.indptr
+
+    @property
+    def up_indices(self) -> np.ndarray:
+        return self.csr.indices
+
+    @property
+    def down_indptr(self) -> np.ndarray:
+        return self.csr.down_indptr
+
+    @property
+    def down_indices(self) -> np.ndarray:
+        return self.csr.down_indices
+
+    @property
+    def down_slots(self) -> np.ndarray:
+        return self.csr.down_slots
+
+    # -- historical views -------------------------------------------------
+    @property
+    def up(self) -> list[np.ndarray]:
+        """Per-vertex up-neighbour arrays (rank-sorted views)."""
+        if self._up_rows is None:
+            csr = self.csr
+            indptr, indices = csr.indptr, csr.indices
+            self._up_rows = [
+                indices[indptr[v] : indptr[v + 1]] for v in range(csr.n)
+            ]
+        return self._up_rows
+
+    @property
+    def down(self) -> list[np.ndarray]:
+        """Per-vertex down-neighbour arrays (vertex-id-sorted views)."""
+        if self._down_rows is None:
+            csr = self.csr
+            indptr, indices = csr.down_indptr, csr.down_indices
+            self._down_rows = [
+                indices[indptr[v] : indptr[v + 1]] for v in range(csr.n)
+            ]
+        return self._down_rows
+
+    @property
+    def down_sets(self) -> list[set[int]]:
+        if self._down_sets is None:
+            self._down_sets = [set(row.tolist()) for row in self.down]
+        return self._down_sets
+
+    @property
+    def wup(self) -> WeightRows:
+        if self._wup is None:
+            self._wup = WeightRows(self.csr, self.up_weights)
+        return self._wup
+
+    def _reset_csr_caches(self) -> None:
+        self._wup = None
+        self._up_rows = None
+        self._down_rows = None
+        self._down_sets = None

@@ -11,6 +11,12 @@ shortcut joins two ⪯_H-comparable vertices (Lemma 4.8) and
 Structural stability (U1) holds by construction: weight updates never add
 or remove shortcuts, they only change stored weights, which the dynamic
 algorithms keep consistent with the minimum-weight property (3.1).
+
+The shortcut store itself is the flat CSR layout inherited from
+:class:`~repro.hierarchy.contraction.ContractionResult` — the update
+hierarchy *shares* the base result's arrays (no rebuild) and adds the
+``tau``/``tau_key`` rank arrays the label algorithms key their
+frontiers on.
 """
 
 from __future__ import annotations
@@ -28,17 +34,28 @@ __all__ = ["UpdateHierarchy"]
 class UpdateHierarchy(ContractionResult):
     """Shortcut graph of G w.r.t. the partial order induced by H_Q.
 
-    Inherits the shortcut store from :class:`ContractionResult`; adds the
-    rank array ``tau`` and the link back to the query hierarchy. Note the
-    reversed rank convention: ancestors have *small* ``tau`` but *large*
-    contraction rank (they are contracted last).
+    Inherits the CSR shortcut store from :class:`ContractionResult`;
+    adds the rank array ``tau`` (int64, shared with H_Q), its float64
+    twin ``tau_key`` (pre-boxed heap priorities for the reference path)
+    and the link back to the query hierarchy. Note the reversed rank
+    convention: ancestors have *small* ``tau`` but *large* contraction
+    rank (they are contracted last).
     """
 
-    __slots__ = ("tau", "hq")
+    __slots__ = ("tau", "tau_key", "hq")
 
     def __init__(self, base: ContractionResult, hq: QueryHierarchy):
-        super().__init__(base.graph, base.order, base.rank, base.up, base.wup)
-        self.tau = hq.tau
+        # Adopt the base result's storage wholesale — the CSR arrays are
+        # the source of truth and must not be copied or rebuilt.
+        self.graph = base.graph
+        self.order = base.order
+        self.rank = base.rank
+        self.rank_key = base.rank_key
+        self.csr = base.csr
+        self.up_weights = base.up_weights
+        self._reset_csr_caches()
+        self.tau = np.asarray(hq.tau, dtype=np.int64)
+        self.tau_key = self.tau.astype(np.float64)
         self.hq = hq
 
     @classmethod
@@ -47,6 +64,18 @@ class UpdateHierarchy(ContractionResult):
         order = hq.contraction_order()
         base = contract_in_order(graph, order)
         return cls(base, hq)
+
+    # -- pickling ---------------------------------------------------------
+    def __getstate__(self):
+        state = super().__getstate__()
+        state["hq"] = self.hq
+        return state
+
+    def __setstate__(self, state) -> None:
+        super().__setstate__(state)
+        self.hq = state["hq"]
+        self.tau = np.asarray(self.hq.tau, dtype=np.int64)
+        self.tau_key = self.tau.astype(np.float64)
 
     def validate_comparability(self) -> None:
         """Check Lemma 4.8: every shortcut joins comparable vertices.
@@ -64,12 +93,13 @@ class UpdateHierarchy(ContractionResult):
 
     def max_up_degree(self) -> int:
         """Paper's ``d_max`` (maximum shortcut degree towards ancestors)."""
-        return max((len(u) for u in self.up), default=0)
+        degrees = np.diff(self.csr.indptr)
+        return int(degrees.max()) if len(degrees) else 0
 
     def degree_stats(self) -> dict[str, float]:
         """Summary of shortcut degrees, for the experiment reports."""
-        ups = np.array([len(u) for u in self.up], dtype=np.int64)
-        downs = np.array([len(d) for d in self.down], dtype=np.int64)
+        ups = np.diff(self.csr.indptr)
+        downs = np.diff(self.csr.down_indptr)
         return {
             "max_up": int(ups.max(initial=0)),
             "mean_up": float(ups.mean()) if len(ups) else 0.0,

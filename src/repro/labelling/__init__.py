@@ -5,8 +5,11 @@
   (Definitions 4.9-4.12).
 * :mod:`repro.labelling.build` — bottom-up construction (Algorithm 1).
 * :mod:`repro.labelling.query` — 2-hop distance queries through H_Q.
-* :mod:`repro.labelling.maintenance` — dynamic maintenance: DH-U
-  decrease/increase (Algorithms 2/3) and DHL-/DHL+ (Algorithms 4/5).
+* :mod:`repro.labelling.maintenance` — scalar reference maintenance:
+  DH-U decrease/increase (Algorithms 2/3) and DHL-/DHL+ (Algorithms 4/5).
+* :mod:`repro.labelling.maintenance_kernels` — the frontier-batched
+  array engine (default): the same algorithms as level/round sweeps over
+  the CSR shortcut store and the flat label buffer.
 * :mod:`repro.labelling.parallel` — column-partitioned parallel variants
   (Algorithms 6/7).
 """
@@ -24,6 +27,14 @@ from repro.labelling.maintenance import (
     apply_decrease,
     apply_increase,
 )
+from repro.labelling.maintenance_kernels import (
+    shortcuts_decrease_array,
+    shortcuts_increase_array,
+    labels_decrease_array,
+    labels_increase_array,
+    apply_decrease_array,
+    apply_increase_array,
+)
 from repro.labelling.parallel import (
     maintain_labels_decrease_parallel,
     maintain_labels_increase_parallel,
@@ -32,6 +43,12 @@ from repro.labelling.parallel import (
 )
 
 __all__ = [
+    "shortcuts_decrease_array",
+    "shortcuts_increase_array",
+    "labels_decrease_array",
+    "labels_increase_array",
+    "apply_decrease_array",
+    "apply_increase_array",
     "HierarchicalLabelling",
     "build_labelling",
     "QueryEngine",

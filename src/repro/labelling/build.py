@@ -5,28 +5,37 @@ is the element-wise minimum over its up-neighbours ``w`` of
 ``w(v, w) + L_w``, seeded with its direct shortcut weights. Each inner
 step is one vectorised ``numpy.minimum`` over a prefix, which is what
 keeps pure-Python construction practical (the ``repro_why`` concern).
+
+The builder reads the CSR shortcut store directly (``up_indptr`` /
+``up_indices`` / ``up_weights``): the shortcut-weight seeding is one
+scatter into the flat label buffer, and the top-down pass walks row
+slices with no per-edge dict probing.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.hierarchy.update_hierarchy import UpdateHierarchy
 from repro.labelling.labels import HierarchicalLabelling
 
 __all__ = ["build_labelling"]
 
 
-def build_labelling(hu: UpdateHierarchy) -> HierarchicalLabelling:
+def build_labelling(hu) -> HierarchicalLabelling:
     """Run Algorithm 1 over the update hierarchy *hu*.
 
-    Returns the hierarchical labelling whose entry ``L_v[i]`` is the
-    length of the shortest shortcut chain from ``v`` to its rank-``i``
-    ancestor — equivalently the interval-subgraph distance of
-    Definition 4.11 (by Lemma 6.3 / Corollary 6.5).
+    *hu* is any CSR shortcut store carrying ``tau``, ``csr`` and
+    ``up_weights`` — the undirected update hierarchy or one direction
+    view of the directed index. Returns the hierarchical labelling whose
+    entry ``L_v[i]`` is the length of the shortest shortcut chain from
+    ``v`` to its rank-``i`` ancestor — equivalently the interval-subgraph
+    distance of Definition 4.11 (by Lemma 6.3 / Corollary 6.5).
     """
     tau = np.asarray(hu.tau, dtype=np.int64)
     n = len(tau)
+    csr = hu.csr
+    indptr, indices = csr.indptr, csr.indices
+    up_weights = hu.up_weights
     # Labels are built straight into the flat CSR store: lengths are
     # known upfront (tau + 1), so the whole buffer is allocated once and
     # the diagonal is written with a single scatter.
@@ -36,21 +45,26 @@ def build_labelling(hu: UpdateHierarchy) -> HierarchicalLabelling:
     values = np.full(int(offsets[-1]), np.inf, dtype=np.float64)
     values[offsets[:-1] + tau] = 0.0
     labels = HierarchicalLabelling(values, offsets, lengths, tau)
-    arrays = labels.views()
 
-    # Lines 3-4: copy shortcut weights. wup is keyed on the deeper
-    # endpoint (contracted earlier), matching tau(v) > tau(w).
-    for v in range(n):
-        row = arrays[v]
-        for w, weight in hu.wup[v].items():
-            row[int(tau[w])] = weight
+    # Lines 3-4: copy shortcut weights — one scatter over all slots.
+    # Slot (v, w) lands at position offsets[v] + tau[w] (tau(w) < tau(v)
+    # for every up-neighbour); positions are distinct across slots.
+    if len(indices):
+        values[offsets[csr.owners] + tau[indices]] = up_weights
 
     # Lines 5-8: top-down pass in increasing tau; ties are incomparable
     # vertices whose labels do not interact, so any tie-break works.
     for v in np.argsort(tau, kind="stable").tolist():
-        row = arrays[v]
-        for w in hu.up[v]:
-            weight = hu.wup[v][w]
+        start, end = int(indptr[v]), int(indptr[v + 1])
+        if start == end:
+            continue
+        ov = int(offsets[v])
+        row = values[ov : ov + int(tau[v]) + 1]
+        for slot in range(start, end):
+            w = int(indices[slot])
             k = int(tau[w]) + 1
-            np.minimum(row[:k], weight + arrays[w], out=row[:k])
+            ow = int(offsets[w])
+            np.minimum(
+                row[:k], up_weights[slot] + values[ow : ow + k], out=row[:k]
+            )
     return labels

@@ -136,6 +136,61 @@ class HierarchicalLabelling:
         self.ensure_writable()
         self.values[self.offsets[v] + i] = value
 
+    # -- batched maintenance primitives -----------------------------------
+    def entry_positions(self, verts: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Flat positions of entries ``L_verts[cols]`` in ``values``."""
+        return self.offsets[verts] + cols
+
+    def entries_of_positions(
+        self, positions: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Inverse of :meth:`entry_positions`: ``(verts, cols)`` arrays.
+
+        Valid because slot capacities are disjoint ranges of ``values``:
+        a flat position maps back to its vertex with one searchsorted
+        over ``offsets``.
+        """
+        verts = np.searchsorted(self.offsets, positions, side="right") - 1
+        return verts, positions - self.offsets[verts]
+
+    def relax_entries(
+        self, positions: np.ndarray, candidates: np.ndarray
+    ) -> np.ndarray:
+        """Scatter-min *candidates* into ``values`` at *positions*.
+
+        Duplicate positions are allowed (they are min-reduced first via
+        a sort + ``np.minimum.reduceat`` pass — no unbuffered ``ufunc.at``
+        scatter). Returns the sorted unique positions whose stored value
+        strictly improved. This is the frontier-batched replacement for
+        the reference path's one-heap-pop-per-entry relaxation.
+        """
+        if not len(positions):
+            return positions
+        order = np.argsort(positions, kind="stable")
+        pos_sorted = positions[order]
+        cand_sorted = candidates[order]
+        starts = np.empty(len(pos_sorted), dtype=bool)
+        starts[0] = True
+        np.not_equal(pos_sorted[1:], pos_sorted[:-1], out=starts[1:])
+        start_idx = np.nonzero(starts)[0]
+        unique_pos = pos_sorted[start_idx]
+        mins = np.minimum.reduceat(cand_sorted, start_idx)
+        current = self.values[unique_pos]
+        improved = mins < current
+        if not improved.any():
+            return unique_pos[:0]
+        unique_pos = unique_pos[improved]
+        self.values[unique_pos] = mins[improved]
+        return unique_pos
+
+    def recompute_entries(
+        self, positions: np.ndarray, new_values: np.ndarray
+    ) -> np.ndarray:
+        """Overwrite entries at unique *positions*; returns the old values."""
+        old = self.values[positions].copy()
+        self.values[positions] = new_values
+        return old
+
     # -- mutation support -------------------------------------------------
     def ensure_writable(self) -> None:
         """Materialise the buffer in memory if it is a read-only mmap.

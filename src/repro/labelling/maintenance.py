@@ -1,4 +1,4 @@
-"""Dynamic maintenance — Algorithms 2-5 of the paper.
+"""Dynamic maintenance — Algorithms 2-5 of the paper (scalar reference).
 
 Two layers are maintained, in order:
 
@@ -16,6 +16,12 @@ Two layers are maintained, in order:
    paper's deliberate trade-off — Section 8 "Boundedness"). Entries are
    processed top-down (increasing ``tau``), so ancestor columns are final
    before descendants read them.
+
+This module is the one-pop-per-entry *reference engine* (selected with
+``DHLConfig(engine="reference")``); production updates run the
+frontier-batched kernels in :mod:`repro.labelling.maintenance_kernels`,
+which must produce identical labels, change counts and affected sets —
+the differential property tests rely on it.
 
 Increase-side pruning tests exact equality of path sums; with integer
 weights (the library default) these comparisons are exact in float64.
@@ -54,7 +60,8 @@ class MaintenanceStats:
 
     ``shortcuts_changed`` is the paper's |S-delta|; ``labels_changed`` is
     |L-delta| (distinct label entries whose value changed);
-    ``entries_processed`` counts queue pops (search effort).
+    ``entries_processed`` counts queue pops (search effort — the only
+    field that may differ between the reference and array engines).
     ``affected_labels`` holds the vertices whose label array was modified;
     a distance ``d(s, t)`` is a pure function of ``L_s`` and ``L_t``, so a
     cached result is stale only when one of its endpoints is in this set —
@@ -68,11 +75,18 @@ class MaintenanceStats:
     affected_labels: set[int] = field(default_factory=set)
 
     def merge(self, other: "MaintenanceStats") -> "MaintenanceStats":
+        # ``affected_shortcuts`` records the weight each shortcut held
+        # *before* the batch; when both sides touched a shortcut, the
+        # earliest recorded old weight must win (setdefault semantics) —
+        # a plain dict union would let the later batch overwrite it.
+        merged_shortcuts = dict(self.affected_shortcuts)
+        for key, old in other.affected_shortcuts.items():
+            merged_shortcuts.setdefault(key, old)
         return MaintenanceStats(
             self.shortcuts_changed + other.shortcuts_changed,
             self.labels_changed + other.labels_changed,
             self.entries_processed + other.entries_processed,
-            {**self.affected_shortcuts, **other.affected_shortcuts},
+            merged_shortcuts,
             self.affected_labels | other.affected_labels,
         )
 
@@ -93,7 +107,7 @@ def maintain_shortcuts_decrease(
     new weights are already stored in *sc*.
     """
     graph = sc.graph
-    rank = sc.rank
+    rank_key = sc.rank_key
     wup = sc.wup
     heap: LazyHeap[ShortcutKey] = LazyHeap()
     old_weights: dict[ShortcutKey, float] = {}
@@ -108,7 +122,7 @@ def maintain_shortcuts_decrease(
         if wup[v][w] > w_new:
             old_weights.setdefault((v, w), wup[v][w])
             wup[v][w] = w_new
-            heap.push((v, w), float(rank[v]))
+            heap.push((v, w), rank_key[v])
 
     while heap:
         (v, w), _ = heap.pop()
@@ -122,7 +136,7 @@ def maintain_shortcuts_decrease(
             if wup[lo][hi] > candidate:
                 old_weights.setdefault((lo, hi), wup[lo][hi])
                 wup[lo][hi] = candidate
-                heap.push((lo, hi), float(rank[lo]))
+                heap.push((lo, hi), rank_key[lo])
     return old_weights
 
 
@@ -137,7 +151,7 @@ def maintain_shortcuts_increase(
     shortcuts as ``{(deeper, shallower): old_weight}``.
     """
     graph = sc.graph
-    rank = sc.rank
+    rank_key = sc.rank_key
     wup = sc.wup
     heap: LazyHeap[ShortcutKey] = LazyHeap()
     old_weights: dict[ShortcutKey, float] = {}
@@ -151,7 +165,7 @@ def maintain_shortcuts_increase(
         v, w = sc.shortcut_key(a, b)
         # Only shortcuts whose weight was realised by this edge can change.
         if wup[v][w] == old_edge:
-            heap.push((v, w), float(rank[v]))
+            heap.push((v, w), rank_key[v])
 
     down_sets = sc.down_sets
     while heap:
@@ -175,7 +189,7 @@ def maintain_shortcuts_increase(
                 lo, hi = sc.shortcut_key(w, other)
                 # Triangles realising the old weight are potentially hit.
                 if wup[lo][hi] == old + row[other]:
-                    heap.push((lo, hi), float(rank[lo]))
+                    heap.push((lo, hi), rank_key[lo])
             old_weights.setdefault((v, w), old)
             wup[v][w] = w_new
     return old_weights
@@ -189,19 +203,19 @@ def seed_decrease(
     hu: UpdateHierarchy,
     labels: HierarchicalLabelling,
     affected: dict[ShortcutKey, float],
-) -> tuple[list[tuple[int, int]], int]:
+) -> tuple[list[tuple[int, int]], set[tuple[int, int]]]:
     """Phase 1 of Algorithm 4: apply ancestor-side label improvements.
 
     For each affected shortcut ``(v, w)`` with new weight ``w_new``,
     relaxes ``L_v[i] <- w_new + L_w[i]`` over ``i <= tau(w)``. Returns the
-    improved ``(v, i)`` pairs (seeds for the descendant phase) and the
-    number of changed entries.
+    improved ``(v, i)`` pairs (seeds for the descendant phase, in
+    application order, possibly repeated) and the same pairs as a set
+    (the distinct changed entries so far).
     """
     tau = hu.tau
     labels.ensure_writable()
     arrays = labels.views()
     seeds: list[tuple[int, int]] = []
-    changed = 0
     for (v, w), _old in affected.items():
         w_new = hu.wup[v][w]
         tw = int(tau[w])
@@ -214,8 +228,7 @@ def seed_decrease(
                 np.minimum(segment, candidate, out=segment)
                 for i in np.nonzero(improved)[0].tolist():
                     seeds.append((v, int(i)))
-                changed += int(improved.sum())
-    return seeds, changed
+    return seeds, set(seeds)
 
 
 def maintain_labels_decrease(
@@ -225,21 +238,19 @@ def maintain_labels_decrease(
 ) -> MaintenanceStats:
     """Algorithm 4 — DHL- label maintenance under weight decrease."""
     tau = hu.tau
+    tau_key = hu.tau_key
     labels.ensure_writable()
     arrays = labels.views()
-    seeds, changed = seed_decrease(hu, labels, affected)
+    seeds, changed_entries = seed_decrease(hu, labels, affected)
     stats = MaintenanceStats(
         shortcuts_changed=len(affected),
-        labels_changed=changed,
         affected_shortcuts=affected,
-        affected_labels={v for v, _ in seeds},
     )
     heap: LazyHeap[tuple[int, int]] = LazyHeap()
     for v, i in seeds:
-        heap.push((v, i), float(tau[v]))
+        heap.push((v, i), tau_key[v])
 
     down = hu.down
-    touched = stats.affected_labels
     while heap:
         (v, i), _ = heap.pop()
         stats.entries_processed += 1
@@ -250,9 +261,10 @@ def maintain_labels_decrease(
             candidate = row[tv] + value
             if candidate < row[i]:
                 row[i] = candidate
-                stats.labels_changed += 1
-                touched.add(u)
-                heap.push((u, i), float(tau[u]))
+                changed_entries.add((int(u), i))
+                heap.push((u, i), tau_key[u])
+    stats.labels_changed = len(changed_entries)
+    stats.affected_labels = {v for v, _ in changed_entries}
     return stats
 
 
@@ -296,6 +308,7 @@ def maintain_labels_increase(
     by path-sum equality.
     """
     tau = hu.tau
+    tau_key = hu.tau_key
     labels.ensure_writable()
     arrays = labels.views()
     stats = MaintenanceStats(
@@ -303,7 +316,7 @@ def maintain_labels_increase(
     )
     heap: LazyHeap[tuple[int, int]] = LazyHeap()
     for v, i in seed_increase(hu, labels, affected):
-        heap.push((v, i), float(tau[v]))
+        heap.push((v, i), tau_key[v])
 
     up = hu.up
     down = hu.down
@@ -328,7 +341,7 @@ def maintain_labels_increase(
                 if chained == urow[i] or (
                     math.isinf(chained) and math.isinf(urow[i])
                 ):
-                    heap.push((u, i), float(tau[u]))
+                    heap.push((u, i), tau_key[u])
             stats.labels_changed += 1
         if w_new != old:
             stats.affected_labels.add(v)

@@ -1,0 +1,561 @@
+"""Array-native dynamic maintenance — frontier-batched Algorithms 2-5.
+
+The scalar reference in :mod:`repro.labelling.maintenance` processes one
+shortcut or label entry per heap pop. These kernels reformulate the same
+algorithms as **frontier-batched sweeps** over the flat CSR stores:
+
+* **Shortcut decrease** (Algorithm 2) is a monotone min-relaxation, so
+  it runs as chaotic label-correcting *rounds*: every active shortcut
+  relaxes against its owner's whole up-row in one ragged broadcast,
+  target slots resolve with one ``searchsorted`` over the global
+  slot-key table, conflicting candidates min-reduce with
+  ``np.minimum.reduceat``, and the strictly-improved slots form the next
+  round's frontier. Convergence and the final weights are order
+  independent (any improvement re-activates its slot), so the fixpoint
+  matches the reference's rank-ordered heap exactly.
+* **Shortcut increase** (Algorithm 3) must recompute each suspect from
+  *final* deeper weights, so it keeps the bottom-up rank order (one
+  vertex per level — ranks are a permutation) but processes all of a
+  vertex's suspects at once: the Property-3.1 recompute resolves the
+  common down-neighbourhoods with a sorted-intersection membership test
+  over the down-CSR (no Python set probing), and the equality-guarded
+  suspect propagation scans every (suspect, row partner) triangle in one
+  vectorised pass.
+* **Labels** (Algorithms 4/5) bucket the active entry frontier by the
+  hierarchy rank ``tau`` (top-down). All entries of a level relax into
+  their descendants with vectorised gathers straight from the flat label
+  ``values`` buffer via
+  :meth:`~repro.labelling.labels.HierarchicalLabelling.relax_entries` /
+  :meth:`~repro.labelling.labels.HierarchicalLabelling.recompute_entries`.
+  Same-``tau`` vertices are incomparable (no shortcut joins them), so a
+  level's entries are independent; reads only touch strictly shallower
+  levels (already final) and writes only propagate strictly deeper —
+  the level sweep is observationally equivalent to the heap order.
+
+The label kernels use the shortcut-weight relaxation
+``w(u, v) + L_v[i]`` (Lemma 6.3) like the column-parallel Algorithms
+6/7, instead of the reference scalar path's label-entry relaxation;
+both reach the same fixpoint, so final labels, change counts and
+affected sets match the reference exactly — only the intermediate
+``entries_processed`` search-effort counter may differ.
+
+Stats semantics match the reference: ``affected_shortcuts`` maps each
+changed shortcut to the *earliest* weight it held in the batch;
+``labels_changed`` counts distinct entries whose value changed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+import numpy as np
+
+from repro.exceptions import MaintenanceError
+from repro.labelling.labels import HierarchicalLabelling
+from repro.labelling.maintenance import (
+    MaintenanceStats,
+    ShortcutKey,
+    WeightChange,
+)
+
+__all__ = [
+    "shortcuts_decrease_array",
+    "shortcuts_increase_array",
+    "labels_decrease_array",
+    "labels_increase_array",
+    "apply_decrease_array",
+    "apply_increase_array",
+]
+
+
+def _expand(counts: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Ragged-expansion helpers: (source index, within-row offset) arrays."""
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    ends = np.cumsum(counts)
+    rep = np.repeat(np.arange(len(counts), dtype=np.int64), counts)
+    ramp = np.arange(total, dtype=np.int64) - np.repeat(ends - counts, counts)
+    return rep, ramp
+
+
+def _segment_starts(sorted_keys: np.ndarray) -> np.ndarray:
+    """First index of each run in a sorted key array."""
+    first = np.empty(len(sorted_keys), dtype=bool)
+    first[0] = True
+    np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=first[1:])
+    return np.nonzero(first)[0]
+
+
+def _affected_arrays(
+    csr, affected: dict[ShortcutKey, float]
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """``(lo, hi, old, slot)`` arrays for an affected-shortcut dict."""
+    count = len(affected)
+    lo = np.fromiter((k[0] for k in affected), np.int64, count)
+    hi = np.fromiter((k[1] for k in affected), np.int64, count)
+    old = np.fromiter(affected.values(), np.float64, count)
+    return lo, hi, old, csr.slots_of(lo, hi)
+
+
+# ---------------------------------------------------------------------------
+# Shortcut maintenance (Algorithms 2 and 3)
+# ---------------------------------------------------------------------------
+
+def shortcuts_decrease_array(
+    sc, changes: list[WeightChange]
+) -> dict[ShortcutKey, float]:
+    """Algorithm 2 as chaotic min-relaxation rounds over the CSR store."""
+    graph = sc.graph
+    csr = sc.csr
+    weights = sc.up_weights
+    n = csr.n
+    indptr, indices = csr.indptr, csr.indices
+    ranks, owners, slot_keys = csr.ranks, csr.owners, csr.slot_keys
+    old_weights: dict[ShortcutKey, float] = {}
+
+    seeds: list[int] = []
+    for a, b, w_new in changes:
+        old_edge = graph.set_weight(a, b, w_new)
+        if w_new > old_edge:
+            raise MaintenanceError(
+                f"decrease batch contains an increase on edge ({a}, {b})"
+            )
+        lo, hi = sc.shortcut_key(a, b)
+        slot = csr.slot_of(lo, hi)
+        if weights[slot] > w_new:
+            old_weights.setdefault((lo, hi), float(weights[slot]))
+            weights[slot] = w_new
+            seeds.append(slot)
+
+    frontier = np.unique(np.asarray(seeds, dtype=np.int64))
+    while len(frontier):
+        slot_owner = owners[frontier]
+        deg = indptr[slot_owner + 1] - indptr[slot_owner]
+        rep, ramp = _expand(deg)
+        if not len(rep):
+            break
+        active = frontier[rep]
+        legs = indptr[slot_owner][rep] + ramp
+        keep = legs != active
+        active, legs = active[keep], legs[keep]
+        if not len(active):
+            break
+        cand = weights[active] + weights[legs]
+        # Target = the (shortcut endpoint, leg endpoint) pair, keyed by
+        # the deeper endpoint's id and the shallower one's rank.
+        ra, rb = ranks[active], ranks[legs]
+        lo_v = np.where(ra < rb, indices[active], indices[legs])
+        keys = lo_v * n + np.maximum(ra, rb)
+        tslots = np.searchsorted(slot_keys, keys)
+
+        sort = np.argsort(tslots, kind="stable")
+        ts, cs = tslots[sort], cand[sort]
+        seg = _segment_starts(ts)
+        uts = ts[seg]
+        mins = np.minimum.reduceat(cs, seg)
+        improved = mins < weights[uts]
+        uts = uts[improved]
+        if not len(uts):
+            break
+        for lo_i, hi_i, old in zip(
+            owners[uts].tolist(), indices[uts].tolist(), weights[uts].tolist()
+        ):
+            old_weights.setdefault((lo_i, hi_i), old)
+        weights[uts] = mins[improved]
+        frontier = uts
+    return old_weights
+
+
+def shortcuts_increase_array(
+    sc, changes: list[WeightChange]
+) -> dict[ShortcutKey, float]:
+    """Algorithm 3 as bottom-up dependency-layer sweeps.
+
+    A suspect's Property-3.1 recompute reads only slots owned by its
+    deeper endpoint's down-neighbours, so each round processes every
+    pending suspect whose owner has **no pending down-neighbour** — a
+    topological layer, resolved with one membership test. The layer's
+    recomputes then run as a single batch: triangle legs resolve through
+    the slot-key table (``x`` is a common down-neighbour of ``v`` and
+    ``w`` iff the key ``(x, v)`` exists and ``x`` sits in ``w``'s down
+    row — a sorted intersection over the down-CSR), and per-suspect
+    minima reduce with ``np.minimum.reduceat``. Suspects activated into
+    an already-processed owner simply re-enter a later round; the
+    equality guard re-delivers every realisation, so the fixpoint
+    matches the reference's strict rank order.
+    """
+    graph = sc.graph
+    csr = sc.csr
+    weights = sc.up_weights
+    n = csr.n
+    rank = sc.rank
+    indptr, indices = csr.indptr, csr.indices
+    ranks, owners, slot_keys = csr.ranks, csr.owners, csr.slot_keys
+    down_indptr, down_indices = csr.down_indptr, csr.down_indices
+    down_slots = csr.down_slots
+    old_weights: dict[ShortcutKey, float] = {}
+
+    seeds: list[int] = []
+    for a, b, w_new in changes:
+        old_edge = graph.set_weight(a, b, w_new)
+        if w_new < old_edge:
+            raise MaintenanceError(
+                f"increase batch contains a decrease on edge ({a}, {b})"
+            )
+        lo, hi = sc.shortcut_key(a, b)
+        slot = csr.slot_of(lo, hi)
+        # Only shortcuts whose weight was realised by this edge can change.
+        if weights[slot] == old_edge:
+            seeds.append(slot)
+
+    pending = np.unique(np.asarray(seeds, dtype=np.int64))
+    while len(pending):
+        # Topological layer: owners none of whose down-neighbours are
+        # themselves pending (the deepest pending owner always is, so
+        # every round makes progress).
+        p_owner = owners[pending]
+        layer_owners = np.unique(p_owner)
+        odeg = down_indptr[layer_owners + 1] - down_indptr[layer_owners]
+        rep, ramp = _expand(odeg)
+        blocked = np.zeros(len(layer_owners), dtype=bool)
+        if len(rep):
+            xs = down_indices[down_indptr[layer_owners][rep] + ramp]
+            pos = np.searchsorted(layer_owners, xs)
+            member = layer_owners[np.minimum(pos, len(layer_owners) - 1)] == xs
+            if member.any():
+                blocked[np.unique(rep[member])] = True
+        ready = layer_owners[~blocked]
+        take = np.isin(p_owner, ready)
+        slots = pending[take]
+        rest = pending[~take]
+
+        vs = owners[slots]
+        ws = indices[slots]
+        # Property 3.1 recompute for the whole layer: direct edge weight
+        # min-combined with triangles over the common down neighbourhood.
+        w_new = np.fromiter(
+            (
+                graph.weight(v, w) if graph.has_edge(v, w) else math.inf
+                for v, w in zip(vs.tolist(), ws.tolist())
+            ),
+            np.float64,
+            len(slots),
+        )
+        ddeg = down_indptr[ws + 1] - down_indptr[ws]
+        rep, ramp = _expand(ddeg)
+        if len(rep):
+            didx = down_indptr[ws][rep] + ramp
+            xs = down_indices[didx]
+            # x qualifies iff shortcut (x, v) exists: one global key probe.
+            keys = xs * n + rank[vs][rep]
+            pos = np.searchsorted(slot_keys, keys)
+            found = slot_keys[np.minimum(pos, len(slot_keys) - 1)] == keys
+            if found.any():
+                rep_f = rep[found]
+                triangles = (
+                    weights[pos[found]] + weights[down_slots[didx[found]]]
+                )
+                seg = _segment_starts(rep_f)
+                mins = np.minimum.reduceat(triangles, seg)
+                urep = rep_f[seg]
+                w_new[urep] = np.minimum(w_new[urep], mins)
+
+        old = weights[slots]
+        changed = w_new != old
+        next_chunks = [rest]
+        if changed.any():
+            ch = slots[changed]
+            ch_old = old[changed]
+            ch_owner = vs[changed]
+            # Equality-guarded propagation: triangles through the owner
+            # that realised a changed suspect's old weight mark deeper
+            # suspects. All legs read pre-write weights, which covers
+            # every realisation the reference's sequential order covers
+            # (the first side processed always sees the other leg old).
+            deg = indptr[ch_owner + 1] - indptr[ch_owner]
+            rep2, ramp2 = _expand(deg)
+            if len(rep2):
+                legs = indptr[ch_owner][rep2] + ramp2
+                keep = legs != ch[rep2]
+                legs = legs[keep]
+                rep2 = rep2[keep]
+                cand_old = ch_old[rep2] + weights[legs]
+                ra = ranks[ch[rep2]]
+                rb = ranks[legs]
+                lo_v = np.where(ra < rb, indices[ch[rep2]], indices[legs])
+                tkeys = lo_v * n + np.maximum(ra, rb)
+                tslots = np.searchsorted(slot_keys, tkeys)
+                hits = tslots[weights[tslots] == cand_old]
+                if len(hits):
+                    next_chunks.append(hits)
+            for lo_i, hi_i, old_w in zip(
+                ch_owner.tolist(), indices[ch].tolist(), ch_old.tolist()
+            ):
+                old_weights.setdefault((lo_i, hi_i), old_w)
+            weights[ch] = w_new[changed]
+        pending = (
+            np.unique(np.concatenate(next_chunks))
+            if len(next_chunks) > 1
+            else rest
+        )
+    return old_weights
+
+
+# ---------------------------------------------------------------------------
+# Label maintenance (Algorithms 4 and 5, tau-level sweeps)
+# ---------------------------------------------------------------------------
+
+class _EntryFrontier:
+    """Tau-keyed label-entry frontier: ``(vertex, column)`` batches."""
+
+    __slots__ = ("_tau", "_pending", "_heap")
+
+    def __init__(self, tau: np.ndarray):
+        self._tau = tau
+        self._pending: dict[int, list[tuple[np.ndarray, np.ndarray]]] = {}
+        self._heap: list[int] = []
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def activate(self, verts: np.ndarray, cols: np.ndarray) -> None:
+        if not len(verts):
+            return
+        levels = self._tau[verts]
+        sort = np.argsort(levels, kind="stable")
+        verts, cols, levels = verts[sort], cols[sort], levels[sort]
+        bounds = _segment_starts(levels).tolist()
+        bounds.append(len(levels))
+        for bi in range(len(bounds) - 1):
+            lo, hi = bounds[bi], bounds[bi + 1]
+            level = int(levels[lo])
+            bucket = self._pending.get(level)
+            if bucket is None:
+                self._pending[level] = [(verts[lo:hi], cols[lo:hi])]
+                heapq.heappush(self._heap, level)
+            else:
+                bucket.append((verts[lo:hi], cols[lo:hi]))
+
+    def pop(self, offsets: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Next level's entries, deduplicated by flat position."""
+        level = heapq.heappop(self._heap)
+        chunks = self._pending.pop(level)
+        if len(chunks) == 1:
+            verts, cols = chunks[0]
+        else:
+            verts = np.concatenate([c[0] for c in chunks])
+            cols = np.concatenate([c[1] for c in chunks])
+        pos = offsets[verts] + cols
+        upos, uidx = np.unique(pos, return_index=True)
+        return verts[uidx], cols[uidx], upos
+
+
+def _seed_decrease_batch(
+    store, labels: HierarchicalLabelling, affected: dict[ShortcutKey, float]
+) -> np.ndarray:
+    """Batched phase 1 of Algorithm 4: ancestor-side improvements.
+
+    Applies ``L_lo[i] <- min(L_lo[i], w_new + L_hi[i])`` for every
+    affected shortcut in one ragged scatter-min. Candidates read the
+    phase's pre-state; any cross-pair chaining the sequential reference
+    would exploit is re-delivered by the descendant sweep (the sweep
+    relaxation is the same shortcut-weight chain), so the fixpoint is
+    unchanged. Returns the improved flat positions.
+    """
+    values, offsets = labels.values, labels.offsets
+    tau = store.tau
+    weights = store.up_weights
+    lo, hi, _, slots = _affected_arrays(store.csr, affected)
+    w_new = weights[slots]
+    tw = tau[hi]
+    mask = w_new < values[offsets[lo] + tw]
+    if not mask.any():
+        return np.empty(0, dtype=np.int64)
+    lo, hi, w_new, tw = lo[mask], hi[mask], w_new[mask], tw[mask]
+    rep, ramp = _expand(tw + 1)
+    cand = w_new[rep] + values[offsets[hi][rep] + ramp]
+    return labels.relax_entries(offsets[lo][rep] + ramp, cand)
+
+
+def _seed_increase_batch(
+    store, labels: HierarchicalLabelling, affected: dict[ShortcutKey, float]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched phase 1 of Algorithm 5: entries realised by old weights.
+
+    Read-only; returns suspect ``(verts, cols)`` (exactly the reference
+    seed set — equality tests run against the same untouched labels).
+    """
+    values, offsets = labels.values, labels.offsets
+    tau = store.tau
+    lo, hi, old, _ = _affected_arrays(store.csr, affected)
+    tw = tau[hi]
+    direct = values[offsets[lo] + tw]
+    mask = (old == direct) | (np.isinf(old) & np.isinf(direct))
+    if not mask.any():
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    lo, hi, old, tw = lo[mask], hi[mask], old[mask], tw[mask]
+    rep, ramp = _expand(tw + 1)
+    cand = old[rep] + values[offsets[hi][rep] + ramp]
+    segment = values[offsets[lo][rep] + ramp]
+    # inf == inf covers the unreachable-stays-suspect case.
+    match = cand == segment
+    return lo[rep][match], ramp[match]
+
+
+def labels_decrease_array(
+    store,
+    labels: HierarchicalLabelling,
+    affected: dict[ShortcutKey, float],
+) -> MaintenanceStats:
+    """Algorithm 4 — DHL- label maintenance as a top-down level sweep.
+
+    *store* is any CSR shortcut store exposing ``tau``, ``csr`` and
+    ``up_weights`` (the update hierarchy, or a directed direction view).
+    """
+    labels.ensure_writable()
+    offsets = labels.offsets
+    values = labels.values
+    tau = store.tau
+    csr = store.csr
+    weights = store.up_weights
+    down_indptr, down_indices = csr.down_indptr, csr.down_indices
+    down_slots = csr.down_slots
+
+    stats = MaintenanceStats(
+        shortcuts_changed=len(affected), affected_shortcuts=affected
+    )
+    changed_positions: set[int] = set()
+    frontier = _EntryFrontier(tau)
+    if affected:
+        seeded = _seed_decrease_batch(store, labels, affected)
+        if len(seeded):
+            changed_positions.update(seeded.tolist())
+            frontier.activate(*labels.entries_of_positions(seeded))
+
+    while frontier:
+        verts, cols, upos = frontier.pop(offsets)
+        stats.entries_processed += len(verts)
+        vals = values[upos]
+        deg = down_indptr[verts + 1] - down_indptr[verts]
+        rep, ramp = _expand(deg)
+        if not len(rep):
+            continue
+        didx = down_indptr[verts][rep] + ramp
+        targets = down_indices[didx]
+        cand = weights[down_slots[didx]] + vals[rep]
+        improved = labels.relax_entries(offsets[targets] + cols[rep], cand)
+        if len(improved):
+            changed_positions.update(improved.tolist())
+            frontier.activate(*labels.entries_of_positions(improved))
+
+    stats.labels_changed = len(changed_positions)
+    if changed_positions:
+        changed = np.fromiter(
+            changed_positions, np.int64, len(changed_positions)
+        )
+        verts, _ = labels.entries_of_positions(changed)
+        stats.affected_labels = set(np.unique(verts).tolist())
+    return stats
+
+
+def labels_increase_array(
+    store,
+    labels: HierarchicalLabelling,
+    affected: dict[ShortcutKey, float],
+) -> MaintenanceStats:
+    """Algorithm 5 — DHL+ label maintenance as a top-down level sweep.
+
+    Every suspect entry of a level is recomputed from its up-neighbour
+    labels in one ragged gather + segmented min; entries that strictly
+    increased seed deeper suspects through the equality-guarded down
+    expansion before the level's values are written back.
+    """
+    labels.ensure_writable()
+    offsets = labels.offsets
+    values = labels.values
+    tau = store.tau
+    csr = store.csr
+    weights = store.up_weights
+    indptr, indices = csr.indptr, csr.indices
+    down_indptr, down_indices = csr.down_indptr, csr.down_indices
+    down_slots = csr.down_slots
+
+    stats = MaintenanceStats(
+        shortcuts_changed=len(affected), affected_shortcuts=affected
+    )
+    frontier = _EntryFrontier(tau)
+    if affected:
+        frontier.activate(*_seed_increase_batch(store, labels, affected))
+
+    while frontier:
+        verts, cols, upos = frontier.pop(offsets)
+        stats.entries_processed += len(verts)
+        old_vals = values[upos]
+
+        # Support-free recompute over the up rows (tau-guarded).
+        deg = indptr[verts + 1] - indptr[verts]
+        rep, ramp = _expand(deg)
+        w_new = np.full(len(verts), np.inf)
+        if len(rep):
+            slots = indptr[verts][rep] + ramp
+            ups = indices[slots]
+            t_cols = cols[rep]
+            valid = tau[ups] >= t_cols
+            gather = offsets[ups] + np.where(valid, t_cols, 0)
+            cand = np.where(valid, weights[slots] + values[gather], np.inf)
+            nonzero = deg > 0
+            seg_starts = (np.cumsum(deg) - deg)[nonzero]
+            w_new[nonzero] = np.minimum.reduceat(cand, seg_starts)
+
+        increased = w_new > old_vals
+        changed = w_new != old_vals
+
+        # Seed deeper suspects whose entry was realised through the old
+        # value — checked against pre-write deeper labels, as in the
+        # reference heap order.
+        if increased.any():
+            pv, pc, po = verts[increased], cols[increased], old_vals[increased]
+            ddeg = down_indptr[pv + 1] - down_indptr[pv]
+            rep2, ramp2 = _expand(ddeg)
+            if len(rep2):
+                didx = down_indptr[pv][rep2] + ramp2
+                targets = down_indices[didx]
+                chained = weights[down_slots[didx]] + po[rep2]
+                d_cols = pc[rep2]
+                hit = chained == values[offsets[targets] + d_cols]
+                if hit.any():
+                    frontier.activate(targets[hit], d_cols[hit])
+
+        labels.recompute_entries(upos, w_new)
+        stats.labels_changed += int(increased.sum())
+        if changed.any():
+            stats.affected_labels.update(verts[changed].tolist())
+    return stats
+
+
+# ---------------------------------------------------------------------------
+# End-to-end drivers
+# ---------------------------------------------------------------------------
+
+def apply_decrease_array(
+    hu,
+    labels: HierarchicalLabelling,
+    changes: list[WeightChange],
+) -> MaintenanceStats:
+    """Full array-engine DHL- update: Algorithm 2 then Algorithm 4."""
+    affected = shortcuts_decrease_array(hu, changes)
+    return labels_decrease_array(hu, labels, affected)
+
+
+def apply_increase_array(
+    hu,
+    labels: HierarchicalLabelling,
+    changes: list[WeightChange],
+) -> MaintenanceStats:
+    """Full array-engine DHL+ update: Algorithm 3 then Algorithm 5."""
+    affected = shortcuts_increase_array(hu, changes)
+    return labels_increase_array(hu, labels, affected)

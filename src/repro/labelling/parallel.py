@@ -8,6 +8,11 @@ touches only its own label slots. Columns are therefore processed
 independently — sequentially (deterministic, default) or on a thread pool
 (the paper uses 28 hardware threads; CPython's GIL limits the speed-up
 here, which EXPERIMENTS.md discusses).
+
+The shortcut phase (Algorithms 2/3) is sequential in the paper; the
+drivers here route it through the frontier-batched CSR kernels of
+:mod:`repro.labelling.maintenance_kernels`, which produce the identical
+affected-shortcut dict at a fraction of the cost.
 """
 
 from __future__ import annotations
@@ -21,8 +26,6 @@ from repro.labelling.maintenance import (
     MaintenanceStats,
     ShortcutKey,
     WeightChange,
-    maintain_shortcuts_decrease,
-    maintain_shortcuts_increase,
     seed_decrease,
     seed_increase,
 )
@@ -64,26 +67,23 @@ def maintain_labels_decrease_parallel(
     thread-safe relaxation ``w(u, v) + L_v[i]`` (shortcut weight instead
     of the label entry ``L_u[v]``, justified by Lemma 6.3).
     """
-    tau = hu.tau
+    tau_key = hu.tau_key
     labels.ensure_writable()
     arrays = labels.views()
     down = hu.down
     wup = hu.wup
-    seeds, changed = seed_decrease(hu, labels, affected)
+    seeds, changed_entries = seed_decrease(hu, labels, affected)
     stats = MaintenanceStats(
         shortcuts_changed=len(affected),
-        labels_changed=changed,
         affected_shortcuts=affected,
-        affected_labels={v for v, _ in seeds},
     )
 
-    def process_column(i: int, starts: list[int]) -> tuple[int, int, set[int]]:
+    def process_column(i: int, starts: list[int]) -> tuple[set[tuple[int, int]], int]:
         heap: LazyHeap[int] = LazyHeap()
         for v in starts:
-            heap.push(v, float(tau[v]))
-        changed_here = 0
+            heap.push(v, tau_key[v])
+        changed_here: set[tuple[int, int]] = set()
         processed = 0
-        touched: set[int] = set()
         while heap:
             v, _ = heap.pop()
             processed += 1
@@ -93,17 +93,20 @@ def maintain_labels_decrease_parallel(
                 row = arrays[u]
                 if candidate < row[i]:
                     row[i] = candidate
-                    changed_here += 1
-                    touched.add(u)
-                    heap.push(u, float(tau[u]))
-        return changed_here, processed, touched
+                    changed_here.add((int(u), i))
+                    heap.push(u, tau_key[u])
+        return changed_here, processed
 
-    for changed_here, processed, touched in _run_columns(
+    # Columns touch disjoint label slots; the union with the seed set
+    # keeps ``labels_changed`` a distinct-entry count (an entry improved
+    # in both the seed phase and the sweep counts once).
+    for changed_here, processed in _run_columns(
         process_column, _group_by_column(seeds), workers
     ):
-        stats.labels_changed += changed_here
+        changed_entries |= changed_here
         stats.entries_processed += processed
-        stats.affected_labels |= touched
+    stats.labels_changed = len(changed_entries)
+    stats.affected_labels = {v for v, _ in changed_entries}
     return stats
 
 
@@ -115,6 +118,7 @@ def maintain_labels_increase_parallel(
 ) -> MaintenanceStats:
     """Algorithm 7 — column-partitioned DHL+ label maintenance."""
     tau = hu.tau
+    tau_key = hu.tau_key
     labels.ensure_writable()
     arrays = labels.views()
     up = hu.up
@@ -127,7 +131,7 @@ def maintain_labels_increase_parallel(
     def process_column(i: int, starts: list[int]) -> tuple[int, int, set[int]]:
         heap: LazyHeap[int] = LazyHeap()
         for v in starts:
-            heap.push(v, float(tau[v]))
+            heap.push(v, tau_key[v])
         changed_here = 0
         processed = 0
         touched: set[int] = set()
@@ -150,10 +154,10 @@ def maintain_labels_increase_parallel(
                     if chained == urow[i] or (
                         math.isinf(chained) and math.isinf(urow[i])
                     ):
-                        heap.push(u, float(tau[u]))
+                        heap.push(u, tau_key[u])
                 changed_here += 1
             if w_new != old:
-                touched.add(v)
+                touched.add(int(v))
             row[i] = w_new
         return changed_here, processed, touched
 
@@ -172,8 +176,10 @@ def apply_decrease_parallel(
     changes: list[WeightChange],
     workers: int | None = None,
 ) -> MaintenanceStats:
-    """Full DHL-p update: Algorithm 2 then Algorithm 6."""
-    affected = maintain_shortcuts_decrease(hu, changes)
+    """Full DHL-p update: array-kernel Algorithm 2 then Algorithm 6."""
+    from repro.labelling.maintenance_kernels import shortcuts_decrease_array
+
+    affected = shortcuts_decrease_array(hu, changes)
     return maintain_labels_decrease_parallel(hu, labels, affected, workers)
 
 
@@ -183,6 +189,8 @@ def apply_increase_parallel(
     changes: list[WeightChange],
     workers: int | None = None,
 ) -> MaintenanceStats:
-    """Full DHL+p update: Algorithm 3 then Algorithm 7."""
-    affected = maintain_shortcuts_increase(hu, changes)
+    """Full DHL+p update: array-kernel Algorithm 3 then Algorithm 7."""
+    from repro.labelling.maintenance_kernels import shortcuts_increase_array
+
+    affected = shortcuts_increase_array(hu, changes)
     return maintain_labels_increase_parallel(hu, labels, affected, workers)

@@ -97,30 +97,30 @@ def clique_refresh_changes(
 
     A boundary-to-boundary distance ``d(a, b)`` is a pure function of
     the two labels ``L_a`` and ``L_b``, so only pairs with at least one
-    endpoint in the pass's ``affected_labels`` can have changed — the
-    rest of the clique is skipped without recomputation.
+    endpoint in the pass's ``affected_labels`` can have changed — rows
+    whose labels are untouched are skipped without recomputation. Pair
+    generation is fully array-native: an ``isin`` membership test marks
+    the touched rows, and the touched-cross-all pair set canonicalises
+    and deduplicates through one key ``unique``.
     """
-    touched = [
-        idx for idx, b in enumerate(boundary_local) if int(b) in affected_local
-    ]
-    if not touched:
-        return []
     count = len(boundary_local)
-    pairs: set[tuple[int, int]] = set()
-    for a in touched:
-        for b in range(count):
-            if a != b:
-                pairs.add((a, b) if a < b else (b, a))
-    if not pairs:
+    if count < 2 or not affected_local:
         return []
-    idx = np.asarray(sorted(pairs), dtype=np.int64)
-    d = shard.engine.distances_arrays(
-        boundary_local[idx[:, 0]], boundary_local[idx[:, 1]]
-    )
+    affected = np.fromiter(affected_local, np.int64, len(affected_local))
+    touched = np.nonzero(np.isin(boundary_local, affected))[0]
+    if not len(touched):
+        return []
+    left = np.repeat(touched, count)
+    right = np.tile(np.arange(count, dtype=np.int64), len(touched))
+    lo = np.minimum(left, right)
+    hi = np.maximum(left, right)
+    keys = np.unique(lo[lo != hi] * count + hi[lo != hi])
+    ia, ib = keys // count, keys % count
+    d = shard.engine.distances_arrays(boundary_local[ia], boundary_local[ib])
     changes: list[OverlayChange] = []
-    for (a, b), w in zip(idx, d):
-        ov_a = int(boundary_overlay[a])
-        ov_b = int(boundary_overlay[b])
+    for ov_a, ov_b, w in zip(
+        boundary_overlay[ia].tolist(), boundary_overlay[ib].tolist(), d.tolist()
+    ):
         if overlay_graph.weight(ov_a, ov_b) != w:
-            changes.append((ov_a, ov_b, float(w)))
+            changes.append((ov_a, ov_b, w))
     return changes

@@ -17,7 +17,7 @@ class TestH2HStructure:
     def test_tree_parent_is_lowest_ranked_up_neighbor(self, medium_random):
         h2h = H2HIndex.build(medium_random.copy())
         for v in range(medium_random.num_vertices):
-            if h2h.sc.up[v]:
+            if len(h2h.sc.up[v]):
                 expected = min(h2h.sc.up[v], key=lambda u: h2h.sc.rank[u])
                 assert h2h.parent[v] == expected
             else:

@@ -1,0 +1,322 @@
+"""Differential tests: array maintenance engine vs the scalar reference.
+
+The frontier-batched kernels (``engine="array"``) must be
+observationally identical to the one-pop-per-entry reference
+(``engine="reference"``): same labels, same shortcut/label change
+counts, same affected-shortcut dicts (including the recorded old
+weights) and same affected-label vertex sets, under arbitrary
+interleavings of increase and decrease batches. Only
+``entries_processed`` (search effort) may differ — the array engine
+relaxes along shortcut weights (Lemma 6.3) while the scalar reference
+relaxes along label entries, which changes the intermediate frontier
+but not the fixpoint.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.baselines.dijkstra import dijkstra
+from repro.core.config import DHLConfig
+from repro.core.directed import DirectedDHLIndex
+from repro.core.index import DHLIndex
+from repro.core.sharded import ShardedDHLIndex
+from repro.graph.digraph import DiGraph
+from repro.hierarchy.contraction import contract_in_order
+from repro.labelling.maintenance import MaintenanceStats
+from tests.strategies import connected_graphs, update_sequences
+
+
+def assert_stats_match(array_stats, reference_stats) -> None:
+    """The engine-independent fields of two maintenance passes agree."""
+    assert array_stats.shortcuts_changed == reference_stats.shortcuts_changed
+    assert array_stats.labels_changed == reference_stats.labels_changed
+    assert array_stats.affected_shortcuts == reference_stats.affected_shortcuts
+    assert array_stats.affected_labels == reference_stats.affected_labels
+
+
+def split_batch(graph, batch):
+    """Classify a mixed batch against *graph* into (increases, decreases)."""
+    increases, decreases = [], []
+    for u, v, w in batch:
+        current = graph.weight(u, v)
+        if w > current:
+            increases.append((u, v, w))
+        elif w < current:
+            decreases.append((u, v, w))
+    return increases, decreases
+
+
+class TestUndirectedDifferential:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        data=connected_graphs(min_n=4, max_n=20).flatmap(
+            lambda g: update_sequences(g, max_steps=5).map(lambda seq: (g, seq))
+        )
+    )
+    def test_engines_identical_under_random_interleavings(self, data):
+        graph, sequence = data
+        config_a = DHLConfig(leaf_size=3, seed=0, engine="array")
+        config_r = DHLConfig(leaf_size=3, seed=0, engine="reference")
+        idx_a = DHLIndex.build(graph.copy(), config_a)
+        idx_r = DHLIndex.build(graph.copy(), config_r)
+        for batch in sequence:
+            seen = {}
+            for u, v, w in batch:
+                seen[(min(u, v), max(u, v))] = (u, v, w)
+            merged = list(seen.values())
+            increases, decreases = split_batch(idx_a.graph, merged)
+            for changes, method in ((increases, "increase"), (decreases, "decrease")):
+                if not changes:
+                    continue
+                stats_a = getattr(idx_a, method)(changes)
+                stats_r = getattr(idx_r, method)(changes)
+                assert_stats_match(stats_a, stats_r)
+            assert idx_a.labels.equals(idx_r.labels)
+            np.testing.assert_array_equal(
+                idx_a.hu.up_weights, idx_r.hu.up_weights
+            )
+        ref = dijkstra(idx_a.graph, 0)
+        for t in range(graph.num_vertices):
+            assert idx_a.distance(0, t) == ref[t]
+
+    def test_array_engine_matches_rebuild(self, small_road):
+        idx = DHLIndex.build(small_road.copy(), DHLConfig(leaf_size=4, seed=0))
+        assert idx.config.engine == "array"
+        edges = list(idx.graph.edges())
+        idx.increase([(u, v, 3 * w) for u, v, w in edges[:60]])
+        idx.decrease([(u, v, max(1.0, w // 2)) for u, v, w in edges[30:90]])
+        rebuilt = DHLIndex.build(idx.graph.copy(), idx.config)
+        assert idx.labels.equals(rebuilt.labels)
+        idx.hu.verify_minimum_weight_property()
+
+    def test_decrease_stats_count_distinct_entries(self, small_road):
+        """Both engines report |L-delta| as *distinct* changed entries."""
+        for engine in ("array", "reference"):
+            idx = DHLIndex.build(
+                small_road.copy(), DHLConfig(leaf_size=4, seed=0, engine=engine)
+            )
+            before = idx.labels.copy()
+            batch = [
+                (u, v, max(1.0, w // 3))
+                for u, v, w in list(idx.graph.edges())[:25]
+            ]
+            stats = idx.decrease(batch)
+            assert stats.labels_changed == before.diff_count(idx.labels)
+
+
+class TestDirectedDifferential:
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        data=connected_graphs(min_n=4, max_n=14).flatmap(
+            lambda g: update_sequences(g, max_steps=4).map(lambda seq: (g, seq))
+        )
+    )
+    def test_engines_identical_on_digraphs(self, data):
+        graph, sequence = data
+        digraph_a = DiGraph.from_undirected(graph)
+        # Make half the arcs asymmetric so both label stores do real work.
+        for i, (u, v, w) in enumerate(list(digraph_a.arcs())):
+            if i % 2 == 0:
+                digraph_a.set_weight(u, v, float(w + 3))
+        digraph_r = digraph_a.copy()
+        config_a = DHLConfig(leaf_size=3, seed=0, engine="array")
+        config_r = DHLConfig(leaf_size=3, seed=0, engine="reference")
+        idx_a = DirectedDHLIndex.build(digraph_a, config_a)
+        idx_r = DirectedDHLIndex.build(digraph_r, config_r)
+        for batch in sequence:
+            seen = {}
+            for u, v, w in batch:
+                # Directed updates address one arc; dedupe on the arc.
+                seen[(u, v)] = (u, v, w)
+            merged = [
+                (u, v, w)
+                for (u, v, w) in seen.values()
+                if digraph_a.out_neighbors(u).get(v) is not None
+            ]
+            if not merged:
+                continue
+            stats_a = idx_a.update(merged)
+            stats_r = idx_r.update(merged)
+            assert_stats_match(stats_a, stats_r)
+            assert idx_a.labels_out.equals(idx_r.labels_out)
+            assert idx_a.labels_in.equals(idx_r.labels_in)
+            np.testing.assert_array_equal(idx_a.out_weights, idx_r.out_weights)
+            np.testing.assert_array_equal(idx_a.in_weights, idx_r.in_weights)
+
+
+class TestShardedDifferential:
+    def test_k2_sharded_engines_agree(self, small_road):
+        config_a = DHLConfig(seed=0, engine="array")
+        config_r = DHLConfig(seed=0, engine="reference")
+        sharded_a = ShardedDHLIndex.build(
+            small_road.copy(), k=2, config=config_a, build_workers=1
+        )
+        sharded_r = ShardedDHLIndex.build(
+            small_road.copy(), k=2, config=config_r, build_workers=1
+        )
+        edges = list(small_road.edges())
+        batches = [
+            [(u, v, 2 * w) for u, v, w in edges[:40]],
+            [(u, v, w) for u, v, w in edges[:40]],
+            [(u, v, max(1.0, w // 2)) for u, v, w in edges[40:80]],
+        ]
+        rng = np.random.default_rng(3)
+        pairs = [
+            (int(s), int(t))
+            for s, t in rng.integers(0, small_road.num_vertices, size=(200, 2))
+        ]
+        for batch in batches:
+            sharded_a.update(batch)
+            sharded_r.update(batch)
+            for shard_a, shard_r in zip(sharded_a.shards, sharded_r.shards):
+                assert shard_a.labels.equals(shard_r.labels)
+            np.testing.assert_array_equal(
+                sharded_a.distances(pairs), sharded_r.distances(pairs)
+            )
+        ref = dijkstra(sharded_a.graph, 1)
+        for t in range(0, small_road.num_vertices, 17):
+            assert sharded_a.distance(1, t) == ref[t]
+
+
+class TestCSRStore:
+    def test_rows_rank_sorted_and_slot_lookup(self, medium_random):
+        sc = contract_in_order(
+            medium_random, list(range(medium_random.num_vertices))
+        )
+        csr = sc.csr
+        for v in range(csr.n):
+            row = csr.row(v)
+            row_ranks = sc.rank[row]
+            assert (np.diff(row_ranks) > 0).all()
+            start = int(csr.indptr[v])
+            for offset, u in enumerate(row.tolist()):
+                assert csr.slot_of(v, u) == start + offset
+        assert (np.diff(csr.slot_keys) > 0).all()
+
+    def test_down_slots_point_to_up_slots(self, medium_random):
+        sc = contract_in_order(
+            medium_random, list(range(medium_random.num_vertices))
+        )
+        csr = sc.csr
+        for v in range(csr.n):
+            start, end = int(csr.down_indptr[v]), int(csr.down_indptr[v + 1])
+            for k in range(start, end):
+                x = int(csr.down_indices[k])
+                slot = int(csr.down_slots[k])
+                assert int(csr.owners[slot]) == x
+                assert int(csr.indices[slot]) == v
+
+    def test_wup_view_shares_flat_weights(self, path_graph):
+        sc = contract_in_order(path_graph, [2, 1, 3, 0, 4])
+        # View write lands in the flat array, and vice versa.
+        sc.wup[1][3] = 42.0
+        assert sc.up_weights[sc.csr.slot_of(1, 3)] == 42.0
+        sc.up_weights[sc.csr.slot_of(1, 3)] = 7.0
+        assert sc.wup[1][3] == 7.0
+        assert sc.weight(3, 1) == 7.0
+
+    def test_pickle_roundtrip_keeps_store_live(self, small_road):
+        """Maintenance after unpickling must write into the live buffers."""
+        idx = DHLIndex.build(small_road.copy(), DHLConfig(leaf_size=4, seed=0))
+        clone = pickle.loads(pickle.dumps(idx.hu))
+        u, v, w = next(iter(clone.graph.edges()))
+        lo, hi = clone.shortcut_key(u, v)
+        clone.wup[lo][hi] = 123.0
+        assert clone.up_weights[clone.csr.slot_of(lo, hi)] == 123.0
+        # Compat views rebuilt lazily reflect the same storage.
+        assert clone.weight(lo, hi) == 123.0
+
+
+class TestMaintenanceStatsMerge:
+    def test_merge_keeps_earliest_old_weight(self):
+        """Regression: merging two passes must keep the first-seen old
+        weight per shortcut, not let the later batch overwrite it."""
+        first = MaintenanceStats(
+            shortcuts_changed=1, affected_shortcuts={(1, 2): 10.0}
+        )
+        second = MaintenanceStats(
+            shortcuts_changed=1,
+            affected_shortcuts={(1, 2): 20.0, (3, 4): 5.0},
+        )
+        merged = first.merge(second)
+        assert merged.affected_shortcuts == {(1, 2): 10.0, (3, 4): 5.0}
+        assert merged.shortcuts_changed == 2
+        # And the symmetric direction keeps its own first-seen value.
+        flipped = second.merge(first)
+        assert flipped.affected_shortcuts == {(1, 2): 20.0, (3, 4): 5.0}
+
+    def test_increase_then_restore_records_pre_batch_weights(self, small_road):
+        """End-to-end: a x2-then-restore mixed batch reports the weight
+        each shortcut held before the *first* change."""
+        idx = DHLIndex.build(small_road.copy(), DHLConfig(leaf_size=4, seed=0))
+        u, v, w = next(iter(idx.graph.edges()))
+        lo, hi = idx.hu.shortcut_key(u, v)
+        original = idx.hu.weight(lo, hi)
+        stats = idx.increase([(u, v, 2 * w)]).merge(idx.decrease([(u, v, w)]))
+        assert stats.affected_shortcuts[(lo, hi)] == original
+
+
+class TestOverlayIncrementalRefresh:
+    def test_untouched_boundary_rows_are_skipped(self, small_road):
+        """The clique refresh recomputes only pairs with a touched
+        endpoint: one affected boundary vertex of a region with B
+        boundary vertices costs B-1 pair distances, not B*(B-1)/2."""
+        sharded = ShardedDHLIndex.build(
+            small_road.copy(), k=4, config=DHLConfig(seed=0), build_workers=1
+        )
+        rid = max(
+            range(sharded.k), key=lambda r: len(sharded.boundary_local[r])
+        )
+        boundary = sharded.boundary_local[rid]
+        if len(boundary) < 3:
+            pytest.skip("partition produced too small a boundary")
+        shard = sharded.shards[rid]
+        recorded: list[int] = []
+
+        class CountingEngine:
+            def distances_arrays(self, s, t):
+                recorded.append(len(s))
+                return shard.engine.distances_arrays(s, t)
+
+        class ShardProxy:
+            engine = CountingEngine()
+
+        from repro.sharding.overlay import clique_refresh_changes
+
+        affected = {int(boundary[0])}
+        clique_refresh_changes(
+            ShardProxy(),
+            boundary,
+            sharded.boundary_overlay[rid],
+            sharded.overlay.graph,
+            affected,
+        )
+        assert recorded == [len(boundary) - 1]
+
+    def test_no_affected_labels_no_recompute(self, small_road):
+        sharded = ShardedDHLIndex.build(
+            small_road.copy(), k=2, config=DHLConfig(seed=0), build_workers=1
+        )
+        from repro.sharding.overlay import clique_refresh_changes
+
+        changes = clique_refresh_changes(
+            sharded.shards[0],
+            sharded.boundary_local[0],
+            sharded.boundary_overlay[0],
+            sharded.overlay.graph,
+            set(),
+        )
+        assert changes == []
