@@ -28,8 +28,12 @@ republish). The update group times the same double-then-restore batch
 protocol through both maintenance engines (frontier-batched array
 kernels vs the scalar reference) and the serving-layer flush latency;
 ``check_service_regression.py`` gates the array-over-reference ratio.
-Pass ``--shard-breakdown-out`` to dump the per-shard build-time
-breakdown (uploaded as a CI artifact).
+The observability group replays identical query batches through the
+null and the enabled observability stacks and reports the overhead
+ratio, which the gate holds to single-digit percent. Pass
+``--shard-breakdown-out`` to dump the per-shard build-time breakdown
+and ``--phase-breakdown-out`` to dump the per-kernel-phase flush-time
+breakdown (both uploaded as CI artifacts).
 """
 
 from __future__ import annotations
@@ -45,6 +49,8 @@ import numpy as np
 
 from repro.core.config import DHLConfig
 from repro.core.index import DHLIndex
+from repro.observability import collect_phases
+from repro.observability.timing import best_of
 
 
 def padded_matrix(index) -> np.ndarray:
@@ -152,16 +158,9 @@ if pytest is not None:
 # standalone quick mode (CI perf-regression gate)
 # ---------------------------------------------------------------------------
 
-def _best_seconds(fn, repeats: int) -> float:
-    times = []
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        times.append(time.perf_counter() - start)
-    return min(times)
-
-
-def run_update_quick(graph, repeats: int, batch_size: int = 256) -> dict:
+def run_update_quick(
+    graph, repeats: int, batch_size: int = 256
+) -> tuple[dict, dict]:
     """Maintenance-engine measurements: batch-update throughput + flush.
 
     Times the same double-then-restore update protocol (one increase
@@ -192,7 +191,7 @@ def run_update_quick(graph, repeats: int, batch_size: int = 256) -> dict:
             index.decrease(down_batch)
 
         roundtrip()  # warm caches / lazy views
-        best = _best_seconds(roundtrip, repeats)
+        best = best_of(roundtrip, repeats)
         throughput[engine] = changes_per_roundtrip / best
 
     # Labels must agree after identical protocols on both engines.
@@ -208,10 +207,24 @@ def run_update_quick(graph, repeats: int, batch_size: int = 256) -> dict:
         service.flush()
 
     flush_roundtrip()
-    flush_seconds = _best_seconds(flush_roundtrip, repeats) / 2  # per flush
-    service.close()
+    flush_seconds = best_of(flush_roundtrip, repeats) / 2  # per flush
 
-    return {
+    # One more instrumented roundtrip: collect_phases() arms the kernel
+    # phase marks, so the breakdown shows where a flush spends its time
+    # (drain / apply / evict plus the per-kernel relaxation phases).
+    with collect_phases() as collector:
+        flush_roundtrip()
+    service.close()
+    phases = {
+        "phase_seconds": {
+            name: round(seconds, 6)
+            for name, seconds in sorted(collector.as_dict().items())
+        },
+        "phase_counts": dict(sorted(collector.counts.items())),
+        "flushes_profiled": 2,
+    }
+
+    metrics = {
         "update_throughput_pairs_per_s": round(throughput["array"], 1),
         "update_reference_pairs_per_s": round(throughput["reference"], 1),
         "update_array_over_reference": round(
@@ -219,6 +232,7 @@ def run_update_quick(graph, repeats: int, batch_size: int = 256) -> dict:
         ),
         "flush_latency_ms": round(flush_seconds * 1000, 3),
     }
+    return metrics, phases
 
 
 def run_sharded_quick(
@@ -273,13 +287,13 @@ def run_sharded_quick(
     if not np.array_equal(index.distances(commute), sharded.distances(commute)):
         raise AssertionError("sharded backend disagrees with monolithic (commute)")
 
-    sharded_uniform_qps = num_pairs / _best_seconds(
+    sharded_uniform_qps = num_pairs / best_of(
         lambda: sharded.distances(uniform), repeats
     )
-    sharded_cross_qps = num_pairs / _best_seconds(
+    sharded_cross_qps = num_pairs / best_of(
         lambda: sharded.distances(commute), repeats
     )
-    mono_cross_qps = num_pairs / _best_seconds(
+    mono_cross_qps = num_pairs / best_of(
         lambda: index.distances(commute), repeats
     )
 
@@ -371,10 +385,10 @@ def run_worker_pool_quick(
         if not np.array_equal(index.distances(commute), runtime.distances(commute)):
             raise AssertionError("worker pool disagrees with monolithic (commute)")
 
-        worker_uniform_qps = num_pairs / _best_seconds(
+        worker_uniform_qps = num_pairs / best_of(
             lambda: runtime.distances(uniform), repeats
         )
-        worker_cross_qps = num_pairs / _best_seconds(
+        worker_cross_qps = num_pairs / best_of(
             lambda: runtime.distances(commute), repeats
         )
 
@@ -417,6 +431,45 @@ def run_worker_pool_quick(
         runtime.close()
 
 
+def run_observability_quick(index, pairs, repeats: int) -> dict:
+    """Observability overhead: the instrumented hot path, null vs live.
+
+    Replays the same uncached query batches through two services over
+    the same index — one with the default null observability stack, one
+    with metrics enabled (tracing off: the scrape configuration) — and
+    reports the wall-clock ratio. ``check_service_regression.py`` gates
+    the ratio: the null-object design only holds its zero-overhead
+    promise if an enabled registry stays within single-digit percent of
+    the disabled path on identical work.
+    """
+    from repro.service import DistanceService, Observability
+
+    chunk = 512
+    batches = [pairs[i : i + chunk] for i in range(0, len(pairs), chunk)]
+
+    def measure(observability) -> float:
+        service = DistanceService(
+            index, cache_capacity=1, observability=observability
+        )
+
+        def once():
+            for batch in batches:
+                service.distances(batch)
+
+        once()  # warm caches / lazy views
+        best = best_of(once, repeats)
+        service.close()
+        return best
+
+    disabled = measure(None)
+    enabled = measure(Observability.enabled())
+    return {
+        "obs_disabled_replay_seconds": round(disabled, 4),
+        "obs_enabled_replay_seconds": round(enabled, 4),
+        "observability_overhead_ratio": round(enabled / max(disabled, 1e-9), 3),
+    }
+
+
 def run_quick(
     dataset: str = "FLA",
     num_pairs: int = 20_000,
@@ -448,11 +501,11 @@ def run_quick(
     if not np.array_equal(reference, current):
         raise AssertionError("zero-copy kernel disagrees with padded reference")
 
-    per_pair_qps = len(loop_pairs) / _best_seconds(per_pair, max(3, repeats // 3))
-    padded_qps = num_pairs / _best_seconds(
+    per_pair_qps = len(loop_pairs) / best_of(per_pair, max(3, repeats // 3))
+    padded_qps = num_pairs / best_of(
         lambda: padded_kernel(index, matrix, s, t), repeats
     )
-    zero_copy_qps = num_pairs / _best_seconds(
+    zero_copy_qps = num_pairs / best_of(
         lambda: engine._batch_kernel(s, t, want_hubs=False), repeats
     )
 
@@ -464,7 +517,9 @@ def run_quick(
     report = replay(service, events)
     replay_qps = report.queries / (time.perf_counter() - replay_start)
 
-    update_metrics = run_update_quick(graph, max(3, repeats // 3))
+    update_metrics, phase_breakdown = run_update_quick(graph, max(3, repeats // 3))
+
+    obs_metrics = run_observability_quick(index, pairs, repeats)
 
     sharded_metrics, sharded_breakdown = run_sharded_quick(
         graph, index, num_pairs, repeats
@@ -492,9 +547,11 @@ def run_quick(
             "replay_qps": round(replay_qps, 1),
             "cache_hit_rate": round(report.service.cache.hit_rate, 4),
             **update_metrics,
+            **obs_metrics,
             **sharded_metrics,
         },
         "sharded": sharded_breakdown,
+        "phases": phase_breakdown,
     }
 
 
@@ -515,6 +572,11 @@ def main(argv: list[str] | None = None) -> int:
         help="also write the per-shard build-time breakdown to this path "
         "(uploaded as a CI artifact)",
     )
+    parser.add_argument(
+        "--phase-breakdown-out", type=Path, default=None,
+        help="also write the per-kernel-phase flush-time breakdown to "
+        "this path (uploaded as a CI artifact)",
+    )
     args = parser.parse_args(argv)
     if not args.quick:
         parser.error(
@@ -526,6 +588,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.shard_breakdown_out is not None:
         args.shard_breakdown_out.write_text(
             json.dumps(payload["sharded"], indent=2) + "\n"
+        )
+    if args.phase_breakdown_out is not None:
+        args.phase_breakdown_out.write_text(
+            json.dumps(payload["phases"], indent=2) + "\n"
         )
     print(json.dumps(payload["metrics"], indent=2))
     return 0

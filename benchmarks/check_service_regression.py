@@ -36,7 +36,12 @@ Machine-independent ratio invariants are also enforced:
   ``MIN_UPDATE_ENGINE_SPEEDUP`` times the scalar reference engine's
   batch-update throughput on the same machine (a same-run ratio, so it
   is machine independent), and the serving-layer flush latency may not
-  regress past the committed baseline times the tolerance.
+  regress past the committed baseline times the tolerance;
+* the observability layer's enabled-metrics replay may cost at most
+  ``MAX_OBSERVABILITY_OVERHEAD`` times the default null-stack replay of
+  the same query batches (a same-run ratio) — the null-object design's
+  zero-overhead-by-default promise, gated
+  (``REPRO_OBS_OVERHEAD_CEILING`` overrides while recalibrating).
 
 Usage::
 
@@ -82,6 +87,16 @@ MAX_CROSS_SHARD_SLOWDOWN = 10.0
 # reference. 3x leaves runner-noise slack while still catching a lost
 # vectorised path (falling back to scalar work is worth far more).
 MIN_UPDATE_ENGINE_SPEEDUP = 3.0
+# Enabled-registry replay over null-stack replay on identical batches.
+# Per 512-pair batch the live stack adds a few counter increments and
+# one histogram bisect against ~ms of kernel work, so the true ratio
+# sits at ~1.0x; 1.05 catches an accidental hot-path allocation (a
+# per-query trace object, an unconditional snapshot) without tripping
+# on runner noise, since both sides are best-of-N minima from the same
+# process.
+MAX_OBSERVABILITY_OVERHEAD = float(
+    os.environ.get("REPRO_OBS_OVERHEAD_CEILING", 1.05)
+)
 MULTI_CORE_THRESHOLD = 4
 MIN_WORKER_POOL_RATIO_MULTI_CORE = float(
     os.environ.get("REPRO_WORKER_POOL_FLOOR", 0.9)
@@ -195,6 +210,14 @@ def check(current: dict, baseline: dict, tolerance: float) -> list[str]:
                 f"{floor:,.0f} (baseline {base_update_tp:,.0f} / "
                 f"tolerance {tolerance})"
             )
+    obs_ratio = _require(cur, "observability_overhead_ratio", failures)
+    if obs_ratio is not None and obs_ratio > MAX_OBSERVABILITY_OVERHEAD:
+        failures.append(
+            f"observability_overhead_ratio: {obs_ratio} > "
+            f"{MAX_OBSERVABILITY_OVERHEAD} "
+            "(the enabled metrics stack drags the query hot path; the "
+            "disabled default must stay zero-overhead)"
+        )
     flush_ms = _require(cur, "flush_latency_ms", failures)
     base_flush_ms = base.get("flush_latency_ms")
     if flush_ms is not None and base_flush_ms is not None:

@@ -44,6 +44,7 @@ from repro.labelling.parallel import (
     apply_increase_parallel,
 )
 from repro.labelling.query import QueryEngine
+from repro.observability.phases import collect_phases, phases_active
 from repro.partition.recursive import recursive_bisection
 from repro.utils.timing import Stopwatch
 
@@ -224,13 +225,17 @@ class DHLIndex:
         if not batch:
             return MaintenanceStats()
         workers = self.config.workers if workers is None else workers
-        if workers and workers > 1:
-            stats = apply_decrease_parallel(self.hu, self.labels, batch, workers)
-        elif self.config.engine == "array":
-            stats = apply_decrease_array(self.hu, self.labels, batch)
-        else:
-            stats = apply_decrease(self.hu, self.labels, batch)
-        return self._note_maintenance(stats)
+
+        def run() -> MaintenanceStats:
+            if workers and workers > 1:
+                return apply_decrease_parallel(
+                    self.hu, self.labels, batch, workers
+                )
+            if self.config.engine == "array":
+                return apply_decrease_array(self.hu, self.labels, batch)
+            return apply_decrease(self.hu, self.labels, batch)
+
+        return self._note_maintenance(self._run_with_phases(run))
 
     def increase(
         self, changes: Iterable[WeightChange], workers: int | None = None
@@ -244,13 +249,34 @@ class DHLIndex:
         if not batch:
             return MaintenanceStats()
         workers = self.config.workers if workers is None else workers
-        if workers and workers > 1:
-            stats = apply_increase_parallel(self.hu, self.labels, batch, workers)
-        elif self.config.engine == "array":
-            stats = apply_increase_array(self.hu, self.labels, batch)
-        else:
-            stats = apply_increase(self.hu, self.labels, batch)
-        return self._note_maintenance(stats)
+
+        def run() -> MaintenanceStats:
+            if workers and workers > 1:
+                return apply_increase_parallel(
+                    self.hu, self.labels, batch, workers
+                )
+            if self.config.engine == "array":
+                return apply_increase_array(self.hu, self.labels, batch)
+            return apply_increase(self.hu, self.labels, batch)
+
+        return self._note_maintenance(self._run_with_phases(run))
+
+    @staticmethod
+    def _run_with_phases(run) -> MaintenanceStats:
+        """Run one maintenance pass, capturing its kernel-phase breakdown.
+
+        Only when a phase collector is already installed (an enabled
+        observability flush, or a bench under ``collect_phases()``) does
+        the pass get its own nested collector to fill ``stats.phases``;
+        otherwise the kernels' ``phase()`` marks stay no-ops and nothing
+        is measured.
+        """
+        if not phases_active():
+            return run()
+        with collect_phases() as collector:
+            stats = run()
+        stats.phases = collector.as_dict()
+        return stats
 
     def update(
         self, changes: Iterable[WeightChange], workers: int | None = None

@@ -35,6 +35,7 @@ from repro.core.stats import IndexStats
 from repro.exceptions import IndexBuildError, MaintenanceError
 from repro.graph.graph import Graph
 from repro.labelling.maintenance import MaintenanceStats
+from repro.observability.phases import phase
 from repro.partition.regions import RegionPartition, partition_regions
 from repro.sharding.build import ShardBuildReport, build_shards
 from repro.sharding.engine import ShardedQueryEngine
@@ -296,23 +297,26 @@ class ShardedDHLIndex:
             return stats
 
         workers = self.config.workers if workers is None else workers
-        shard_results = self._apply_shard_batches(per_shard, workers)
-        for rid, shard_stats in shard_results.items():
-            stats.per_shard[rid] = shard_stats
-            stats.absorb(shard_stats, self.shard_vertices[rid])
-            if self.overlay is not None:
-                overlay_changes.extend(
-                    clique_refresh_changes(
-                        self.shards[rid],
-                        self.boundary_local[rid],
-                        self.boundary_overlay[rid],
-                        self.overlay.graph,
-                        shard_stats.affected_labels,
+        with phase("sharded.shard_update"):
+            shard_results = self._apply_shard_batches(per_shard, workers)
+        with phase("sharded.clique_refresh"):
+            for rid, shard_stats in shard_results.items():
+                stats.per_shard[rid] = shard_stats
+                stats.absorb(shard_stats, self.shard_vertices[rid])
+                if self.overlay is not None:
+                    overlay_changes.extend(
+                        clique_refresh_changes(
+                            self.shards[rid],
+                            self.boundary_local[rid],
+                            self.boundary_overlay[rid],
+                            self.overlay.graph,
+                            shard_stats.affected_labels,
+                        )
                     )
-                )
 
         if overlay_changes and self.overlay is not None:
-            overlay_stats = self.overlay.update(overlay_changes, workers)
+            with phase("sharded.overlay_update"):
+                overlay_stats = self.overlay.update(overlay_changes, workers)
             stats.overlay_stats = overlay_stats
             stats.absorb(overlay_stats, self.boundary_global)
             self._engine.invalidate_blocks()

@@ -1,18 +1,24 @@
-"""Timing helpers for the experiment harness."""
+"""Timing helpers for the experiment harness.
+
+Thin wrappers over the canonical :class:`repro.observability.Timer`
+primitive so every layer (experiments, benchmarks, the service) times
+work through one clock discipline.
+"""
 
 from __future__ import annotations
 
-import time
 from typing import Callable, Iterable, Sequence
+
+from repro.observability.timing import Timer
 
 __all__ = ["time_callable", "time_queries", "mean"]
 
 
 def time_callable(fn: Callable[[], object]) -> float:
     """Wall-clock seconds of one invocation of *fn*."""
-    start = time.perf_counter()
-    fn()
-    return time.perf_counter() - start
+    with Timer() as timer:
+        fn()
+    return timer.seconds
 
 
 def time_queries(
@@ -22,10 +28,10 @@ def time_queries(
     """Mean seconds per query over *pairs* (single timing envelope)."""
     if not pairs:
         return 0.0
-    start = time.perf_counter()
-    for s, t in pairs:
-        distance(s, t)
-    return (time.perf_counter() - start) / len(pairs)
+    with Timer() as timer:
+        for s, t in pairs:
+            distance(s, t)
+    return timer.seconds / len(pairs)
 
 
 def mean(values: Iterable[float]) -> float:

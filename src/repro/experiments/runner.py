@@ -91,6 +91,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default="results", help="directory for JSON payloads"
     )
     parser.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        help="dump the serving experiments' metrics registry (JSON lines) "
+        "here; each metrics-capable experiment overwrites the file, so "
+        "select one scenario when scraping",
+    )
+    parser.add_argument(
         "--quick",
         action="store_true",
         help="small datasets and light workloads (CI profile)",
@@ -110,6 +118,7 @@ def main(argv: list[str] | None = None) -> int:
         num_batches=max(1, args.batches // (2 if args.quick else 1)),
         query_count=args.queries // (4 if args.quick else 1),
         workers=args.workers,
+        metrics_out=args.metrics_out,
     )
     selected = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
     out_dir = Path(args.out)

@@ -14,6 +14,12 @@ configurations:
 
 All three must produce the same distance checksum; the table reports
 their throughput and latency quantiles side by side.
+
+The ``cached`` (production) configuration runs with a live
+:class:`~repro.observability.Observability` stack: its latency/SLO
+quantiles land in the payload's ``slo`` section and, when the runner is
+invoked with ``--metrics-out``, the aggregated metrics registry is
+dumped as JSON lines.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ from repro.core.config import DHLConfig
 from repro.core.index import DHLIndex
 from repro.experiments.context import ExperimentContext
 from repro.experiments.report import ascii_table
+from repro.observability import Observability
 from repro.partition.regions import partition_regions
 from repro.service.service import DistanceService
 from repro.service.workload import (
@@ -71,14 +78,17 @@ class _LoopService(DistanceService):
         return out
 
 
-def _configurations(graph, config: DHLConfig):
+def _configurations(graph, config: DHLConfig, observability):
     def fresh() -> DHLIndex:
         return DHLIndex.build(graph.copy(), config)
 
     yield "loop", _LoopService(fresh(), cache_capacity=1)
     yield "batch", DistanceService(fresh(), cache_capacity=1)
     yield "cached", DistanceService(
-        fresh(), cache_capacity=65_536, fine_grained_eviction=True
+        fresh(),
+        cache_capacity=65_536,
+        fine_grained_eviction=True,
+        observability=observability,
     )
 
 
@@ -86,17 +96,34 @@ def service_scenarios(ctx: ExperimentContext) -> dict:
     """Replay each traffic shape through loop / batch / cached services."""
     rows = []
     raw: dict[str, dict] = {}
+    slo: dict[str, dict] = {}
     config = DHLConfig(seed=ctx.seed)
+    # One registry across every cached run: counters and latency
+    # histograms aggregate over the whole replayed suite, which is what
+    # a scrape of a long-running service would see.
+    observability = Observability.enabled(slow_query_seconds=0.050)
+    metrics_service = None
     for name in ctx.datasets:
         graph = ctx.graph(name)
         raw[name] = {}
         for scenario in _SCENARIOS:
             checksums = set()
-            for mode, service in _configurations(graph, config):
+            for mode, service in _configurations(graph, config, observability):
                 events = _make_events(scenario, service.index.graph, ctx.seed)
                 report = replay(service, events)
                 checksums.add(round(report.distance_checksum, 6))
                 q = report.service.query_latency
+                if mode == "cached":
+                    metrics_service = service
+                    slo[f"{name}/{scenario}"] = {
+                        "queries_per_second": report.queries_per_second,
+                        "p50_ms": q.p50_seconds * 1e3,
+                        "p95_ms": q.p95_seconds * 1e3,
+                        "p99_ms": q.p99_seconds * 1e3,
+                        "slow_queries": len(
+                            observability.slow_log.as_list()
+                        ),
+                    }
                 raw[name][f"{scenario}/{mode}"] = {
                     "queries_per_second": report.queries_per_second,
                     "p50_ms": q.p50_seconds * 1e3,
@@ -122,10 +149,18 @@ def service_scenarios(ctx: ExperimentContext) -> dict:
                     f"{name}/{scenario}: configurations disagree on the "
                     f"distance checksum: {sorted(checksums)}"
                 )
+    if ctx.metrics_out is not None and metrics_service is not None:
+        metrics_service.dump_metrics(ctx.metrics_out)
     text = ascii_table(
         ["dataset", "scenario", "mode", "q/s", "p50 ms", "p95 ms", "p99 ms", "hits"],
         rows,
         title="Serving layer: batched queries + epoch-guarded cache + "
         "update coalescing",
     )
-    return {"experiment": "service", "raw": raw, "rows": rows, "text": text}
+    return {
+        "experiment": "service",
+        "raw": raw,
+        "slo": slo,
+        "rows": rows,
+        "text": text,
+    }

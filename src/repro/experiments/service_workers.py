@@ -10,6 +10,13 @@ buffer re-publishes). Replayed per dataset and traffic shape:
 * ``uniform``  — uniformly random pairs (mostly intra-shard groups);
 * ``commute``  — every pair straddles regions, churn on cut edges (the
   fan-heavy regime worker parallelism targets).
+
+The worker-pool mode runs under a full-rate tracer: every replayed
+request produces a span tree whose worker sub-spans were recorded in
+the worker *processes* and stitched back over the result pipes. The
+last tree per scenario is embedded in the payload (``trace`` /
+``trace_text``) as evidence, and ``--metrics-out`` dumps the pool's
+metrics registry.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ from repro.core.config import DHLConfig
 from repro.core.sharded import ShardedDHLIndex
 from repro.experiments.context import ExperimentContext
 from repro.experiments.report import ascii_table
+from repro.observability import Observability
 from repro.service.service import DistanceService
 from repro.service.workers import ShardWorkerRuntime
 from repro.service.workload import commute_traffic, replay, uniform_traffic
@@ -58,7 +66,12 @@ def service_workers_scenarios(ctx: ExperimentContext) -> dict:
                 if mode == "in-process":
                     service = DistanceService(sharded)
                 else:
-                    service = DistanceService(ShardWorkerRuntime(sharded))
+                    service = DistanceService(
+                        ShardWorkerRuntime(sharded),
+                        observability=Observability.enabled(
+                            trace_sample_rate=1.0
+                        ),
+                    )
                 with service:
                     report = replay(service, list(events))
                     stats = service.stats()
@@ -73,6 +86,23 @@ def service_workers_scenarios(ctx: ExperimentContext) -> dict:
                     }
                     if mode == "worker-pool":
                         entry["scheduler"] = service.runtime.stats.as_dict()
+                        # The last finished root may be a flush; the
+                        # evidence we want is a stitched query tree.
+                        trace = next(
+                            (
+                                span
+                                for span in reversed(
+                                    service.observability.tracer.finished
+                                )
+                                if span.name == "distances"
+                            ),
+                            None,
+                        )
+                        if trace is not None:
+                            entry["trace"] = trace.to_dict()
+                            entry["trace_text"] = trace.format()
+                        if ctx.metrics_out is not None:
+                            service.dump_metrics(ctx.metrics_out)
                     raw[name][f"{scenario}/{mode}"] = entry
                     checksums[mode] = round(report.distance_checksum, 6)
                     rows.append(
@@ -90,6 +120,12 @@ def service_workers_scenarios(ctx: ExperimentContext) -> dict:
                     f"{name}/{scenario}: runtimes disagree on the distance "
                     f"checksum: {checksums}"
                 )
+        trace_text = raw[name]["commute/worker-pool"].get("trace_text", "")
+        if "worker[" not in trace_text or "shard_compute" not in trace_text:
+            raise AssertionError(
+                f"{name}: cross-shard trace was not stitched — no "
+                f"worker-side spans in:\n{trace_text or '<no trace>'}"
+            )
         scheduler = raw[name]["commute/worker-pool"]["scheduler"]
         if scheduler["republishes"]:
             raise AssertionError(

@@ -66,6 +66,14 @@ class MaintenanceStats:
     a distance ``d(s, t)`` is a pure function of ``L_s`` and ``L_t``, so a
     cached result is stale only when one of its endpoints is in this set —
     the serving layer's fine-grained cache eviction relies on it.
+
+    ``phases`` maps kernel phase names (``decrease.relax_round``,
+    ``increase.dependency_layer``, ``decrease.label_sweep``, ...) to
+    wall seconds. It is populated only when a phase collector was
+    active during the update (the observability layer's
+    :func:`~repro.observability.collect_phases` — e.g. a service flush
+    with an enabled registry); otherwise it stays empty, keeping the
+    kernels measurement-free.
     """
 
     shortcuts_changed: int = 0
@@ -73,6 +81,7 @@ class MaintenanceStats:
     entries_processed: int = 0
     affected_shortcuts: dict[ShortcutKey, float] = field(default_factory=dict)
     affected_labels: set[int] = field(default_factory=set)
+    phases: dict[str, float] = field(default_factory=dict)
 
     def merge(self, other: "MaintenanceStats") -> "MaintenanceStats":
         # ``affected_shortcuts`` records the weight each shortcut held
@@ -82,12 +91,16 @@ class MaintenanceStats:
         merged_shortcuts = dict(self.affected_shortcuts)
         for key, old in other.affected_shortcuts.items():
             merged_shortcuts.setdefault(key, old)
+        merged_phases = dict(self.phases)
+        for name, seconds in other.phases.items():
+            merged_phases[name] = merged_phases.get(name, 0.0) + seconds
         return MaintenanceStats(
             self.shortcuts_changed + other.shortcuts_changed,
             self.labels_changed + other.labels_changed,
             self.entries_processed + other.entries_processed,
             merged_shortcuts,
             self.affected_labels | other.affected_labels,
+            merged_phases,
         )
 
 

@@ -58,6 +58,7 @@ from repro.labelling.maintenance import (
     ShortcutKey,
     WeightChange,
 )
+from repro.observability.phases import phase
 
 __all__ = [
     "shortcuts_decrease_array",
@@ -117,55 +118,57 @@ def shortcuts_decrease_array(
     old_weights: dict[ShortcutKey, float] = {}
 
     seeds: list[int] = []
-    for a, b, w_new in changes:
-        old_edge = graph.set_weight(a, b, w_new)
-        if w_new > old_edge:
-            raise MaintenanceError(
-                f"decrease batch contains an increase on edge ({a}, {b})"
-            )
-        lo, hi = sc.shortcut_key(a, b)
-        slot = csr.slot_of(lo, hi)
-        if weights[slot] > w_new:
-            old_weights.setdefault((lo, hi), float(weights[slot]))
-            weights[slot] = w_new
-            seeds.append(slot)
+    with phase("decrease.seed"):
+        for a, b, w_new in changes:
+            old_edge = graph.set_weight(a, b, w_new)
+            if w_new > old_edge:
+                raise MaintenanceError(
+                    f"decrease batch contains an increase on edge ({a}, {b})"
+                )
+            lo, hi = sc.shortcut_key(a, b)
+            slot = csr.slot_of(lo, hi)
+            if weights[slot] > w_new:
+                old_weights.setdefault((lo, hi), float(weights[slot]))
+                weights[slot] = w_new
+                seeds.append(slot)
 
     frontier = np.unique(np.asarray(seeds, dtype=np.int64))
     while len(frontier):
-        slot_owner = owners[frontier]
-        deg = indptr[slot_owner + 1] - indptr[slot_owner]
-        rep, ramp = _expand(deg)
-        if not len(rep):
-            break
-        active = frontier[rep]
-        legs = indptr[slot_owner][rep] + ramp
-        keep = legs != active
-        active, legs = active[keep], legs[keep]
-        if not len(active):
-            break
-        cand = weights[active] + weights[legs]
-        # Target = the (shortcut endpoint, leg endpoint) pair, keyed by
-        # the deeper endpoint's id and the shallower one's rank.
-        ra, rb = ranks[active], ranks[legs]
-        lo_v = np.where(ra < rb, indices[active], indices[legs])
-        keys = lo_v * n + np.maximum(ra, rb)
-        tslots = np.searchsorted(slot_keys, keys)
+        with phase("decrease.relax_round"):
+            slot_owner = owners[frontier]
+            deg = indptr[slot_owner + 1] - indptr[slot_owner]
+            rep, ramp = _expand(deg)
+            if not len(rep):
+                break
+            active = frontier[rep]
+            legs = indptr[slot_owner][rep] + ramp
+            keep = legs != active
+            active, legs = active[keep], legs[keep]
+            if not len(active):
+                break
+            cand = weights[active] + weights[legs]
+            # Target = the (shortcut endpoint, leg endpoint) pair, keyed by
+            # the deeper endpoint's id and the shallower one's rank.
+            ra, rb = ranks[active], ranks[legs]
+            lo_v = np.where(ra < rb, indices[active], indices[legs])
+            keys = lo_v * n + np.maximum(ra, rb)
+            tslots = np.searchsorted(slot_keys, keys)
 
-        sort = np.argsort(tslots, kind="stable")
-        ts, cs = tslots[sort], cand[sort]
-        seg = _segment_starts(ts)
-        uts = ts[seg]
-        mins = np.minimum.reduceat(cs, seg)
-        improved = mins < weights[uts]
-        uts = uts[improved]
-        if not len(uts):
-            break
-        for lo_i, hi_i, old in zip(
-            owners[uts].tolist(), indices[uts].tolist(), weights[uts].tolist()
-        ):
-            old_weights.setdefault((lo_i, hi_i), old)
-        weights[uts] = mins[improved]
-        frontier = uts
+            sort = np.argsort(tslots, kind="stable")
+            ts, cs = tslots[sort], cand[sort]
+            seg = _segment_starts(ts)
+            uts = ts[seg]
+            mins = np.minimum.reduceat(cs, seg)
+            improved = mins < weights[uts]
+            uts = uts[improved]
+            if not len(uts):
+                break
+            for lo_i, hi_i, old in zip(
+                owners[uts].tolist(), indices[uts].tolist(), weights[uts].tolist()
+            ):
+                old_weights.setdefault((lo_i, hi_i), old)
+            weights[uts] = mins[improved]
+            frontier = uts
     return old_weights
 
 
@@ -199,108 +202,115 @@ def shortcuts_increase_array(
     old_weights: dict[ShortcutKey, float] = {}
 
     seeds: list[int] = []
-    for a, b, w_new in changes:
-        old_edge = graph.set_weight(a, b, w_new)
-        if w_new < old_edge:
-            raise MaintenanceError(
-                f"increase batch contains a decrease on edge ({a}, {b})"
-            )
-        lo, hi = sc.shortcut_key(a, b)
-        slot = csr.slot_of(lo, hi)
-        # Only shortcuts whose weight was realised by this edge can change.
-        if weights[slot] == old_edge:
-            seeds.append(slot)
+    with phase("increase.seed"):
+        for a, b, w_new in changes:
+            old_edge = graph.set_weight(a, b, w_new)
+            if w_new < old_edge:
+                raise MaintenanceError(
+                    f"increase batch contains a decrease on edge ({a}, {b})"
+                )
+            lo, hi = sc.shortcut_key(a, b)
+            slot = csr.slot_of(lo, hi)
+            # Only shortcuts whose weight was realised by this edge can
+            # change.
+            if weights[slot] == old_edge:
+                seeds.append(slot)
 
     pending = np.unique(np.asarray(seeds, dtype=np.int64))
     while len(pending):
-        # Topological layer: owners none of whose down-neighbours are
-        # themselves pending (the deepest pending owner always is, so
-        # every round makes progress).
-        p_owner = owners[pending]
-        layer_owners = np.unique(p_owner)
-        odeg = down_indptr[layer_owners + 1] - down_indptr[layer_owners]
-        rep, ramp = _expand(odeg)
-        blocked = np.zeros(len(layer_owners), dtype=bool)
-        if len(rep):
-            xs = down_indices[down_indptr[layer_owners][rep] + ramp]
-            pos = np.searchsorted(layer_owners, xs)
-            member = layer_owners[np.minimum(pos, len(layer_owners) - 1)] == xs
-            if member.any():
-                blocked[np.unique(rep[member])] = True
-        ready = layer_owners[~blocked]
-        take = np.isin(p_owner, ready)
-        slots = pending[take]
-        rest = pending[~take]
-
-        vs = owners[slots]
-        ws = indices[slots]
-        # Property 3.1 recompute for the whole layer: direct edge weight
-        # min-combined with triangles over the common down neighbourhood.
-        w_new = np.fromiter(
-            (
-                graph.weight(v, w) if graph.has_edge(v, w) else math.inf
-                for v, w in zip(vs.tolist(), ws.tolist())
-            ),
-            np.float64,
-            len(slots),
-        )
-        ddeg = down_indptr[ws + 1] - down_indptr[ws]
-        rep, ramp = _expand(ddeg)
-        if len(rep):
-            didx = down_indptr[ws][rep] + ramp
-            xs = down_indices[didx]
-            # x qualifies iff shortcut (x, v) exists: one global key probe.
-            keys = xs * n + rank[vs][rep]
-            pos = np.searchsorted(slot_keys, keys)
-            found = slot_keys[np.minimum(pos, len(slot_keys) - 1)] == keys
-            if found.any():
-                rep_f = rep[found]
-                triangles = (
-                    weights[pos[found]] + weights[down_slots[didx[found]]]
+        with phase("increase.dependency_layer"):
+            # Topological layer: owners none of whose down-neighbours are
+            # themselves pending (the deepest pending owner always is, so
+            # every round makes progress).
+            p_owner = owners[pending]
+            layer_owners = np.unique(p_owner)
+            odeg = down_indptr[layer_owners + 1] - down_indptr[layer_owners]
+            rep, ramp = _expand(odeg)
+            blocked = np.zeros(len(layer_owners), dtype=bool)
+            if len(rep):
+                xs = down_indices[down_indptr[layer_owners][rep] + ramp]
+                pos = np.searchsorted(layer_owners, xs)
+                member = (
+                    layer_owners[np.minimum(pos, len(layer_owners) - 1)] == xs
                 )
-                seg = _segment_starts(rep_f)
-                mins = np.minimum.reduceat(triangles, seg)
-                urep = rep_f[seg]
-                w_new[urep] = np.minimum(w_new[urep], mins)
+                if member.any():
+                    blocked[np.unique(rep[member])] = True
+            ready = layer_owners[~blocked]
+            take = np.isin(p_owner, ready)
+            slots = pending[take]
+            rest = pending[~take]
 
-        old = weights[slots]
-        changed = w_new != old
-        next_chunks = [rest]
-        if changed.any():
-            ch = slots[changed]
-            ch_old = old[changed]
-            ch_owner = vs[changed]
-            # Equality-guarded propagation: triangles through the owner
-            # that realised a changed suspect's old weight mark deeper
-            # suspects. All legs read pre-write weights, which covers
-            # every realisation the reference's sequential order covers
-            # (the first side processed always sees the other leg old).
-            deg = indptr[ch_owner + 1] - indptr[ch_owner]
-            rep2, ramp2 = _expand(deg)
-            if len(rep2):
-                legs = indptr[ch_owner][rep2] + ramp2
-                keep = legs != ch[rep2]
-                legs = legs[keep]
-                rep2 = rep2[keep]
-                cand_old = ch_old[rep2] + weights[legs]
-                ra = ranks[ch[rep2]]
-                rb = ranks[legs]
-                lo_v = np.where(ra < rb, indices[ch[rep2]], indices[legs])
-                tkeys = lo_v * n + np.maximum(ra, rb)
-                tslots = np.searchsorted(slot_keys, tkeys)
-                hits = tslots[weights[tslots] == cand_old]
-                if len(hits):
-                    next_chunks.append(hits)
-            for lo_i, hi_i, old_w in zip(
-                ch_owner.tolist(), indices[ch].tolist(), ch_old.tolist()
-            ):
-                old_weights.setdefault((lo_i, hi_i), old_w)
-            weights[ch] = w_new[changed]
-        pending = (
-            np.unique(np.concatenate(next_chunks))
-            if len(next_chunks) > 1
-            else rest
-        )
+            vs = owners[slots]
+            ws = indices[slots]
+            # Property 3.1 recompute for the whole layer: direct edge
+            # weight min-combined with triangles over the common down
+            # neighbourhood.
+            w_new = np.fromiter(
+                (
+                    graph.weight(v, w) if graph.has_edge(v, w) else math.inf
+                    for v, w in zip(vs.tolist(), ws.tolist())
+                ),
+                np.float64,
+                len(slots),
+            )
+            ddeg = down_indptr[ws + 1] - down_indptr[ws]
+            rep, ramp = _expand(ddeg)
+            if len(rep):
+                didx = down_indptr[ws][rep] + ramp
+                xs = down_indices[didx]
+                # x qualifies iff shortcut (x, v) exists: one global key
+                # probe.
+                keys = xs * n + rank[vs][rep]
+                pos = np.searchsorted(slot_keys, keys)
+                found = slot_keys[np.minimum(pos, len(slot_keys) - 1)] == keys
+                if found.any():
+                    rep_f = rep[found]
+                    triangles = (
+                        weights[pos[found]] + weights[down_slots[didx[found]]]
+                    )
+                    seg = _segment_starts(rep_f)
+                    mins = np.minimum.reduceat(triangles, seg)
+                    urep = rep_f[seg]
+                    w_new[urep] = np.minimum(w_new[urep], mins)
+
+            old = weights[slots]
+            changed = w_new != old
+            next_chunks = [rest]
+            if changed.any():
+                ch = slots[changed]
+                ch_old = old[changed]
+                ch_owner = vs[changed]
+                # Equality-guarded propagation: triangles through the owner
+                # that realised a changed suspect's old weight mark deeper
+                # suspects. All legs read pre-write weights, which covers
+                # every realisation the reference's sequential order covers
+                # (the first side processed always sees the other leg old).
+                deg = indptr[ch_owner + 1] - indptr[ch_owner]
+                rep2, ramp2 = _expand(deg)
+                if len(rep2):
+                    legs = indptr[ch_owner][rep2] + ramp2
+                    keep = legs != ch[rep2]
+                    legs = legs[keep]
+                    rep2 = rep2[keep]
+                    cand_old = ch_old[rep2] + weights[legs]
+                    ra = ranks[ch[rep2]]
+                    rb = ranks[legs]
+                    lo_v = np.where(ra < rb, indices[ch[rep2]], indices[legs])
+                    tkeys = lo_v * n + np.maximum(ra, rb)
+                    tslots = np.searchsorted(slot_keys, tkeys)
+                    hits = tslots[weights[tslots] == cand_old]
+                    if len(hits):
+                        next_chunks.append(hits)
+                for lo_i, hi_i, old_w in zip(
+                    ch_owner.tolist(), indices[ch].tolist(), ch_old.tolist()
+                ):
+                    old_weights.setdefault((lo_i, hi_i), old_w)
+                weights[ch] = w_new[changed]
+            pending = (
+                np.unique(np.concatenate(next_chunks))
+                if len(next_chunks) > 1
+                else rest
+            )
     return old_weights
 
 
@@ -431,26 +441,28 @@ def labels_decrease_array(
     changed_positions: set[int] = set()
     frontier = _EntryFrontier(tau)
     if affected:
-        seeded = _seed_decrease_batch(store, labels, affected)
+        with phase("decrease.label_seed"):
+            seeded = _seed_decrease_batch(store, labels, affected)
         if len(seeded):
             changed_positions.update(seeded.tolist())
             frontier.activate(*labels.entries_of_positions(seeded))
 
     while frontier:
-        verts, cols, upos = frontier.pop(offsets)
-        stats.entries_processed += len(verts)
-        vals = values[upos]
-        deg = down_indptr[verts + 1] - down_indptr[verts]
-        rep, ramp = _expand(deg)
-        if not len(rep):
-            continue
-        didx = down_indptr[verts][rep] + ramp
-        targets = down_indices[didx]
-        cand = weights[down_slots[didx]] + vals[rep]
-        improved = labels.relax_entries(offsets[targets] + cols[rep], cand)
-        if len(improved):
-            changed_positions.update(improved.tolist())
-            frontier.activate(*labels.entries_of_positions(improved))
+        with phase("decrease.label_sweep"):
+            verts, cols, upos = frontier.pop(offsets)
+            stats.entries_processed += len(verts)
+            vals = values[upos]
+            deg = down_indptr[verts + 1] - down_indptr[verts]
+            rep, ramp = _expand(deg)
+            if not len(rep):
+                continue
+            didx = down_indptr[verts][rep] + ramp
+            targets = down_indices[didx]
+            cand = weights[down_slots[didx]] + vals[rep]
+            improved = labels.relax_entries(offsets[targets] + cols[rep], cand)
+            if len(improved):
+                changed_positions.update(improved.tolist())
+                frontier.activate(*labels.entries_of_positions(improved))
 
     stats.labels_changed = len(changed_positions)
     if changed_positions:
@@ -489,51 +501,57 @@ def labels_increase_array(
     )
     frontier = _EntryFrontier(tau)
     if affected:
-        frontier.activate(*_seed_increase_batch(store, labels, affected))
+        with phase("increase.label_seed"):
+            frontier.activate(*_seed_increase_batch(store, labels, affected))
 
     while frontier:
-        verts, cols, upos = frontier.pop(offsets)
-        stats.entries_processed += len(verts)
-        old_vals = values[upos]
+        with phase("increase.label_sweep"):
+            verts, cols, upos = frontier.pop(offsets)
+            stats.entries_processed += len(verts)
+            old_vals = values[upos]
 
-        # Support-free recompute over the up rows (tau-guarded).
-        deg = indptr[verts + 1] - indptr[verts]
-        rep, ramp = _expand(deg)
-        w_new = np.full(len(verts), np.inf)
-        if len(rep):
-            slots = indptr[verts][rep] + ramp
-            ups = indices[slots]
-            t_cols = cols[rep]
-            valid = tau[ups] >= t_cols
-            gather = offsets[ups] + np.where(valid, t_cols, 0)
-            cand = np.where(valid, weights[slots] + values[gather], np.inf)
-            nonzero = deg > 0
-            seg_starts = (np.cumsum(deg) - deg)[nonzero]
-            w_new[nonzero] = np.minimum.reduceat(cand, seg_starts)
+            # Support-free recompute over the up rows (tau-guarded).
+            deg = indptr[verts + 1] - indptr[verts]
+            rep, ramp = _expand(deg)
+            w_new = np.full(len(verts), np.inf)
+            if len(rep):
+                slots = indptr[verts][rep] + ramp
+                ups = indices[slots]
+                t_cols = cols[rep]
+                valid = tau[ups] >= t_cols
+                gather = offsets[ups] + np.where(valid, t_cols, 0)
+                cand = np.where(valid, weights[slots] + values[gather], np.inf)
+                nonzero = deg > 0
+                seg_starts = (np.cumsum(deg) - deg)[nonzero]
+                w_new[nonzero] = np.minimum.reduceat(cand, seg_starts)
 
-        increased = w_new > old_vals
-        changed = w_new != old_vals
+            increased = w_new > old_vals
+            changed = w_new != old_vals
 
-        # Seed deeper suspects whose entry was realised through the old
-        # value — checked against pre-write deeper labels, as in the
-        # reference heap order.
-        if increased.any():
-            pv, pc, po = verts[increased], cols[increased], old_vals[increased]
-            ddeg = down_indptr[pv + 1] - down_indptr[pv]
-            rep2, ramp2 = _expand(ddeg)
-            if len(rep2):
-                didx = down_indptr[pv][rep2] + ramp2
-                targets = down_indices[didx]
-                chained = weights[down_slots[didx]] + po[rep2]
-                d_cols = pc[rep2]
-                hit = chained == values[offsets[targets] + d_cols]
-                if hit.any():
-                    frontier.activate(targets[hit], d_cols[hit])
+            # Seed deeper suspects whose entry was realised through the
+            # old value — checked against pre-write deeper labels, as in
+            # the reference heap order.
+            if increased.any():
+                pv, pc, po = (
+                    verts[increased],
+                    cols[increased],
+                    old_vals[increased],
+                )
+                ddeg = down_indptr[pv + 1] - down_indptr[pv]
+                rep2, ramp2 = _expand(ddeg)
+                if len(rep2):
+                    didx = down_indptr[pv][rep2] + ramp2
+                    targets = down_indices[didx]
+                    chained = weights[down_slots[didx]] + po[rep2]
+                    d_cols = pc[rep2]
+                    hit = chained == values[offsets[targets] + d_cols]
+                    if hit.any():
+                        frontier.activate(targets[hit], d_cols[hit])
 
-        labels.recompute_entries(upos, w_new)
-        stats.labels_changed += int(increased.sum())
-        if changed.any():
-            stats.affected_labels.update(verts[changed].tolist())
+            labels.recompute_entries(upos, w_new)
+            stats.labels_changed += int(increased.sum())
+            if changed.any():
+                stats.affected_labels.update(verts[changed].tolist())
     return stats
 
 

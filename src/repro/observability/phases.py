@@ -1,0 +1,102 @@
+"""Kernel-phase profiling.
+
+The maintenance kernels mark their inner phases with ``phase(name)`` —
+one decrease relaxation round, one tau-level label sweep, one increase
+dependency layer, the CSR flush steps. When nobody is collecting, the
+mark is a dict-free truthiness check returning a shared no-op context
+manager, so kernels stay uninstrumented-fast by default.
+
+A caller that wants the breakdown installs a :class:`PhaseCollector`
+with ``collect_phases()``; every ``phase()`` that fires while it is
+installed adds its wall seconds to the collector. Collectors nest (an
+outer bench collector and an inner per-batch ``MaintenanceStats``
+collector both see the same phases) and are thread-safe, because the
+sharded index runs shard updates on a thread pool.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+__all__ = ["phase", "PhaseCollector", "collect_phases", "phases_active"]
+
+# Globally-installed collectors. Appends/removes happen in collect_phases();
+# the list is read on every phase() call, so keep it a plain module global.
+_collectors: list["PhaseCollector"] = []
+
+
+class PhaseCollector:
+    """Accumulates ``{phase name: total wall seconds}`` and hit counts."""
+
+    __slots__ = ("seconds", "counts", "_lock")
+
+    def __init__(self) -> None:
+        self.seconds: dict[str, float] = {}
+        self.counts: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def add(self, name: str, dt: float) -> None:
+        with self._lock:
+            self.seconds[name] = self.seconds.get(name, 0.0) + dt
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def as_dict(self) -> dict[str, float]:
+        with self._lock:
+            return dict(self.seconds)
+
+
+class _NullPhase:
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NULL_PHASE = _NullPhase()
+
+
+class _PhaseCM:
+    __slots__ = ("_name", "_start")
+
+    def __init__(self, name: str):
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self):
+        self._start = time.perf_counter()
+        return None
+
+    def __exit__(self, *exc) -> None:
+        dt = time.perf_counter() - self._start
+        # Snapshot the list: a collector uninstalled mid-phase still
+        # receives the measurement it was present for.
+        for collector in tuple(_collectors):
+            collector.add(self._name, dt)
+
+
+def phase(name: str):
+    """Time one kernel phase iteration, if any collector is installed."""
+    if not _collectors:
+        return _NULL_PHASE
+    return _PhaseCM(name)
+
+
+def phases_active() -> bool:
+    """True when at least one collector is installed."""
+    return bool(_collectors)
+
+
+@contextmanager
+def collect_phases():
+    """Install a fresh :class:`PhaseCollector` for the enclosed block."""
+    collector = PhaseCollector()
+    _collectors.append(collector)
+    try:
+        yield collector
+    finally:
+        _collectors.remove(collector)

@@ -1,0 +1,67 @@
+"""Slow-query / slow-flush log.
+
+A bounded ring of structured records for operations that crossed a
+latency threshold — the first place to look when the histograms show a
+fat p99 tail. Thresholds default to "off" (``inf``), so an enabled
+observability stack records nothing here until the caller opts in.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from math import inf
+
+__all__ = ["SlowLog", "NullSlowLog", "NULL_SLOW_LOG"]
+
+
+class SlowLog:
+    """Keeps the most recent ``keep`` over-threshold operations."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        *,
+        slow_query_seconds: float = inf,
+        slow_flush_seconds: float = inf,
+        keep: int = 64,
+    ):
+        self.slow_query_seconds = slow_query_seconds
+        self.slow_flush_seconds = slow_flush_seconds
+        self.records: deque[dict] = deque(maxlen=max(1, keep))
+
+    def note_query(self, seconds: float, **detail: object) -> bool:
+        if seconds < self.slow_query_seconds:
+            return False
+        self.records.append({"kind": "query", "seconds": seconds, **detail})
+        return True
+
+    def note_flush(self, seconds: float, **detail: object) -> bool:
+        if seconds < self.slow_flush_seconds:
+            return False
+        self.records.append({"kind": "flush", "seconds": seconds, **detail})
+        return True
+
+    def as_list(self) -> list[dict]:
+        return list(self.records)
+
+
+class NullSlowLog:
+    """Disabled slow log: notes are dropped."""
+
+    enabled = False
+    slow_query_seconds = inf
+    slow_flush_seconds = inf
+    records: tuple = ()
+
+    def note_query(self, seconds, **detail) -> bool:
+        return False
+
+    def note_flush(self, seconds, **detail) -> bool:
+        return False
+
+    def as_list(self) -> list:
+        return []
+
+
+NULL_SLOW_LOG = NullSlowLog()

@@ -1,0 +1,261 @@
+"""Span tracing for the serving stack.
+
+A sampled request produces a **span tree**: the root covers the whole
+service call, children cover the stages it passes through (cache scan,
+scheduler, per-worker round-trips, min-plus combine). Worker processes
+build their own subtree, ship it back over the pipe as a plain dict,
+and the parent grafts it under the matching round-trip span — one tree
+shows where a cross-shard query spent its time end to end.
+
+Sampling is deterministic (every Nth root according to
+``sample_rate``), so replayed scenarios always trace the same
+requests. When a root is not sampled the tracer pushes a sentinel so
+nested ``trace()`` calls inside the request no-op too; disabled tracing
+uses :data:`NULL_TRACER`, whose ``trace`` returns a shared do-nothing
+context manager.
+
+Spans started via :class:`Tracer` live on a thread-local stack and must
+be entered/exited on one thread. Code handing work to helper threads
+(the worker scheduler's I/O pool) instead calls ``span.child(name)``
+explicitly — attaching to a parent span object is thread-safe under the
+GIL because each helper thread appends a distinct child.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "maybe_child",
+]
+
+
+class Span:
+    """One timed node in a trace tree.
+
+    Starts its clock at construction; ``finish()`` (or context-manager
+    exit) freezes ``seconds``. Children are created with ``child()``
+    and belong to this span regardless of which thread finishes them.
+    """
+
+    __slots__ = ("name", "seconds", "children", "meta", "_start")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.seconds = 0.0
+        self.children: list[Span] = []
+        self.meta: dict[str, object] = {}
+        self._start = time.perf_counter()
+
+    def child(self, name: str) -> "Span":
+        span = Span(name)
+        self.children.append(span)
+        return span
+
+    def annotate(self, **meta: object) -> "Span":
+        self.meta.update(meta)
+        return self
+
+    def finish(self) -> "Span":
+        if self._start:
+            self.seconds = time.perf_counter() - self._start
+            self._start = 0.0
+        return self
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.finish()
+
+    # -- serialisation ---------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-dict form, safe to pickle over a worker pipe."""
+        record: dict = {"name": self.name, "seconds": self.seconds}
+        if self.meta:
+            record["meta"] = dict(self.meta)
+        if self.children:
+            record["children"] = [c.to_dict() for c in self.children]
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "Span":
+        span = cls(str(record.get("name", "?")))
+        span._start = 0.0
+        span.seconds = float(record.get("seconds", 0.0))
+        span.meta = dict(record.get("meta", {}))
+        span.children = [cls.from_dict(c) for c in record.get("children", ())]
+        return span
+
+    def graft(self, record: dict) -> "Span":
+        """Attach a shipped worker subtree (dict form) under this span."""
+        child = Span.from_dict(record)
+        self.children.append(child)
+        return child
+
+    # -- rendering -------------------------------------------------------
+    def format(self, indent: int = 0) -> str:
+        """ASCII tree: one ``name  <ms>`` line per span."""
+        pad = "  " * indent
+        meta = ""
+        if self.meta:
+            meta = "  " + " ".join(f"{k}={v}" for k, v in sorted(self.meta.items()))
+        lines = [f"{pad}{self.name}  {self.seconds * 1e3:.3f}ms{meta}"]
+        for child in self.children:
+            lines.append(child.format(indent + 1))
+        return "\n".join(lines)
+
+
+_UNSAMPLED = object()  # stack marker: root was skipped, nested traces no-op
+
+
+class _NullTraceCM:
+    """Do-nothing ``with`` target for unsampled / disabled traces."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NULL_TRACE_CM = _NullTraceCM()
+
+
+class _SpanCM:
+    """Context manager that pops the tracer stack on exit."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        return self.span
+
+    def __exit__(self, *exc) -> None:
+        self._tracer._pop(self.span)
+
+
+class _UnsampledCM:
+    """Pops the unsampled sentinel pushed for a skipped root."""
+
+    __slots__ = ("_tracer",)
+
+    def __init__(self, tracer: "Tracer"):
+        self._tracer = tracer
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc) -> None:
+        self._tracer._pop(_UNSAMPLED)
+
+
+class Tracer:
+    """Produces sampled span trees; keeps the last ``keep`` finished roots.
+
+    ``sample_rate`` is the fraction of *root* traces recorded: 1.0
+    records every request, 0.25 every 4th, 0.0 none. Sampling is a
+    deterministic counter (not random) so replays are reproducible.
+    """
+
+    enabled = True
+
+    def __init__(self, sample_rate: float = 0.0, keep: int = 32):
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError("sample_rate must be in [0, 1]")
+        self.sample_rate = sample_rate
+        self._period = int(round(1.0 / sample_rate)) if sample_rate > 0 else 0
+        self._roots_seen = 0
+        self.finished: deque[Span] = deque(maxlen=max(1, keep))
+        self._local = threading.local()
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def trace(self, name: str, **meta: object):
+        """Open a span: a child of the current span, or a sampled root."""
+        stack = self._stack()
+        if stack:
+            if stack[-1] is _UNSAMPLED:
+                return _NULL_TRACE_CM
+            span = stack[-1].child(name)
+        else:
+            self._roots_seen += 1
+            if not self._period or (self._roots_seen - 1) % self._period:
+                stack.append(_UNSAMPLED)
+                return _UnsampledCM(self)
+            span = Span(name)
+        if meta:
+            span.annotate(**meta)
+        stack.append(span)
+        return _SpanCM(self, span)
+
+    def _pop(self, expected) -> None:
+        stack = self._stack()
+        if not stack or stack[-1] is not expected:  # pragma: no cover
+            stack.clear()
+            return
+        top = stack.pop()
+        if top is _UNSAMPLED:
+            return
+        top.finish()
+        if not stack:
+            self.finished.append(top)
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open sampled span on this thread, if any."""
+        stack = self._stack()
+        if stack and stack[-1] is not _UNSAMPLED:
+            return stack[-1]
+        return None
+
+    def last_trace(self) -> Span | None:
+        """Most recently finished root span."""
+        return self.finished[-1] if self.finished else None
+
+
+class NullTracer:
+    """Disabled tracer: ``trace`` hands back a shared no-op."""
+
+    enabled = False
+    sample_rate = 0.0
+    finished: tuple = ()
+
+    def trace(self, name, **meta):
+        return _NULL_TRACE_CM
+
+    @property
+    def current(self) -> None:
+        return None
+
+    def last_trace(self) -> None:
+        return None
+
+
+NULL_TRACER = NullTracer()
+
+
+def maybe_child(span: Span | None, name: str):
+    """``span.child(name)`` as a CM, or a no-op when *span* is None.
+
+    Lets runtime code thread an optional parent span through helper
+    functions without branching at every instrumentation point.
+    """
+    if span is None:
+        return _NULL_TRACE_CM
+    return span.child(name)

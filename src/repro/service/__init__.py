@@ -17,8 +17,14 @@ service:
 * :mod:`repro.service.workload` — uniform / Zipf-hotspot / rush-hour
   traffic generators and the :func:`replay` driver;
 * :mod:`repro.service.metrics` — latency percentile recorders.
+
+Deep observability (metrics registry, request span tracing, kernel
+phase profiling, slow-query log) lives in :mod:`repro.observability`;
+hand :class:`DistanceService` an ``Observability.enabled(...)`` bundle
+to switch it on — the default is the zero-overhead null bundle.
 """
 
+from repro.observability import NULL_OBSERVABILITY, Observability
 from repro.service.cache import CacheStats, EpochLRUCache
 from repro.service.coalescer import CoalescedBatch, CoalescerStats, UpdateCoalescer
 from repro.service.metrics import LatencyRecorder, LatencySummary, Timer
@@ -38,6 +44,8 @@ from repro.service.workload import (
 )
 
 __all__ = [
+    "Observability",
+    "NULL_OBSERVABILITY",
     "CacheStats",
     "EpochLRUCache",
     "CoalescedBatch",

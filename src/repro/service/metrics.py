@@ -10,10 +10,11 @@ win and its worst-case tail.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
+
+from repro.observability.timing import Timer
 
 __all__ = ["LatencySummary", "LatencyRecorder", "Timer"]
 
@@ -108,20 +109,3 @@ class LatencyRecorder:
     def clear(self) -> None:
         self._latencies.clear()
         self._operations = 0
-
-
-class Timer:
-    """``with Timer() as t: ...`` — elapsed wall time in ``t.seconds``."""
-
-    __slots__ = ("seconds", "_start")
-
-    def __init__(self) -> None:
-        self.seconds = 0.0
-        self._start = 0.0
-
-    def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.seconds = time.perf_counter() - self._start

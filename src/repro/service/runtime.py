@@ -27,6 +27,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.labelling.maintenance import MaintenanceStats
+from repro.observability import NULL_OBSERVABILITY
 
 __all__ = ["ExecutionRuntime", "InProcessRuntime"]
 
@@ -45,6 +46,10 @@ class ExecutionRuntime(abc.ABC):
 
     #: The index backend this runtime executes against.
     index = None
+
+    #: Observability bundle, installed by the owning service (class-level
+    #: null by default, so standalone runtimes trace/count nothing).
+    observability = NULL_OBSERVABILITY
 
     @property
     @abc.abstractmethod
@@ -96,6 +101,17 @@ class ExecutionRuntime(abc.ABC):
         Implementations must leave every execution path (worker label
         buffers, epochs) consistent with :attr:`index` before returning.
         """
+
+    # -- introspection --------------------------------------------------
+    def pool_stats(self):
+        """Scheduler / delta-sync counters for pooled runtimes.
+
+        Returns a :class:`~repro.service.workers.WorkerPoolStats` for
+        runtimes that schedule across workers, ``None`` otherwise — so
+        printed summaries and metric snapshots can include the
+        multiprocess backend without type-sniffing the runtime.
+        """
+        return None
 
     # -- lifecycle ------------------------------------------------------
     def close(self) -> None:

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Iterable, Sequence, Union
 
 import numpy as np
@@ -41,6 +42,13 @@ import numpy as np
 from repro.core.index import DHLIndex
 from repro.core.sharded import ShardedDHLIndex
 from repro.labelling.maintenance import MaintenanceStats
+from repro.observability import (
+    NULL_OBSERVABILITY,
+    Observability,
+    Span,
+    collect_phases,
+    phase,
+)
 from repro.service.cache import CacheStats, EpochLRUCache
 from repro.service.coalescer import CoalescerStats, UpdateCoalescer
 from repro.service.metrics import LatencyRecorder, LatencySummary, Timer
@@ -70,21 +78,39 @@ class ServiceStats:
     #: ``in-process/sharded``, ``worker-pool/sharded[4 workers]`` — so
     #: bench artifacts and logs can tell runtimes apart.
     backend: str = "in-process/monolithic"
+    #: Worker-pool scheduler / delta-sync counters
+    #: (:meth:`~repro.service.workers.WorkerPoolStats.as_dict`) when the
+    #: runtime pools workers, ``None`` for in-process backends.
+    worker_pool: dict | None = None
 
     def summary(self) -> str:
-        return "\n".join(
-            [
-                f"epoch {self.epoch}: {self.queries} queries in "
-                f"{self.batches} calls",
-                f"  backend : {self.backend}",
-                f"  queries : {self.query_latency}",
-                f"  updates : {self.update_latency}",
-                f"  cache   : {self.cache}",
-                f"  coalesce: {self.coalescer}",
-                f"  applied : {self.shortcuts_changed} shortcuts, "
-                f"{self.labels_changed} label entries",
-            ]
-        )
+        lines = [
+            f"epoch {self.epoch}: {self.queries} queries in "
+            f"{self.batches} calls",
+            f"  backend : {self.backend}",
+            f"  queries : {self.query_latency}",
+            f"  updates : {self.update_latency}",
+            f"  cache   : {self.cache}",
+            f"  coalesce: {self.coalescer}",
+            f"  applied : {self.shortcuts_changed} shortcuts, "
+            f"{self.labels_changed} label entries",
+        ]
+        if self.worker_pool is not None:
+            wp = self.worker_pool
+            lines.append(
+                f"  workers : {wp.get('sub_batches', 0)} sub-batches "
+                f"({wp.get('intra_pairs', 0)} intra / "
+                f"{wp.get('cross_pairs', 0)} cross pairs), "
+                f"{wp.get('epoch_broadcasts', 0)} epoch broadcasts, "
+                f"{wp.get('delta_syncs', 0)} delta syncs "
+                f"({wp.get('delta_bytes', 0)} B), "
+                f"{wp.get('republishes', 0)} republishes, "
+                f"{wp.get('full_syncs', 0)} full syncs"
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.summary()
 
 
 class DistanceService:
@@ -118,6 +144,12 @@ class DistanceService:
         tolerate bounded staleness between flushes.
     workers:
         Thread count forwarded to the parallel maintenance variants.
+    observability:
+        An :class:`~repro.observability.Observability` bundle (metrics
+        registry + request tracer + slow log). Defaults to the null
+        bundle, which makes every instrumentation point a no-op call —
+        zero overhead unless a caller opts in with
+        ``Observability.enabled(...)``.
     """
 
     def __init__(
@@ -129,12 +161,42 @@ class DistanceService:
         flush_threshold: int = 256,
         auto_flush_on_query: bool = True,
         workers: int | None = None,
+        observability: Observability | None = None,
     ):
         if isinstance(index, ExecutionRuntime):
             self.runtime = index
         else:
             self.runtime = InProcessRuntime(index)
         self.index = self.runtime.index
+        self.observability = observability or NULL_OBSERVABILITY
+        # The runtime traces its scheduler/worker round-trips under the
+        # service's request spans and is counted in the same registry.
+        self.runtime.observability = self.observability
+        registry = self.observability.registry
+        self._m_queries = registry.counter(
+            "dhl_queries_total", "Pair queries answered"
+        )
+        self._m_batches = registry.counter(
+            "dhl_query_batches_total", "Service query calls (a batch is one)"
+        )
+        self._m_query_seconds = registry.histogram(
+            "dhl_query_seconds", "Per-call query latency in seconds"
+        )
+        self._m_flushes = registry.counter(
+            "dhl_flushes_total", "Coalesced update flushes applied"
+        )
+        self._m_flush_seconds = registry.histogram(
+            "dhl_flush_seconds", "Coalesced update flush latency in seconds"
+        )
+        self._m_flush_edges = registry.counter(
+            "dhl_flush_edges_total", "Net weight changes applied by flushes"
+        )
+        self._m_slow_queries = registry.counter(
+            "dhl_slow_queries_total", "Query calls over the slow-query threshold"
+        )
+        self._m_slow_flushes = registry.counter(
+            "dhl_slow_flushes_total", "Flushes over the slow-flush threshold"
+        )
         self.cache = EpochLRUCache(cache_capacity)
         self.coalescer = UpdateCoalescer()
         self.fine_grained_eviction = (
@@ -165,23 +227,36 @@ class DistanceService:
     def distance(self, s: int, t: int) -> float:
         """Single-pair distance through the cache."""
         self._pre_query()
-        with Timer() as timer:
-            value = self._cached_distance(s, t)
+        with self.observability.tracer.trace("distance", s=s, t=t):
+            with Timer() as timer:
+                value = self._cached_distance(s, t)
         self._queries += 1
         self._batches += 1
         self.query_latency.record(timer.seconds, 1)
+        self._note_query(timer.seconds, 1)
         return value
 
     def distances(self, pairs: Sequence[tuple[int, int]]) -> np.ndarray:
         """Batch distances: cache lookups, then one vectorised miss pass."""
         pairs = list(pairs)
         self._pre_query()
-        with Timer() as timer:
-            out = self._batch(pairs)
+        with self.observability.tracer.trace("distances", pairs=len(pairs)):
+            with Timer() as timer:
+                out = self._batch(pairs)
         self._queries += len(pairs)
         self._batches += 1
         self.query_latency.record(timer.seconds, max(1, len(pairs)))
+        self._note_query(timer.seconds, len(pairs))
         return out
+
+    def _note_query(self, seconds: float, pairs: int) -> None:
+        self._m_queries.inc(pairs)
+        self._m_batches.inc()
+        self._m_query_seconds.observe(seconds)
+        if self.observability.slow_log.note_query(
+            seconds, pairs=pairs, epoch=self.index.epoch
+        ):
+            self._m_slow_queries.inc()
 
     def _cached_distance(self, s: int, t: int) -> float:
         if s == t:
@@ -199,34 +274,38 @@ class DistanceService:
         return value
 
     def _batch(self, pairs: list[tuple[int, int]]) -> np.ndarray:
+        tracer = self.observability.tracer
         out = np.empty(len(pairs), dtype=np.float64)
         cache = self.cache
         # Positions needing computation, grouped by normalised key so a
         # hotspot pair repeated inside one batch is computed only once.
         miss_positions: dict[tuple[int, int], list[int]] = {}
-        for idx, (s, t) in enumerate(pairs):
-            if s == t:
-                out[idx] = 0.0
-                continue
-            key = (s, t) if s <= t else (t, s)
-            entry = cache.get(key)
-            if entry is not None:
-                out[idx] = entry[0]
-            else:
-                miss_positions.setdefault(key, []).append(idx)
+        with tracer.trace("cache_scan"):
+            for idx, (s, t) in enumerate(pairs):
+                if s == t:
+                    out[idx] = 0.0
+                    continue
+                key = (s, t) if s <= t else (t, s)
+                entry = cache.get(key)
+                if entry is not None:
+                    out[idx] = entry[0]
+                else:
+                    miss_positions.setdefault(key, []).append(idx)
         if miss_positions:
             keys = list(miss_positions)
-            if self.fine_grained_eviction:
-                values, hubs = self.runtime.distances_with_hubs(keys)
-                hubs = hubs.tolist()
-            else:
-                values = self.runtime.distances(keys)
-                hubs = [-1] * len(keys)
+            with tracer.trace("runtime", misses=len(keys)):
+                if self.fine_grained_eviction:
+                    values, hubs = self.runtime.distances_with_hubs(keys)
+                    hubs = hubs.tolist()
+                else:
+                    values = self.runtime.distances(keys)
+                    hubs = [-1] * len(keys)
             epoch = self.index.epoch
-            for key, value, hub in zip(keys, values, hubs):
-                cache.put(key, float(value), int(hub), epoch)
-                for idx in miss_positions[key]:
-                    out[idx] = value
+            with tracer.trace("cache_fill"):
+                for key, value, hub in zip(keys, values, hubs):
+                    cache.put(key, float(value), int(hub), epoch)
+                    for idx in miss_positions[key]:
+                        out[idx] = value
         return out
 
     def k_nearest(
@@ -264,24 +343,57 @@ class DistanceService:
         self._reconcile_epoch_drift()
         if not self.coalescer:
             return MaintenanceStats()
-        batch = self.coalescer.drain(self.index.graph)
+        observability = self.observability
+        if not observability.is_enabled:
+            return self._flush_pending()[0]
+        # A flush gets its own trace (it may run inside _pre_query,
+        # before any request span opens) and a phase collector: every
+        # phase() fired below — the flush steps, the maintenance
+        # kernels' inner loops, the worker delta sync — lands in the
+        # per-phase latency histograms.
+        with observability.tracer.trace("flush"):
+            with collect_phases() as collector, Timer() as timer:
+                stats, applied_edges = self._flush_pending()
+        if applied_edges:
+            self._m_flushes.inc()
+            self._m_flush_edges.inc(applied_edges)
+            self._m_flush_seconds.observe(timer.seconds)
+            registry = observability.registry
+            for name, dt in collector.as_dict().items():
+                registry.histogram(
+                    "dhl_maintenance_phase_seconds",
+                    "Wall seconds per maintenance/flush phase, per flush",
+                    labels={"phase": name},
+                ).observe(dt)
+            if observability.slow_log.note_flush(
+                timer.seconds, edges=applied_edges, epoch=self.index.epoch
+            ):
+                self._m_slow_flushes.inc()
+        return stats
+
+    def _flush_pending(self) -> tuple[MaintenanceStats, int]:
+        """Drain + apply + evict; returns (stats, net edges applied)."""
+        with phase("flush.drain"):
+            batch = self.coalescer.drain(self.index.graph)
         if not batch.size:
-            return MaintenanceStats()
+            return MaintenanceStats(), 0
         with Timer() as timer:
-            stats = self.runtime.apply_update(batch.changes(), self.workers)
+            with phase("flush.apply"):
+                stats = self.runtime.apply_update(batch.changes(), self.workers)
         self.update_latency.record(timer.seconds, batch.size)
         self._shortcuts_changed += stats.shortcuts_changed
         self._labels_changed += stats.labels_changed
-        if self.fine_grained_eviction:
-            affected = set(stats.affected_labels)
-            for v, w in stats.affected_shortcuts:
-                affected.add(v)
-                affected.add(w)
-            self.cache.evict_vertices(affected)
-        else:
-            self.cache.invalidate_all(self.index.epoch)
+        with phase("flush.cache_evict"):
+            if self.fine_grained_eviction:
+                affected = set(stats.affected_labels)
+                for v, w in stats.affected_shortcuts:
+                    affected.add(v)
+                    affected.add(w)
+                self.cache.evict_vertices(affected)
+            else:
+                self.cache.invalidate_all(self.index.epoch)
         self._synced_epoch = self.index.epoch
-        return stats
+        return stats, batch.size
 
     def _pre_query(self) -> None:
         if self.auto_flush_on_query and self.coalescer:
@@ -318,6 +430,7 @@ class DistanceService:
     # introspection
     # ------------------------------------------------------------------
     def stats(self) -> ServiceStats:
+        pool = self.runtime.pool_stats()
         return ServiceStats(
             epoch=self.index.epoch,
             queries=self._queries,
@@ -329,7 +442,86 @@ class DistanceService:
             shortcuts_changed=self._shortcuts_changed,
             labels_changed=self._labels_changed,
             backend=self.runtime.backend,
+            worker_pool=pool.as_dict() if pool is not None else None,
         )
+
+    def metrics(self) -> dict[str, dict]:
+        """Current registry snapshot, ``{"name{labels}": values}``.
+
+        Empty when observability is disabled. Mirror counters (cache,
+        coalescer, worker pool, epoch) are synced from their stats
+        objects first, so the snapshot is self-contained.
+        """
+        self._sync_registry()
+        return self.observability.registry.snapshot()
+
+    def dump_metrics(self, path, *, fmt: str = "jsonl") -> Path:
+        """Write the registry to *path* as JSON-lines or Prometheus text."""
+        if fmt not in ("jsonl", "prometheus"):
+            raise ValueError(f"unknown metrics format {fmt!r}")
+        self._sync_registry()
+        registry = self.observability.registry
+        text = registry.to_prometheus() if fmt == "prometheus" else registry.to_jsonl()
+        path = Path(path)
+        path.write_text(text)
+        return path
+
+    def last_trace(self) -> Span | None:
+        """Most recently finished sampled request span tree, if any."""
+        return self.observability.tracer.last_trace()
+
+    def _sync_registry(self) -> None:
+        """Mirror the frontend stats objects into registry instruments.
+
+        The hot paths maintain their own cheap counters (the cache and
+        coalescer predate the registry); rather than double-count per
+        operation, their totals are copied into registry gauges at
+        export time.
+        """
+        registry = self.observability.registry
+        if not registry.enabled:
+            return
+        registry.gauge("dhl_epoch", "Index maintenance epoch").set(
+            self.index.epoch
+        )
+        registry.gauge(
+            "dhl_pending_updates", "Distinct edges buffered in the coalescer"
+        ).set(self.coalescer.pending_edges)
+        cache = self.cache.stats()
+        for field_name in (
+            "hits",
+            "misses",
+            "size",
+            "capacity",
+            "lru_evictions",
+            "invalidated",
+        ):
+            registry.gauge(
+                f"dhl_cache_{field_name}", f"Result cache {field_name}"
+            ).set(getattr(cache, field_name))
+        coalescer = self.coalescer.stats()
+        for field_name in (
+            "submitted",
+            "merged_duplicates",
+            "noops_dropped",
+            "flushes",
+        ):
+            registry.gauge(
+                f"dhl_coalescer_{field_name}", f"Update coalescer {field_name}"
+            ).set(getattr(coalescer, field_name))
+        registry.gauge(
+            "dhl_shortcuts_changed", "Shortcut mutations applied"
+        ).set(self._shortcuts_changed)
+        registry.gauge(
+            "dhl_labels_changed", "Label entry mutations applied"
+        ).set(self._labels_changed)
+        pool = self.runtime.pool_stats()
+        if pool is not None:
+            for field_name, value in pool.as_dict().items():
+                registry.gauge(
+                    f"dhl_worker_{field_name}",
+                    f"Worker-pool scheduler {field_name}",
+                ).set(value)
 
     def __repr__(self) -> str:  # pragma: no cover - repr sugar
         return (

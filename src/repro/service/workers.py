@@ -47,6 +47,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.exceptions import ServiceRuntimeError, WorkerEpochError
+from repro.observability import Span, maybe_child, phase
 from repro.service.runtime import ExecutionRuntime
 from repro.sharding.engine import (
     boundary_fan,
@@ -159,7 +160,7 @@ def _worker_main(conn) -> None:
     ``("spec", payload, values_meta, offsets_meta)``
         First message. Unpickle the shard structure, attach the shared
         label buffers, reply ``("ready", num_vertices)``.
-    ``("compute", epoch, subs)``
+    ``("compute", epoch, subs[, want_trace])``
         Answer one batch's worth of shard-local work at *epoch* — all
         of this worker's sub-batches travel in one message, so a batch
         costs one pipe round trip per worker. Each sub is
@@ -174,9 +175,11 @@ def _worker_main(conn) -> None:
         afterwards; the worker keeps the last received block. Fans are
         returned in deduplicated ``(unique_matrix, inverse)`` form, so
         pipe bytes scale with unique endpoints, not raw pair count.
-        Replies ``("ok", [(best_or_intra, ds, dt), ...])`` — or
-        ``("stale", held, stamped)`` without touching the buffers when
-        the epoch does not match.
+        Replies ``("ok", [(best_or_intra, ds, dt), ...], span_dict)`` —
+        ``span_dict`` is the worker-side span tree (dict form) when the
+        optional ``want_trace`` flag was sent truthy, else ``None`` —
+        or ``("stale", held, stamped)`` without touching the buffers
+        when the epoch does not match.
     ``("epoch", new_epoch)``
         The parent finished an in-place delta publish; adopt the epoch.
     ``("republish", new_epoch, values_meta, offsets_meta)``
@@ -210,9 +213,20 @@ def _worker_main(conn) -> None:
                     if stamped != epoch:
                         reply = ("stale", epoch, stamped)
                     else:
+                        # Optional trailing flag: a sampled parent trace
+                        # wants this worker's span subtree shipped back.
+                        want_trace = len(message) > 3 and bool(message[3])
+                        worker_span = Span("shard_compute") if want_trace else None
                         engine = index.engine
                         results = []
-                        for s, t, fan_src, fan_dst, block in message[2]:
+                        for sub_index, (s, t, fan_src, fan_dst, block) in (
+                            enumerate(message[2])
+                        ):
+                            sub_span = (
+                                worker_span.child(f"sub[{sub_index}]")
+                                if worker_span is not None
+                                else None
+                            )
                             if isinstance(block, str):  # "cached" marker
                                 if cached_block is None:
                                     raise RuntimeError(
@@ -221,37 +235,47 @@ def _worker_main(conn) -> None:
                                 block = cached_block
                             elif block is not None:
                                 cached_block = block
-                            intra = (
-                                engine.distances_arrays(s, t)
-                                if s is not None
-                                else None
-                            )
-                            ds = (
-                                boundary_fan(
-                                    engine, fan_src, boundary_local, compact=True
-                                )
-                                if fan_src is not None
-                                else None
-                            )
-                            dt = (
-                                boundary_fan(
-                                    engine, fan_dst, boundary_local, compact=True
-                                )
-                                if fan_dst is not None
-                                else None
-                            )
+                            intra = ds = dt = None
+                            if s is not None:
+                                with maybe_child(sub_span, "intra_kernel"):
+                                    intra = engine.distances_arrays(s, t)
+                            if fan_src is not None:
+                                with maybe_child(sub_span, "fan_src"):
+                                    ds = boundary_fan(
+                                        engine,
+                                        fan_src,
+                                        boundary_local,
+                                        compact=True,
+                                    )
+                            if fan_dst is not None:
+                                with maybe_child(sub_span, "fan_dst"):
+                                    dt = boundary_fan(
+                                        engine,
+                                        fan_dst,
+                                        boundary_local,
+                                        compact=True,
+                                    )
                             if block is not None:
                                 # Intra-shard sub: fold the boundary
                                 # route here, return the final array.
-                                best = min_plus_compact(
-                                    ds[0], ds[1], block, dt[0], dt[1]
-                                )
-                                if intra is not None:
-                                    best = np.minimum(intra, best)
+                                with maybe_child(sub_span, "min_plus"):
+                                    best = min_plus_compact(
+                                        ds[0], ds[1], block, dt[0], dt[1]
+                                    )
+                                    if intra is not None:
+                                        best = np.minimum(intra, best)
                                 results.append((best, None, None))
                             else:
                                 results.append((intra, ds, dt))
-                        reply = ("ok", results)
+                            if sub_span is not None:
+                                sub_span.finish()
+                        reply = (
+                            "ok",
+                            results,
+                            worker_span.finish().to_dict()
+                            if worker_span is not None
+                            else None,
+                        )
                 elif op == "epoch":
                     epoch = message[1]
                     reply = ("ok",)
@@ -553,6 +577,9 @@ class ShardWorkerRuntime(ExecutionRuntime):
         if self._closed:
             raise ServiceRuntimeError("runtime is closed")
         self._reconcile_index_epoch()
+        # Attach scheduler/worker spans under the caller's open request
+        # span (None when the request was not sampled or tracing is off).
+        request_span = self.observability.tracer.current
         owner = self.index
         s = np.asarray(s, dtype=np.int64)
         t = np.asarray(t, dtype=np.int64)
@@ -585,39 +612,40 @@ class ShardWorkerRuntime(ExecutionRuntime):
         engine = owner.engine  # overlay blocks + their epoch cache
         # Same (region_s, region_t) split as the in-process sharded
         # engine, but each group becomes worker sub-batches.
-        for g, (idx, i, j) in enumerate(region_pair_groups(rs, rt, owner.k)):
-            groups.append((idx, i, j))
-            s_local = local_s[idx]
-            t_local = local_t[idx]
-            fan = (
-                has_overlay
-                and len(owner.boundary_local[i])
-                and len(owner.boundary_local[j])
-            )
-            if i == j:
-                self.stats.intra_pairs += len(idx)
-                # The (tiny, epoch-cached) overlay block travels with
-                # the sub-batch: the owning worker folds the boundary
-                # route itself and ships back one final array.
-                enqueue(
-                    i,
-                    (g, "final"),
-                    (
-                        s_local,
-                        t_local,
-                        s_local if fan else None,
-                        t_local if fan else None,
-                        intra_block(i) if fan else None,
-                    ),
+        with maybe_child(request_span, "scheduler"):
+            for g, (idx, i, j) in enumerate(region_pair_groups(rs, rt, owner.k)):
+                groups.append((idx, i, j))
+                s_local = local_s[idx]
+                t_local = local_t[idx]
+                fan = (
+                    has_overlay
+                    and len(owner.boundary_local[i])
+                    and len(owner.boundary_local[j])
                 )
-            else:
-                self.stats.cross_pairs += len(idx)
-                if fan:
-                    engine.overlay_block(i, j)  # warm the cache serially
-                    enqueue(i, (g, "src"), (None, None, s_local, None, None))
-                    enqueue(j, (g, "dst"), (None, None, None, t_local, None))
+                if i == j:
+                    self.stats.intra_pairs += len(idx)
+                    # The (tiny, epoch-cached) overlay block travels with
+                    # the sub-batch: the owning worker folds the boundary
+                    # route itself and ships back one final array.
+                    enqueue(
+                        i,
+                        (g, "final"),
+                        (
+                            s_local,
+                            t_local,
+                            s_local if fan else None,
+                            t_local if fan else None,
+                            intra_block(i) if fan else None,
+                        ),
+                    )
+                else:
+                    self.stats.cross_pairs += len(idx)
+                    if fan:
+                        engine.overlay_block(i, j)  # warm the cache serially
+                        enqueue(i, (g, "src"), (None, None, s_local, None, None))
+                        enqueue(j, (g, "dst"), (None, None, None, t_local, None))
 
-        replies = self._dispatch(requests)
+        replies = self._dispatch(requests, request_span)
         # Only a delivered block counts as held worker-side; a failed
         # dispatch re-ships next batch.
         for sid, stamp in shipped_blocks.items():
@@ -641,30 +669,51 @@ class ShardWorkerRuntime(ExecutionRuntime):
                 ds, ds_inv, engine.overlay_block(i, j), dt, dt_inv
             )
 
-        if len(combines) > 1:
-            list(self._pool.map(combine, combines))
-        elif combines:
-            combine(combines[0])
+        with maybe_child(request_span, "min_plus_combine") as combine_span:
+            if combine_span is not None:
+                combine_span.annotate(groups=len(combines))
+            if len(combines) > 1:
+                list(self._pool.map(combine, combines))
+            elif combines:
+                combine(combines[0])
         out[s == t] = 0.0
         self.stats.batches += 1
         self.stats.pairs += len(s)
         return out
 
     def _dispatch(
-        self, requests: dict[int, list[tuple[tuple[int, int], tuple]]]
+        self,
+        requests: dict[int, list[tuple[tuple[int, int], tuple]]],
+        request_span: Span | None = None,
     ) -> dict[tuple[int, int], tuple]:
         """Ship each worker its sub-batches in one message, concurrently.
 
         One pipe round trip per worker per batch (the I/O threads only
         wait on their worker, so the k shard processes compute in
         parallel); replies map scheduler slots to ``(intra, ds, dt)``
-        triples.
+        triples. With *request_span*, each round trip gets a
+        ``worker[sid]`` child span and the worker is asked to ship its
+        own subtree back, which is grafted under that child — the spans
+        are finished even when the worker refuses the batch as stale,
+        so an aborted trace still shows the round trip that failed.
         """
 
         def run(sid: int, items):
             handle = self._workers[sid]
             subs = [sub for _, sub in items]
-            reply = handle.request(("compute", self._epochs[sid], subs))
+            worker_span = None
+            if request_span is not None:
+                worker_span = request_span.child(f"worker[{sid}]")
+                worker_span.annotate(subs=len(subs))
+            try:
+                reply = handle.request(
+                    ("compute", self._epochs[sid], subs, worker_span is not None)
+                )
+            finally:
+                if worker_span is not None:
+                    worker_span.finish()
+            if worker_span is not None and len(reply) > 2 and reply[2]:
+                worker_span.graft(reply[2])
             return [(slot, result) for (slot, _), result in zip(items, reply[1])]
 
         futures = [
@@ -701,23 +750,27 @@ class ShardWorkerRuntime(ExecutionRuntime):
         self._reconcile_index_epoch()
         stats = self.index.update(changes, workers)
         self._index_epoch = self.index.epoch
-        for sid in stats.touched_shards:
-            handle = self._workers[sid]
-            labels = self.index.shards[sid].labels
-            self._epochs[sid] += 1
-            if handle.delta_applicable(labels):
-                self.stats.delta_bytes += handle.write_deltas(
-                    labels, stats.per_shard[sid].affected_labels
-                )
-                handle.request(("epoch", self._epochs[sid]))
-                self.stats.delta_syncs += 1
-            else:  # label layout moved: publish fresh buffers
-                self.stats.republish_bytes += handle.republish(
-                    labels, self._epochs[sid]
-                )
-                self.stats.republishes += 1
-            self.stats.epoch_broadcasts += 1
+        with phase("flush.delta_sync"):
+            for sid in stats.touched_shards:
+                handle = self._workers[sid]
+                labels = self.index.shards[sid].labels
+                self._epochs[sid] += 1
+                if handle.delta_applicable(labels):
+                    self.stats.delta_bytes += handle.write_deltas(
+                        labels, stats.per_shard[sid].affected_labels
+                    )
+                    handle.request(("epoch", self._epochs[sid]))
+                    self.stats.delta_syncs += 1
+                else:  # label layout moved: publish fresh buffers
+                    self.stats.republish_bytes += handle.republish(
+                        labels, self._epochs[sid]
+                    )
+                    self.stats.republishes += 1
+                self.stats.epoch_broadcasts += 1
         return stats
+
+    def pool_stats(self) -> WorkerPoolStats:
+        return self.stats
 
     def _reconcile_index_epoch(self) -> None:
         """Re-sync workers after maintenance that bypassed this runtime.

@@ -47,3 +47,5 @@ class ShardedMaintenanceStats(MaintenanceStats):
             self.affected_shortcuts[(int(global_ids[v]), int(global_ids[w]))] = old
         for v in stats.affected_labels:
             self.affected_labels.add(int(global_ids[v]))
+        for name, seconds in stats.phases.items():
+            self.phases[name] = self.phases.get(name, 0.0) + seconds

@@ -22,6 +22,7 @@ from repro.core.index import DHLIndex
 from repro.core.sharded import ShardedDHLIndex
 from repro.exceptions import ServiceRuntimeError, WorkerEpochError
 from repro.graph.generators import delaunay_network, grid_network
+from repro.observability import NULL_OBSERVABILITY, Observability
 from repro.service.runtime import InProcessRuntime
 from repro.service.service import DistanceService
 from repro.service.workers import ShardWorkerRuntime
@@ -253,6 +254,112 @@ def test_service_context_manager_closes_on_exception():
             service.distance(0, 1)
             raise ValueError("boom")
     assert_unlinked(names)
+
+
+# ---------------------------------------------------------------------------
+# trace stitching across worker pipes
+# ---------------------------------------------------------------------------
+
+def traced_service(runtime):
+    """Full-rate tracing, cache off so every query reaches the workers."""
+    return DistanceService(
+        runtime,
+        cache_capacity=1,
+        observability=Observability.enabled(trace_sample_rate=1.0),
+    )
+
+
+def cross_shard_pair(runtime):
+    vertices = runtime.index.shard_vertices
+    return int(vertices[0][0]), int(vertices[1][0])
+
+
+def test_worker_spans_stitched_into_parent_trace(worker_stack):
+    graph, _, _, runtime = worker_stack
+    service = traced_service(runtime)
+    try:
+        s, t = cross_shard_pair(runtime)
+        service.distances([(s, t), (t, s)])
+        trace = service.last_trace()
+        assert trace.name == "distances"
+        runtime_span = next(
+            child for child in trace.children if child.name == "runtime"
+        )
+        workers = [
+            child
+            for child in runtime_span.children
+            if child.name.startswith("worker[")
+        ]
+        assert workers  # cross-shard pairs fan out to shard workers
+        for worker_span in workers:
+            assert worker_span.seconds > 0.0
+            # The subtree under worker[sid] was measured in the worker
+            # *process* and shipped back over the result pipe.
+            compute = next(
+                child
+                for child in worker_span.children
+                if child.name == "shard_compute"
+            )
+            assert compute.children  # per-sub-batch kernel spans
+        text = trace.format()
+        assert "shard_compute" in text and "min_plus_combine" in text
+    finally:
+        runtime.observability = NULL_OBSERVABILITY
+
+
+def test_trace_survives_worker_epoch_refusal(worker_stack):
+    graph, _, _, runtime = worker_stack
+    service = traced_service(runtime)
+    try:
+        s, t = cross_shard_pair(runtime)
+        runtime._epochs[0] += 1
+        try:
+            with pytest.raises(WorkerEpochError, match="missed epoch broadcast"):
+                service.distances([(s, t)])
+        finally:
+            runtime._epochs[0] -= 1
+        # The refused request still produced a finished trace with the
+        # round-trip span of the worker that refused.
+        refused = service.last_trace()
+        assert refused is not None and refused.name == "distances"
+        assert "worker[0]" in refused.format()
+        # The pool recovers and keeps stitching afterwards.
+        service.distances([(s, t)])
+        assert "shard_compute" in service.last_trace().format()
+    finally:
+        runtime.observability = NULL_OBSERVABILITY
+
+
+def test_trace_stitching_survives_republish():
+    """A republished label buffer (fresh segments, worker re-attach)
+    must not break span shipping on the same pipe."""
+    graph = delaunay_network(140, seed=11)
+    runtime = ShardWorkerRuntime(build_sharded(graph, k=2))
+    with traced_service(runtime) as service:
+        s, t = cross_shard_pair(runtime)
+        service.distances([(s, t)])
+        handle = runtime._workers[0]
+        labels = runtime.index.shards[0].labels
+        runtime._epochs[0] += 1
+        handle.republish(labels, runtime._epochs[0])
+        # A fresh pair (the cache canonicalises symmetric pairs) so the
+        # query crosses the re-attached segments.
+        vertices = runtime.index.shard_vertices
+        pair = (int(vertices[0][1]), int(vertices[1][1]))
+        after = service.distances([pair])
+        np.testing.assert_array_equal(after, runtime.index.distances([pair]))
+        text = service.last_trace().format()
+        assert "worker[0]" in text and "shard_compute" in text
+
+
+def test_untraced_requests_ship_no_spans(worker_stack):
+    """With the default null stack the compute message asks for no
+    trace and the reply carries none (the pre-observability protocol)."""
+    graph, _, _, runtime = worker_stack
+    service = DistanceService(runtime, cache_capacity=1)
+    s, t = cross_shard_pair(runtime)
+    service.distances([(s, t)])
+    assert service.last_trace() is None
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,132 @@
+"""CI observability smoke: validate a dumped metrics snapshot.
+
+Run after ``repro-experiments service-workers --metrics-out`` to assert
+the serving layer's observability contract:
+
+* every line of the JSON-lines dump parses and carries the exporter
+  schema (``name`` / ``type`` / ``labels``);
+* the core serving metrics are present — query and flush counters and
+  latency histograms, kernel-phase flush timings, cache / coalescer
+  mirrors, the epoch gauge and at least one worker-pool counter;
+* the latency histograms actually observed the replayed traffic
+  (non-zero counts with consistent bucket totals);
+* when the experiment payload is given as the second argument, its
+  ``commute/worker-pool`` entry embeds a stitched span tree containing
+  worker-process sub-spans.
+
+Usage::
+
+    python tools/check_metrics_snapshot.py METRICS_JSONL [PAYLOAD_JSON]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# One instrument of each family the service promises to export.
+REQUIRED_METRICS = [
+    "dhl_queries_total",
+    "dhl_query_batches_total",
+    "dhl_query_seconds",
+    "dhl_flushes_total",
+    "dhl_flush_seconds",
+    "dhl_maintenance_phase_seconds",
+    "dhl_cache_hits",
+    "dhl_coalescer_submitted",
+    "dhl_epoch",
+]
+REQUIRED_HISTOGRAMS = ["dhl_query_seconds", "dhl_flush_seconds"]
+
+
+def check_snapshot(lines: list[str]) -> list[str]:
+    failures: list[str] = []
+    records: list[dict] = []
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            failures.append(f"line {lineno}: not valid JSON ({exc})")
+            continue
+        for field in ("name", "type", "labels"):
+            if field not in record:
+                failures.append(f"line {lineno}: missing {field!r} field")
+        records.append(record)
+    if not records:
+        failures.append("snapshot is empty — was observability enabled?")
+        return failures
+
+    names = {record.get("name") for record in records}
+    for name in REQUIRED_METRICS:
+        if name not in names:
+            failures.append(f"core metric missing from snapshot: {name}")
+    if not any(str(name).startswith("dhl_worker_") for name in names):
+        failures.append(
+            "no dhl_worker_* metrics — the worker-pool gauges were not "
+            "synced into the registry"
+        )
+
+    by_name: dict[str, list[dict]] = {}
+    for record in records:
+        by_name.setdefault(str(record.get("name")), []).append(record)
+    for name in REQUIRED_HISTOGRAMS:
+        for record in by_name.get(name, []):
+            if record.get("type") != "histogram":
+                failures.append(f"{name}: expected a histogram")
+                continue
+            count = record.get("count", 0)
+            if count <= 0:
+                failures.append(f"{name}: histogram never observed a value")
+            buckets = record.get("buckets", {})
+            if buckets.get("+Inf") != count:
+                failures.append(
+                    f"{name}: +Inf bucket {buckets.get('+Inf')} != "
+                    f"count {count} — cumulative buckets are inconsistent"
+                )
+    return failures
+
+
+def check_payload(doc: dict) -> list[str]:
+    failures: list[str] = []
+    for dataset, entries in doc.get("raw", {}).items():
+        entry = entries.get("commute/worker-pool")
+        if entry is None:
+            continue
+        trace_text = entry.get("trace_text", "")
+        if "worker[" not in trace_text or "shard_compute" not in trace_text:
+            failures.append(
+                f"{dataset}: commute/worker-pool entry has no stitched "
+                "worker spans in its trace"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("snapshot", type=Path, help="metrics JSON-lines dump")
+    parser.add_argument(
+        "payload",
+        type=Path,
+        nargs="?",
+        default=None,
+        help="service-workers experiment payload (checks the stitched trace)",
+    )
+    args = parser.parse_args(argv)
+
+    failures = check_snapshot(args.snapshot.read_text().splitlines())
+    if args.payload is not None:
+        failures.extend(check_payload(json.loads(args.payload.read_text())))
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure}", file=sys.stderr)
+        return 1
+    print(f"OK — {args.snapshot} holds the serving metrics contract")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
