@@ -24,7 +24,13 @@ index is then served through a :class:`ShardWorkerRuntime` worker pool:
 batch throughput on both query sets (checked for exact agreement), the
 batch-scheduler split counters, and the epoch-broadcast evidence that a
 maintenance flush reaches workers as shared-memory *deltas* (no
-republish). The update group times the same double-then-restore batch
+republish) — and through a :class:`SocketShardRuntime` TCP replica
+pool: cross-region throughput, per-batch replica fan-out latency, the
+inline-delta sync counters, and a live replica-kill failover drill.
+The async group measures the :class:`AsyncDistanceService`
+micro-batching win (one concurrent burst vs the same burst awaited
+serially) and its admission-control shed count.
+The update group times the same double-then-restore batch
 protocol through both maintenance engines (frontier-batched array
 kernels vs the scalar reference) and the serving-layer flush latency;
 ``check_service_regression.py`` gates the array-over-reference ratio.
@@ -316,6 +322,10 @@ def run_sharded_quick(
         sharded_cross_qps=sharded_cross_qps,
     )
 
+    socket_metrics, socket_breakdown = run_socket_quick(
+        sharded, index, commute, repeats
+    )
+
     metrics = {
         "monolithic_build_seconds": round(monolithic_build_seconds, 3),
         "sharded_build_seconds": round(sharded_build_seconds, 3),
@@ -329,10 +339,12 @@ def run_sharded_quick(
         ),
         "update_touched_shards": len(touched),
         **worker_metrics,
+        **socket_metrics,
     }
     breakdown = {
         "k": sharded.k,
         "worker_pool": worker_breakdown,
+        "socket_pool": socket_breakdown,
         "build_workers": workers,
         "parallel_build": stats.build.parallel,
         "partition_seconds": round(stats.partition_seconds, 4),
@@ -431,6 +443,146 @@ def run_worker_pool_quick(
         runtime.close()
 
 
+def run_socket_quick(
+    sharded, index: DHLIndex, commute, repeats: int, replicas: int = 2
+) -> tuple[dict, dict]:
+    """Socket-replica runtime measurements over the already-built shards.
+
+    Returns ``(metrics, breakdown)``: cross-region batch throughput
+    through the TCP replica pool (exact agreement with the monolithic
+    index enforced), the per-batch replica fan-out latency (one framed
+    round trip to every shard's chosen replica), the delta-broadcast
+    evidence that a maintenance flush reaches replicas as inline
+    protocol deltas, and a live failover drill — one replica of shard 0
+    is hard-killed and the very next batch must still answer exactly,
+    with the failover counted.
+    """
+    from repro.experiments.sharded import intra_region_update_batch
+    from repro.service.socket_runtime import SocketShardRuntime
+
+    num_pairs = len(commute)
+    fan_out_pairs = commute[:256]
+    runtime = SocketShardRuntime(sharded, replicas=replicas)
+    try:
+        expected = index.distances(commute)
+        if not np.array_equal(expected, runtime.distances(commute)):
+            raise AssertionError("socket pool disagrees with monolithic")
+
+        socket_cross_qps = num_pairs / best_of(
+            lambda: runtime.distances(commute), repeats
+        )
+        fan_out_seconds = best_of(
+            lambda: runtime.distances(fan_out_pairs), repeats
+        )
+
+        # Maintenance: the flush must reach every replica as an inline
+        # EpochDelta frame, not a whole-buffer republish.
+        graph = sharded.graph
+        rid, batch = intra_region_update_batch(sharded, size=16)
+        restore = [(u, v, graph.weight(u, v)) for u, v, _ in batch]
+        runtime.apply_update(batch)
+        index.update(batch)
+        if not np.array_equal(index.distances(commute), runtime.distances(commute)):
+            raise AssertionError("socket pool stale after delta broadcast")
+        runtime.apply_update(restore)
+        index.update(restore)
+        expected = index.distances(commute)
+
+        # Failover drill: kill one replica of shard 0, next batch must
+        # fail over and still answer exactly.
+        victim = runtime._groups[0][0]
+        victim.process.terminate()
+        victim.process.join(10)
+        for _ in range(replicas):  # round-robin past the corpse
+            if not np.array_equal(expected, runtime.distances(commute)):
+                raise AssertionError("socket pool lost requests on failover")
+        scheduler = runtime.stats.as_dict()
+        if scheduler["failovers"] < 1:
+            raise AssertionError("replica kill never triggered a failover")
+
+        metrics = {
+            "socket_cross_qps": round(socket_cross_qps, 1),
+            "socket_fanout_ms": round(fan_out_seconds * 1000, 3),
+            "socket_failovers": scheduler["failovers"],
+            "socket_resyncs": scheduler["resyncs"],
+            "socket_delta_syncs": scheduler["delta_syncs"],
+            "socket_republishes": scheduler["republishes"],
+        }
+        breakdown = {
+            "replicas": replicas,
+            "backend": runtime.backend,
+            "fanout_batch_pairs": len(fan_out_pairs),
+            "scheduler": scheduler,
+        }
+        return metrics, breakdown
+    finally:
+        runtime.close()
+
+
+def run_async_quick(index, pairs, repeats: int, burst: int = 256) -> dict:
+    """Async-frontend measurements: micro-batch folding + admission.
+
+    The acceptance number is ``async_microbatch_over_serial``: the same
+    ``burst`` of single-pair awaits issued concurrently (one gather —
+    the dispatcher folds everything that queues while a batch executes)
+    versus awaited one by one (serial — every pair pays a full executor
+    round trip). The shed probe runs the burst against a frontend with
+    a tiny queue depth and reports how many requests admission control
+    refused — the bounded-backlog evidence, next to the counters the
+    metrics registry exports.
+    """
+    import asyncio
+
+    from repro.service import AsyncDistanceService, DistanceService
+    from repro.exceptions import ServiceOverloadError
+
+    singles = [pairs[i % len(pairs)] for i in range(burst)]
+
+    async def serial(service) -> None:
+        async with AsyncDistanceService(service) as frontend:
+            for s, t in singles:
+                await frontend.distance(s, t)
+
+    async def concurrent(service):
+        async with AsyncDistanceService(service) as frontend:
+            await asyncio.gather(
+                *(frontend.distance(s, t) for s, t in singles)
+            )
+            return frontend.stats
+
+    async def shed_burst(service) -> int:
+        async with AsyncDistanceService(service, max_queue_depth=16) as frontend:
+            results = await asyncio.gather(
+                *(frontend.distance(s, t) for s, t in singles),
+                return_exceptions=True,
+            )
+        return sum(isinstance(r, ServiceOverloadError) for r in results)
+
+    with DistanceService(index, cache_capacity=1) as service:
+        serial_seconds = best_of(
+            lambda: asyncio.run(serial(service)), max(3, repeats // 3)
+        )
+        stats = None
+
+        def run_concurrent():
+            nonlocal stats
+            stats = asyncio.run(concurrent(service))
+
+        concurrent_seconds = best_of(run_concurrent, max(3, repeats // 3))
+        shed = asyncio.run(shed_burst(service))
+
+    return {
+        "async_serial_qps": round(burst / serial_seconds, 1),
+        "async_concurrent_qps": round(burst / concurrent_seconds, 1),
+        "async_microbatch_over_serial": round(
+            serial_seconds / max(concurrent_seconds, 1e-9), 3
+        ),
+        "async_merge_ratio": round(stats.merge_ratio, 3),
+        "async_batches_per_burst": stats.batches,
+        "async_shed_count": shed,
+    }
+
+
 def run_observability_quick(index, pairs, repeats: int) -> dict:
     """Observability overhead: the instrumented hot path, null vs live.
 
@@ -521,6 +673,8 @@ def run_quick(
 
     obs_metrics = run_observability_quick(index, pairs, repeats)
 
+    async_metrics = run_async_quick(index, pairs, repeats)
+
     sharded_metrics, sharded_breakdown = run_sharded_quick(
         graph, index, num_pairs, repeats
     )
@@ -548,6 +702,7 @@ def run_quick(
             "cache_hit_rate": round(report.service.cache.hit_rate, 4),
             **update_metrics,
             **obs_metrics,
+            **async_metrics,
             **sharded_metrics,
         },
         "sharded": sharded_breakdown,

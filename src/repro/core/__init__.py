@@ -10,6 +10,7 @@ builds, shard-routed queries and maintenance); structural updates
 exposed as index methods.
 """
 
+from repro.core.backend import DistanceBackend
 from repro.core.config import DHLConfig
 from repro.core.stats import IndexStats
 from repro.core.index import DHLIndex
@@ -17,6 +18,7 @@ from repro.core.directed import DirectedDHLIndex
 from repro.core.sharded import ShardedDHLIndex, ShardedIndexStats
 
 __all__ = [
+    "DistanceBackend",
     "DHLConfig",
     "IndexStats",
     "DHLIndex",

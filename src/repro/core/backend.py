@@ -1,0 +1,100 @@
+"""The structural contract every distance backend satisfies.
+
+The serving stack (``repro.service``) was historically duck-typed: the
+runtime layer probed indexes with ``getattr`` and the service accepted
+"anything index-shaped". :class:`DistanceBackend` makes that contract
+explicit — one :class:`typing.Protocol` that
+:class:`~repro.core.index.DHLIndex`,
+:class:`~repro.core.directed.DirectedDHLIndex` and
+:class:`~repro.core.sharded.ShardedDHLIndex` all satisfy, and that the
+execution runtimes and :class:`~repro.service.service.DistanceService`
+are typed against. A future backend (e.g. Stable Tree Labelling behind
+the same facade) plugs into every runtime — in-process, shared-memory
+workers, socket replicas — by satisfying this Protocol alone.
+
+The surface, by concern:
+
+* **query** — :meth:`~DistanceBackend.distance` (single pair) and
+  :meth:`~DistanceBackend.distances` (batch);
+* **update** — :meth:`~DistanceBackend.update` applies one validated
+  weight-change batch, :meth:`~DistanceBackend.update_coalesced` folds a
+  raw change stream first (last write wins);
+* **epoch** — a monotone counter bumped once per applied batch; the
+  result cache and the worker epoch-broadcast protocol key on it;
+* **affected surface** — every update returns a
+  :class:`~repro.labelling.maintenance.MaintenanceStats` whose
+  ``affected_labels`` / ``affected_shortcuts`` drive fine-grained cache
+  eviction and the delta-sync path (only changed label slots ship to
+  workers);
+* **graph** — the authoritative weighted graph the update coalescer
+  drains against (``weight(u, v)`` is the only requirement).
+
+``runtime_checkable`` makes ``isinstance(x, DistanceBackend)`` a cheap
+structural probe (attribute presence only — signatures are enforced by
+the type checker, behaviour by the differential test suites).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.labelling.maintenance import MaintenanceStats
+
+__all__ = ["DistanceBackend", "WeightChange"]
+
+WeightChange = tuple[int, int, float]
+
+
+@runtime_checkable
+class DistanceBackend(Protocol):
+    """Structural type of an index the serving stack can execute against."""
+
+    #: Human-readable backend family (``monolithic`` / ``directed`` /
+    #: ``sharded``), surfaced in stats and bench artifacts.
+    kind: str
+
+    #: Whether per-pair hub certificates can prove a cached result fresh
+    #: after an update. Backends whose distances depend on more label
+    #: arrays than the two endpoints' (the sharded index with its
+    #: boundary overlay) must report ``False`` so the service cache
+    #: downgrades to epoch-watermark invalidation.
+    supports_fine_grained_eviction: bool
+
+    @property
+    def epoch(self) -> int:
+        """Monotone maintenance epoch: +1 per applied update batch."""
+        ...
+
+    @property
+    def graph(self):
+        """The authoritative weighted graph (must expose ``weight(u, v)``)."""
+        ...
+
+    # -- query ----------------------------------------------------------
+    def distance(self, s: int, t: int) -> float:
+        """Exact shortest-path distance (``inf`` when disconnected)."""
+        ...
+
+    def distances(self, pairs: Sequence[tuple[int, int]]) -> np.ndarray:
+        """Batch distances for ``(s, t)`` pairs."""
+        ...
+
+    # -- update ---------------------------------------------------------
+    def update(
+        self, changes: Iterable[WeightChange], workers: int | None = None
+    ) -> MaintenanceStats:
+        """Apply one weight-change batch; returns the affected surface."""
+        ...
+
+    def update_coalesced(
+        self, changes: Iterable[WeightChange], workers: int | None = None
+    ) -> MaintenanceStats:
+        """Fold a raw change stream (last write wins), then apply it."""
+        ...
+
+    # -- introspection --------------------------------------------------
+    def stats(self):
+        """Size/build snapshot (backend-specific stats object)."""
+        ...

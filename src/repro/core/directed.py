@@ -102,6 +102,10 @@ class DirectedDHLIndex:
     """DHL index over a directed graph with forward and reverse labels."""
 
     kind = "directed"
+    # A directed distance is a min over the (out, in) label pair alone,
+    # so the certifying hub argument from the undirected index carries
+    # over; the serving layer may evict per-pair.
+    supports_fine_grained_eviction = True
 
     def __init__(
         self,
@@ -129,6 +133,24 @@ class DirectedDHLIndex:
         self._stats = stats
         self._out_view = _DirectionView(hq.tau, self.csr, self.out_weights)
         self._in_view = _DirectionView(hq.tau, self.csr, self.in_weights)
+        # Monotone maintenance epoch, mirroring DHLIndex: bumped once per
+        # applied update batch so the serving layer's result cache (and a
+        # worker epoch broadcast) can key on it.
+        self._epoch = 0
+
+    @property
+    def epoch(self) -> int:
+        """Number of maintenance batches applied since construction."""
+        return self._epoch
+
+    @property
+    def graph(self) -> DiGraph:
+        """The authoritative weighted graph (DistanceBackend surface).
+
+        The serving layer's coalescer drains against ``graph.weight``;
+        for the directed index that is the digraph itself.
+        """
+        return self.digraph
 
     # -- structural/compat views ----------------------------------------
     @property
@@ -318,6 +340,7 @@ class DirectedDHLIndex:
         Algorithms 6/7; otherwise ``config.engine`` picks the sequential
         path (array kernels by default, scalar reference on demand).
         """
+        self._epoch += 1
         if not (workers and workers > 1) and self.config.engine == "array":
             array_fn = (
                 labels_decrease_array if kind == "decrease" else labels_increase_array
@@ -460,6 +483,20 @@ class DirectedDHLIndex:
         if decreases:
             stats = stats.merge(self.decrease(decreases, workers))
         return stats
+
+    def update_coalesced(
+        self, changes: Iterable[WeightChange], workers: int | None = None
+    ) -> MaintenanceStats:
+        """Apply a raw change stream as one merged batch (last write wins).
+
+        Directed counterpart of :meth:`DHLIndex.update_coalesced`: the
+        coalescing key is the *ordered* arc ``(a, b)`` — a digraph's two
+        directions are distinct roads and must not merge.
+        """
+        final: dict[tuple[int, int], float] = {}
+        for a, b, w in changes:
+            final[(a, b)] = w
+        return self.update([(a, b, w) for (a, b), w in final.items()], workers)
 
     # ------------------------------------------------------------------
     # persistence and introspection

@@ -64,6 +64,10 @@ class DHLIndex:
     """
 
     kind = "monolithic"
+    # A monolithic distance is a min over the two endpoints' label
+    # arrays, so the minimising hub certifies a cached result; the
+    # serving layer may evict per-pair after an update.
+    supports_fine_grained_eviction = True
 
     def __init__(
         self,

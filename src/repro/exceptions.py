@@ -19,6 +19,8 @@ __all__ = [
     "MaintenanceError",
     "SerializationError",
     "ServiceRuntimeError",
+    "ProtocolError",
+    "ServiceOverloadError",
     "WorkerEpochError",
 ]
 
@@ -74,6 +76,24 @@ class SerializationError(ReproError):
 
 class ServiceRuntimeError(ReproError):
     """A serving execution runtime (worker pool, shared memory) failed."""
+
+
+class ProtocolError(ServiceRuntimeError):
+    """A runtime protocol frame was malformed, truncated, or incompatible.
+
+    Raised by the wire codec (:mod:`repro.service.protocol`) when a frame
+    fails structural validation: bad magic, a protocol version this build
+    does not speak, a length prefix that outruns the received bytes, or an
+    unknown message type.
+    """
+
+
+class ServiceOverloadError(ServiceRuntimeError):
+    """The async frontend shed a request because its queue was full.
+
+    Admission control, not failure: the caller should back off and retry.
+    The shed is counted in ``dhl_async_shed_total``.
+    """
 
 
 class WorkerEpochError(ServiceRuntimeError):

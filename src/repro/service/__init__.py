@@ -6,14 +6,22 @@ service:
 
 * :class:`DistanceService` — batched query facade with an epoch-guarded
   result cache and an update coalescer (:mod:`repro.service.service`);
+  construct it with ``backend=`` — a built index satisfying
+  :class:`~repro.core.backend.DistanceBackend`, or a runtime;
+* :class:`AsyncDistanceService` — asyncio micro-batching frontend with
+  admission control (:mod:`repro.service.async_frontend`);
 * :class:`EpochLRUCache` — LRU result cache with O(1) watermark or
   fine-grained per-vertex invalidation (:mod:`repro.service.cache`);
 * :class:`UpdateCoalescer` — folds redundant change streams into one
   maintenance batch (:mod:`repro.service.coalescer`);
 * :class:`ExecutionRuntime` — the pluggable execution layer: queries
-  and maintenance run in-process (:class:`InProcessRuntime`) or across
+  and maintenance run in-process (:class:`InProcessRuntime`), across
   shared-memory shard worker processes (:class:`ShardWorkerRuntime`,
-  :mod:`repro.service.workers`);
+  :mod:`repro.service.workers`), or across TCP shard replicas with
+  round-robin reads and failover (:class:`SocketShardRuntime`,
+  :mod:`repro.service.socket_runtime`). The distributed transports
+  speak the typed, versioned runtime protocol of
+  :mod:`repro.service.protocol`;
 * :mod:`repro.service.workload` — uniform / Zipf-hotspot / rush-hour
   traffic generators and the :func:`replay` driver;
 * :mod:`repro.service.metrics` — latency percentile recorders.
@@ -25,12 +33,27 @@ to switch it on — the default is the zero-overhead null bundle.
 """
 
 from repro.observability import NULL_OBSERVABILITY, Observability
+from repro.service.async_frontend import AsyncDistanceService, AsyncFrontendStats
 from repro.service.cache import CacheStats, EpochLRUCache
 from repro.service.coalescer import CoalescedBatch, CoalescerStats, UpdateCoalescer
 from repro.service.metrics import LatencyRecorder, LatencySummary, Timer
-from repro.service.runtime import ExecutionRuntime, InProcessRuntime
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ComputeBatch,
+    EpochDelta,
+    FanQuery,
+    SubQuery,
+    TraceEnvelope,
+)
+from repro.service.runtime import (
+    ExecutionRuntime,
+    InProcessRuntime,
+    RegionPairScheduler,
+    WorkerPoolStats,
+)
 from repro.service.service import DistanceService, ServiceStats
-from repro.service.workers import ShardWorkerRuntime, WorkerPoolStats
+from repro.service.socket_runtime import SocketShardRuntime
+from repro.service.workers import ShardExecutor, ShardWorkerRuntime
 from repro.service.workload import (
     Event,
     QueryBatch,
@@ -46,6 +69,8 @@ from repro.service.workload import (
 __all__ = [
     "Observability",
     "NULL_OBSERVABILITY",
+    "AsyncDistanceService",
+    "AsyncFrontendStats",
     "CacheStats",
     "EpochLRUCache",
     "CoalescedBatch",
@@ -54,12 +79,21 @@ __all__ = [
     "LatencyRecorder",
     "LatencySummary",
     "Timer",
+    "PROTOCOL_VERSION",
+    "ComputeBatch",
+    "EpochDelta",
+    "FanQuery",
+    "SubQuery",
+    "TraceEnvelope",
     "ExecutionRuntime",
     "InProcessRuntime",
-    "ShardWorkerRuntime",
+    "RegionPairScheduler",
     "WorkerPoolStats",
     "DistanceService",
     "ServiceStats",
+    "SocketShardRuntime",
+    "ShardExecutor",
+    "ShardWorkerRuntime",
     "Event",
     "QueryBatch",
     "UpdateBatch",

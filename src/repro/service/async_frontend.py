@@ -1,0 +1,326 @@
+"""Asyncio frontend: micro-batching + admission control for the service.
+
+:class:`AsyncDistanceService` puts an asyncio event loop in front of a
+:class:`~repro.service.service.DistanceService`. Individual
+``await``-style client calls — the natural shape of an RPC handler —
+are terrible for the batch-oriented runtimes underneath (every pair
+pays a full scheduler round trip); the frontend fixes this by
+**micro-batching**: a dispatcher coroutine drains every request queued
+while the previous batch was executing and folds them into *one*
+scheduler batch, so k shard workers see one ComputeBatch per drain
+instead of one per client call. Concurrency alone creates the batching
+— no artificial latency timer is involved.
+
+Execution happens on a single dedicated thread (the service, its
+cache, and the runtimes are not thread-safe by design); the event loop
+stays free to accept work while that thread runs. Updates submitted
+through the frontend ride the same thread, strictly ordered with the
+query batches around them.
+
+**Admission control.** The frontend tracks queued-but-unanswered pairs;
+a request that would push the backlog past ``max_queue_depth`` is
+*shed* immediately with :class:`~repro.exceptions.ServiceOverloadError`
+instead of queued — bounded memory and bounded tail latency under
+overload, with the shed count surfaced as ``dhl_async_shed_total`` in
+the service's metrics registry (PR 6) next to
+``dhl_async_batches_total`` / ``dhl_async_requests_total``.
+
+Use as an async context manager::
+
+    async with AsyncDistanceService(service, max_queue_depth=4096) as svc:
+        dists = await asyncio.gather(
+            *(svc.distance(s, t) for s, t in pairs)
+        )
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ServiceOverloadError
+
+__all__ = ["AsyncDistanceService", "AsyncFrontendStats"]
+
+
+@dataclass
+class AsyncFrontendStats:
+    """Micro-batching and admission-control counters.
+
+    ``merge_ratio`` is the effectiveness of the frontend: client
+    requests answered per scheduler batch (1.0 means no batching
+    happened — a serial caller; >> 1 means concurrent callers were
+    folded together).
+    """
+
+    offered_requests: int = 0
+    answered_requests: int = 0
+    shed_requests: int = 0
+    batches: int = 0
+    batched_pairs: int = 0
+    updates: int = 0
+    max_merged: int = 0
+
+    @property
+    def merge_ratio(self) -> float:
+        return self.answered_requests / self.batches if self.batches else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        out = dict(self.__dict__)
+        out["merge_ratio"] = round(self.merge_ratio, 3)
+        return out
+
+
+@dataclass
+class _QueryItem:
+    pairs: list[tuple[int, int]]
+    future: asyncio.Future = field(repr=False)
+
+
+@dataclass
+class _UpdateItem:
+    changes: list[tuple[int, int, float]]
+    future: asyncio.Future = field(repr=False)
+
+
+_STOP = object()
+
+
+class AsyncDistanceService:
+    """Micro-batching asyncio facade over a :class:`DistanceService`.
+
+    Parameters
+    ----------
+    service:
+        The synchronous service to front. The frontend *borrows* it:
+        :meth:`close` stops the dispatcher and executor but leaves the
+        service (and its runtime) to its owner, so one service can be
+        re-fronted or shared with synchronous callers.
+    max_batch:
+        Pair-count ceiling per folded scheduler batch; a drain stops
+        merging past it (requests left in the queue start the next
+        batch immediately).
+    max_queue_depth:
+        Admission limit in *pairs* queued but not yet answered. The
+        request that would exceed it is refused with
+        :class:`ServiceOverloadError` and counted, not queued.
+    """
+
+    def __init__(
+        self,
+        service,
+        *,
+        max_batch: int = 4096,
+        max_queue_depth: int = 65_536,
+    ):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1, got {max_queue_depth}"
+            )
+        self.service = service
+        self.max_batch = max_batch
+        self.max_queue_depth = max_queue_depth
+        self.stats = AsyncFrontendStats()
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._pending_pairs = 0
+        self._dispatcher: asyncio.Task | None = None
+        # One thread: the service/runtime stack is single-writer by
+        # design; queries and updates interleave in queue order.
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="dhl-async-exec"
+        )
+        self._closed = False
+        registry = service.observability.registry
+        self._m_requests = registry.counter(
+            "dhl_async_requests_total", "Client requests admitted"
+        )
+        self._m_batches = registry.counter(
+            "dhl_async_batches_total", "Scheduler batches dispatched"
+        )
+        self._m_shed = registry.counter(
+            "dhl_async_shed_total", "Requests shed by admission control"
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "AsyncDistanceService":
+        """Start the dispatcher loop (idempotent)."""
+        if self._closed:
+            raise ServiceOverloadError("frontend is closed")
+        if self._dispatcher is None:
+            self._dispatcher = asyncio.get_running_loop().create_task(
+                self._dispatch_loop()
+            )
+        return self
+
+    async def close(self) -> None:
+        """Drain queued work, stop the dispatcher; idempotent.
+
+        The fronted service is *not* closed — it belongs to the caller
+        (and may be shared with synchronous code paths).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._dispatcher is not None:
+            await self._queue.put(_STOP)
+            await self._dispatcher
+            self._dispatcher = None
+        self._executor.shutdown(wait=True)
+
+    async def __aenter__(self) -> "AsyncDistanceService":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # client surface
+    # ------------------------------------------------------------------
+    async def distances(self, pairs) -> np.ndarray:
+        """Batch distances; may be folded with concurrent calls."""
+        pairs = [(int(s), int(t)) for s, t in pairs]
+        if not pairs:
+            return np.empty(0, dtype=np.float64)
+        item = _QueryItem(pairs=pairs, future=self._admit(len(pairs)))
+        await self._queue.put(item)
+        return await item.future
+
+    async def distance(self, s: int, t: int) -> float:
+        """Single-pair distance (the micro-batcher's bread and butter)."""
+        out = await self.distances([(s, t)])
+        return float(out[0])
+
+    async def update(self, changes) -> None:
+        """Apply a weight-change batch, ordered with surrounding queries."""
+        changes = [(int(u), int(v), float(w)) for u, v, w in changes]
+        item = _UpdateItem(changes=changes, future=self._admit(1))
+        await self._queue.put(item)
+        await item.future
+
+    def frontend_stats(self) -> AsyncFrontendStats:
+        return self.stats
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _admit(self, weight: int) -> asyncio.Future:
+        """Admission check; returns the future a queued item resolves."""
+        if self._closed or self._dispatcher is None:
+            raise ServiceOverloadError(
+                "frontend is not running (use `async with` or await start())"
+            )
+        self.stats.offered_requests += 1
+        if self._pending_pairs + weight > self.max_queue_depth:
+            self.stats.shed_requests += 1
+            self._m_shed.inc()
+            raise ServiceOverloadError(
+                f"queue depth {self._pending_pairs} + {weight} exceeds "
+                f"{self.max_queue_depth}; request shed"
+            )
+        self._pending_pairs += weight
+        self._m_requests.inc()
+        return asyncio.get_running_loop().create_future()
+
+    async def _dispatch_loop(self) -> None:
+        """Drain the queue into maximal same-kind runs, execute each.
+
+        Every iteration blocks on one item, then greedily drains
+        whatever else queued up meanwhile — that drain *is* the
+        micro-batch. Query runs fold into one ``service.distances``
+        call; an update forms its own run so ordering with neighbouring
+        queries is preserved.
+        """
+        loop = asyncio.get_running_loop()
+        stop = False
+        while not stop:
+            item = await self._queue.get()
+            if item is _STOP:
+                break
+            run: list = [item]
+            pair_budget = len(item.pairs) if isinstance(item, _QueryItem) else 0
+            while isinstance(run[-1], _QueryItem) and pair_budget < self.max_batch:
+                try:
+                    nxt = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if nxt is _STOP:
+                    stop = True
+                    break
+                if isinstance(nxt, _QueryItem):
+                    run.append(nxt)
+                    pair_budget += len(nxt.pairs)
+                else:
+                    # An update ends the query run; flush the queries
+                    # first, then let the update execute as its own
+                    # run — client-visible ordering is preserved.
+                    await self._execute_run(loop, run)
+                    run = [nxt]
+                    break
+            await self._execute_run(loop, run)
+
+    async def _execute_run(self, loop, run: list) -> None:
+        if not run:
+            return
+        if isinstance(run[0], _UpdateItem):
+            item = run[0]
+            self.stats.updates += 1
+            try:
+                await loop.run_in_executor(
+                    self._executor, self._apply_update, item.changes
+                )
+            except BaseException as exc:
+                self._resolve(item.future, exc=exc)
+            else:
+                self._resolve(item.future, value=None)
+            finally:
+                self._pending_pairs -= 1
+            return
+        items: list[_QueryItem] = run
+        all_pairs = [pair for item in items for pair in item.pairs]
+        self.stats.batches += 1
+        self.stats.batched_pairs += len(all_pairs)
+        self.stats.max_merged = max(self.stats.max_merged, len(items))
+        self._m_batches.inc()
+        try:
+            out = await loop.run_in_executor(
+                self._executor, self.service.distances, all_pairs
+            )
+        except BaseException as exc:
+            for item in items:
+                self._resolve(item.future, exc=exc)
+        else:
+            offset = 0
+            for item in items:
+                view = np.array(out[offset : offset + len(item.pairs)])
+                offset += len(item.pairs)
+                self.stats.answered_requests += 1
+                self._resolve(item.future, value=view)
+        finally:
+            self._pending_pairs -= len(all_pairs)
+
+    def _apply_update(self, changes) -> None:
+        self.service.submit_many(changes)
+        self.service.flush()
+
+    @staticmethod
+    def _resolve(future: asyncio.Future, value=None, exc=None) -> None:
+        if future.done():  # pragma: no cover - cancelled client
+            return
+        if exc is not None:
+            future.set_exception(exc)
+        else:
+            future.set_result(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr sugar
+        state = "closed" if self._closed else "running"
+        return (
+            f"AsyncDistanceService({state}, pending={self._pending_pairs}, "
+            f"batches={self.stats.batches})"
+        )

@@ -2,50 +2,68 @@
 
 The serving frontend (cache, coalescer, latency accounting) is backend
 agnostic: all query execution and index maintenance is delegated to an
-:class:`ExecutionRuntime`. Two implementations exist:
+:class:`ExecutionRuntime`, typed against the
+:class:`~repro.core.backend.DistanceBackend` Protocol. Three
+implementations exist:
 
-* :class:`InProcessRuntime` — the index's own query engine and update
+* :class:`InProcessRuntime` — the backend's own query engine and update
   path, running in the service's process. Works with every backend
   (monolithic, directed, sharded) and is the default.
 * :class:`~repro.service.workers.ShardWorkerRuntime` — each region
   shard of a :class:`~repro.core.sharded.ShardedDHLIndex` is hosted in
   a long-lived worker process that attaches the shard's flat label
-  buffers over ``multiprocessing.shared_memory``; queries are split
-  into per-shard sub-batches dispatched concurrently, so throughput is
-  no longer capped by one interpreter's GIL.
+  buffers over ``multiprocessing.shared_memory``.
+* :class:`~repro.service.socket_runtime.SocketShardRuntime` — each
+  shard is served by N replica processes behind TCP endpoints speaking
+  the framed protocol of :mod:`repro.service.protocol`, with
+  round-robin reads and timeout failover.
+
+The two distributed runtimes share :class:`RegionPairScheduler`: the
+transport-agnostic batch scheduler that splits a pair batch by
+``(source region, target region)``, builds typed
+:class:`~repro.service.protocol.SubQuery` messages, and combines the
+replies — transports only implement message delivery and label sync.
 
 Runtimes own operating-system resources (processes, shared-memory
-segments); callers must :meth:`~ExecutionRuntime.close` them — the
-service forwards its own ``close()``/context-manager exit.
+segments, sockets); callers must :meth:`~ExecutionRuntime.close` them —
+the service forwards its own ``close()``/context-manager exit.
 """
 
 from __future__ import annotations
 
 import abc
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.core.backend import DistanceBackend, WeightChange
+from repro.exceptions import ServiceRuntimeError
 from repro.labelling.maintenance import MaintenanceStats
-from repro.observability import NULL_OBSERVABILITY
+from repro.observability import NULL_OBSERVABILITY, Span, maybe_child, phase
+from repro.service.protocol import FanQuery, SubQuery, SubResult
 
-__all__ = ["ExecutionRuntime", "InProcessRuntime"]
-
-WeightChange = tuple[int, int, float]
+__all__ = [
+    "ExecutionRuntime",
+    "InProcessRuntime",
+    "RegionPairScheduler",
+    "WorkerPoolStats",
+]
 
 
 class ExecutionRuntime(abc.ABC):
     """Where a :class:`DistanceService` executes queries and updates.
 
-    Implementations expose the built index as :attr:`index` (the service
-    reads its epoch and graph), answer pair batches, and apply
+    Implementations expose the built backend as :attr:`index` (the
+    service reads its epoch and graph), answer pair batches, and apply
     maintenance batches — keeping whatever execution substrate they
-    manage (nothing, worker processes, remote shards) consistent with
-    the index afterwards.
+    manage (nothing, worker processes, remote replicas) consistent with
+    the backend afterwards.
     """
 
-    #: The index backend this runtime executes against.
-    index = None
+    #: The distance backend this runtime executes against.
+    index: DistanceBackend | None = None
 
     #: Observability bundle, installed by the owning service (class-level
     #: null by default, so standalone runtimes trace/count nothing).
@@ -57,7 +75,8 @@ class ExecutionRuntime(abc.ABC):
         """Human-readable backend tag for stats/bench artifacts.
 
         Examples: ``in-process/monolithic``, ``in-process/sharded``,
-        ``worker-pool/sharded[4 workers]``.
+        ``worker-pool/sharded[4 workers]``,
+        ``socket-pool/sharded[4x2 replicas]``.
         """
 
     @property
@@ -106,10 +125,10 @@ class ExecutionRuntime(abc.ABC):
     def pool_stats(self):
         """Scheduler / delta-sync counters for pooled runtimes.
 
-        Returns a :class:`~repro.service.workers.WorkerPoolStats` for
-        runtimes that schedule across workers, ``None`` otherwise — so
-        printed summaries and metric snapshots can include the
-        multiprocess backend without type-sniffing the runtime.
+        Returns a :class:`WorkerPoolStats` for runtimes that schedule
+        across workers, ``None`` otherwise — so printed summaries and
+        metric snapshots can include the distributed backends without
+        type-sniffing the runtime.
         """
         return None
 
@@ -125,34 +144,44 @@ class ExecutionRuntime(abc.ABC):
 
 
 class InProcessRuntime(ExecutionRuntime):
-    """Execute directly on the index's engine in the calling process.
+    """Execute directly on the backend in the calling process.
 
     This is the pre-runtime serving path extracted verbatim: batch
     misses hit the backend's zero-copy kernel (or the sharded routing
-    engine), updates call the index's maintenance entry point. No
-    resources are owned, so :meth:`close` is a no-op.
+    engine), updates call the backend's maintenance entry point. Any
+    :class:`~repro.core.backend.DistanceBackend` works — backends with
+    a hub-aware engine get the certified-hub fast path, the rest fall
+    back to the Protocol's plain batch surface. No resources are owned,
+    so :meth:`close` is a no-op.
     """
 
-    def __init__(self, index):
+    def __init__(self, index: DistanceBackend):
         self.index = index
+        # Hub-aware engines certify cached entries; backends without one
+        # (the directed index) still serve through the Protocol surface.
+        self._engine = getattr(index, "engine", None)
 
     @property
     def backend(self) -> str:
         return f"in-process/{getattr(self.index, 'kind', 'monolithic')}"
 
     def distances(self, pairs: Sequence[tuple[int, int]]) -> np.ndarray:
-        return self.index.engine.distances(pairs)
+        return self.index.distances(pairs)
 
     def distances_with_hubs(
         self, pairs: Sequence[tuple[int, int]]
     ) -> tuple[np.ndarray, np.ndarray]:
-        return self.index.engine.distances_with_hubs(pairs)
+        if self._engine is not None:
+            return self._engine.distances_with_hubs(pairs)
+        return super().distances_with_hubs(pairs)
 
     def distance(self, s: int, t: int) -> float:
-        return self.index.engine.distance(s, t)
+        return self.index.distance(s, t)
 
     def distance_with_hub(self, s: int, t: int) -> tuple[float, int]:
-        return self.index.engine.distance_with_hub(s, t)
+        if self._engine is not None:
+            return self._engine.distance_with_hub(s, t)
+        return super().distance_with_hub(s, t)
 
     def apply_update(
         self, changes: Iterable[WeightChange], workers: int | None = None
@@ -161,3 +190,304 @@ class InProcessRuntime(ExecutionRuntime):
 
     def __repr__(self) -> str:  # pragma: no cover - repr sugar
         return f"InProcessRuntime({self.backend})"
+
+
+# ---------------------------------------------------------------------------
+# pooled-runtime counters
+# ---------------------------------------------------------------------------
+
+@dataclass
+class WorkerPoolStats:
+    """Scheduler and epoch-broadcast counters of a pooled runtime.
+
+    ``sub_batches`` counts worker requests (the split granularity),
+    ``intra_pairs``/``cross_pairs`` how the traffic divided, and the
+    broadcast counters certify the delta path: after N flushes,
+    ``delta_syncs + republishes == shards touched across those flushes``
+    and ``delta_bytes`` stays far below N full buffer copies.
+    ``failovers``/``resyncs`` only move on replicated transports: a
+    failover is a request retried on a sibling replica after a timeout
+    or connection loss, a resync a stale replica brought back with a
+    full republish.
+    """
+
+    batches: int = 0
+    pairs: int = 0
+    intra_pairs: int = 0
+    cross_pairs: int = 0
+    sub_batches: int = 0
+    epoch_broadcasts: int = 0
+    delta_syncs: int = 0
+    delta_bytes: int = 0
+    republishes: int = 0
+    republish_bytes: int = 0
+    #: Whole-buffer re-syncs forced by maintenance that bypassed
+    #: ``apply_update`` (direct index updates; epoch drift).
+    full_syncs: int = 0
+    #: Requests retried on a sibling replica (socket transport).
+    failovers: int = 0
+    #: Stale replicas recovered with a full republish (socket transport).
+    resyncs: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+
+# ---------------------------------------------------------------------------
+# the shared region-pair batch scheduler
+# ---------------------------------------------------------------------------
+
+class RegionPairScheduler(ExecutionRuntime):
+    """Transport-agnostic batch scheduler over a sharded backend.
+
+    Owns everything about *what* to compute: the ``(region_s,
+    region_t)`` batch split, the typed :class:`SubQuery` construction
+    (fans, overlay blocks, epoch stamps), the parent-side min-plus
+    combine for cross-shard groups, the update→delta-broadcast flow and
+    the epoch-drift reconcile. Subclasses own *how* messages travel:
+
+    * :meth:`_dispatch` — deliver each shard's :class:`SubQuery` list
+      and return :class:`SubResult` replies by scheduler slot;
+    * :meth:`_sync_shard` — ship one shard's changed label slots (or
+      republish) after maintenance;
+    * :meth:`_full_sync` — whole-buffer re-sync for one shard after
+      out-of-band maintenance;
+    * :meth:`_close_transport` — release transport resources.
+
+    Sub-queries always carry their overlay block plus its epoch stamp
+    (block materialisation is an engine-cache hit for the parent);
+    transports elide the block per target once they know it is held —
+    so a failover retry to a sibling replica that holds nothing can
+    always re-ship it from the same :class:`SubQuery`.
+    """
+
+    kind = "pooled"
+    # Sharded distances have no per-pair hub certificate (see
+    # ShardedDHLIndex); the cache must use epoch invalidation.
+    supports_fine_grained_eviction = False
+
+    def __init__(self, index):
+        from repro.core.sharded import ShardedDHLIndex
+
+        if not isinstance(index, ShardedDHLIndex):
+            raise TypeError(
+                f"{type(self).__name__} requires a ShardedDHLIndex; got "
+                f"{type(index).__name__} (use InProcessRuntime instead)"
+            )
+        self.index = index
+        self.stats = WorkerPoolStats()
+        self._epochs = [0] * index.k
+        self._index_epoch = index.epoch
+        self._closed = False
+        self._pool: ThreadPoolExecutor | None = ThreadPoolExecutor(
+            max_workers=index.k, thread_name_prefix="shard-io"
+        )
+
+    # ------------------------------------------------------------------
+    # transport hooks
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _dispatch(
+        self,
+        requests: dict[int, list[tuple[tuple[int, int], SubQuery]]],
+        request_span: Span | None = None,
+    ) -> dict[tuple[int, int], SubResult]:
+        """Deliver each shard's sub-queries; map slots to results."""
+
+    @abc.abstractmethod
+    def _sync_shard(self, sid: int, affected: Iterable[int]) -> None:
+        """Ship shard *sid*'s changed label slots at ``self._epochs[sid]``."""
+
+    @abc.abstractmethod
+    def _full_sync(self, sid: int) -> None:
+        """Whole-buffer re-sync of shard *sid* at ``self._epochs[sid]``."""
+
+    def _close_transport(self) -> None:
+        """Release transport-owned resources (processes, sockets)."""
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def distances(self, pairs: Sequence[tuple[int, int]]) -> np.ndarray:
+        pairs = list(pairs)
+        if not pairs:
+            return np.empty(0, dtype=np.float64)
+        arr = np.asarray(pairs, dtype=np.int64)
+        return self.distances_arrays(arr[:, 0], arr[:, 1])
+
+    def distance(self, s: int, t: int) -> float:
+        return float(
+            self.distances_arrays(
+                np.array([s], dtype=np.int64), np.array([t], dtype=np.int64)
+            )[0]
+        )
+
+    def distances_arrays(self, s: np.ndarray, t: np.ndarray) -> np.ndarray:
+        """Batch distances via the region-pair-aware batch scheduler."""
+        if self._closed:
+            raise ServiceRuntimeError("runtime is closed")
+        self._reconcile_index_epoch()
+        # Attach scheduler/worker spans under the caller's open request
+        # span (None when the request was not sampled or tracing is off).
+        request_span = self.observability.tracer.current
+        owner = self.index
+        s = np.asarray(s, dtype=np.int64)
+        t = np.asarray(t, dtype=np.int64)
+        if not len(s):
+            return np.empty(0, dtype=np.float64)
+        out = np.full(len(s), np.inf, dtype=np.float64)
+        rs = owner.region_of[s]
+        rt = owner.region_of[t]
+        local_s = owner.local_of[s]
+        local_t = owner.local_of[t]
+        has_overlay = owner.overlay is not None
+        overlay_epoch = owner.overlay.epoch if has_overlay else 0
+
+        from repro.sharding.engine import min_plus_compact, region_pair_groups
+
+        groups: list[tuple[np.ndarray, int, int]] = []
+        requests: dict[int, list[tuple[tuple[int, int], SubQuery]]] = {}
+
+        def enqueue(sid: int, slot: tuple[int, int], sub: SubQuery) -> None:
+            requests.setdefault(sid, []).append((slot, sub))
+            self.stats.sub_batches += 1
+
+        engine = owner.engine  # overlay blocks + their epoch cache
+        # Same (region_s, region_t) split as the in-process sharded
+        # engine, but each group becomes typed worker sub-queries.
+        with maybe_child(request_span, "scheduler"):
+            for g, (idx, i, j) in enumerate(region_pair_groups(rs, rt, owner.k)):
+                groups.append((idx, i, j))
+                s_local = local_s[idx]
+                t_local = local_t[idx]
+                fan = (
+                    has_overlay
+                    and len(owner.boundary_local[i])
+                    and len(owner.boundary_local[j])
+                )
+                if i == j:
+                    self.stats.intra_pairs += len(idx)
+                    # The (tiny, epoch-cached) overlay block travels with
+                    # the sub-query: the owning worker folds the boundary
+                    # route itself and ships back one final array. The
+                    # transport elides the block once its target holds
+                    # this overlay epoch.
+                    enqueue(
+                        i,
+                        (g, "final"),
+                        SubQuery(
+                            s=s_local,
+                            t=t_local,
+                            fan_src=FanQuery(s_local) if fan else None,
+                            fan_dst=FanQuery(t_local) if fan else None,
+                            block=engine.overlay_block(i, i) if fan else None,
+                            block_epoch=overlay_epoch if fan else -1,
+                        ),
+                    )
+                else:
+                    self.stats.cross_pairs += len(idx)
+                    if fan:
+                        engine.overlay_block(i, j)  # warm the cache serially
+                        enqueue(
+                            i, (g, "src"), SubQuery(fan_src=FanQuery(s_local))
+                        )
+                        enqueue(
+                            j, (g, "dst"), SubQuery(fan_dst=FanQuery(t_local))
+                        )
+
+        replies = self._dispatch(requests, request_span)
+
+        # Cross-shard combines need both workers' fans, so they run in
+        # the parent — spread across the I/O threads (numpy releases
+        # the GIL for the large intermediates).
+        combines = []
+        for g, (idx, i, j) in enumerate(groups):
+            if i == j:
+                out[idx] = replies[(g, "final")].final
+            elif (g, "src") in replies:
+                combines.append((g, idx, i, j))
+
+        def combine(item):
+            g, idx, i, j = item
+            src = replies[(g, "src")]
+            dst = replies[(g, "dst")]
+            out[idx] = min_plus_compact(
+                src.ds,
+                src.ds_inverse,
+                engine.overlay_block(i, j),
+                dst.dt,
+                dst.dt_inverse,
+            )
+
+        with maybe_child(request_span, "min_plus_combine") as combine_span:
+            if combine_span is not None:
+                combine_span.annotate(groups=len(combines))
+            if len(combines) > 1:
+                list(self._pool.map(combine, combines))
+            elif combines:
+                combine(combines[0])
+        out[s == t] = 0.0
+        self.stats.batches += 1
+        self.stats.pairs += len(s)
+        return out
+
+    # ------------------------------------------------------------------
+    # maintenance + epoch broadcast
+    # ------------------------------------------------------------------
+    def apply_update(self, changes: Iterable[WeightChange], workers=None):
+        """Apply the batch in the parent, then broadcast shard deltas.
+
+        Overlay maintenance needs no broadcast (the overlay index lives
+        only in the parent); a touched shard gets its changed label
+        slots shipped by the transport plus an epoch bump — or a full
+        republish if maintenance changed the label layout.
+        """
+        if self._closed:
+            raise ServiceRuntimeError("runtime is closed")
+        self._reconcile_index_epoch()
+        stats = self.index.update(changes, workers)
+        self._index_epoch = self.index.epoch
+        with phase("flush.delta_sync"):
+            for sid in stats.touched_shards:
+                self._epochs[sid] += 1
+                self._sync_shard(sid, stats.per_shard[sid].affected_labels)
+                self.stats.epoch_broadcasts += 1
+        return stats
+
+    def _reconcile_index_epoch(self) -> None:
+        """Re-sync workers after maintenance that bypassed this runtime.
+
+        A direct ``index.update(...)`` (structural op, another caller)
+        advances the index epoch without telling us which labels moved;
+        the only safe answer is a whole-buffer publish per shard.
+        """
+        if self.index.epoch == self._index_epoch:
+            return
+        for sid in range(self.index.k):
+            self._epochs[sid] += 1
+            self._full_sync(sid)
+            self.stats.full_syncs += 1
+            self.stats.epoch_broadcasts += 1
+        self._index_epoch = self.index.epoch
+
+    def pool_stats(self) -> WorkerPoolStats:
+        return self.stats
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release transport resources and the I/O pool; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._close_transport()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __del__(self):  # pragma: no cover - safety net
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -33,14 +33,14 @@ consistency — it only batches work between queries.
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Sequence, Union
+from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro.core.index import DHLIndex
-from repro.core.sharded import ShardedDHLIndex
+from repro.core.backend import DistanceBackend
 from repro.labelling.maintenance import MaintenanceStats
 from repro.observability import (
     NULL_OBSERVABILITY,
@@ -57,8 +57,6 @@ from repro.service.runtime import ExecutionRuntime, InProcessRuntime
 __all__ = ["ServiceStats", "DistanceService"]
 
 WeightChange = tuple[int, int, float]
-#: Any index exposing the build/query/update facade the service drives.
-IndexBackend = Union[DHLIndex, ShardedDHLIndex]
 
 
 @dataclass(frozen=True)
@@ -118,14 +116,23 @@ class DistanceService:
 
     Parameters
     ----------
-    index:
-        The built index — monolithic :class:`DHLIndex` or region-sharded
-        :class:`ShardedDHLIndex` — *or* an already-constructed
+    backend:
+        The single construction entry point: anything satisfying the
+        :class:`~repro.core.backend.DistanceBackend` Protocol —
+        monolithic :class:`DHLIndex`, :class:`DirectedDHLIndex`,
+        region-sharded :class:`ShardedDHLIndex` — *or* an
+        already-constructed
         :class:`~repro.service.runtime.ExecutionRuntime` wrapping one
-        (e.g. a :class:`~repro.service.workers.ShardWorkerRuntime`).
-        The service owns the update path (submit weight changes through
-        the service, not the index, or flush manually) and, when handed
-        a runtime, its lifecycle (:meth:`close` closes it).
+        (e.g. a :class:`~repro.service.workers.ShardWorkerRuntime` or
+        :class:`~repro.service.socket_runtime.SocketShardRuntime`).
+        A bare backend is wrapped in an
+        :class:`~repro.service.runtime.InProcessRuntime`. The service
+        owns the update path (submit weight changes through the
+        service, not the index, or flush manually) and, when handed a
+        runtime, its lifecycle (:meth:`close` closes it). The
+        ``index=`` keyword is a deprecated alias for this parameter;
+        passing neither, both, or an object that is neither a backend
+        nor a runtime raises ``ValueError``.
     cache_capacity:
         Maximum cached pair results (LRU beyond that).
     fine_grained_eviction:
@@ -154,8 +161,9 @@ class DistanceService:
 
     def __init__(
         self,
-        index: IndexBackend | ExecutionRuntime,
+        backend: DistanceBackend | ExecutionRuntime | None = None,
         *,
+        index: DistanceBackend | ExecutionRuntime | None = None,
         cache_capacity: int = 65_536,
         fine_grained_eviction: bool = False,
         flush_threshold: int = 256,
@@ -163,11 +171,35 @@ class DistanceService:
         workers: int | None = None,
         observability: Observability | None = None,
     ):
-        if isinstance(index, ExecutionRuntime):
-            self.runtime = index
+        if backend is not None and index is not None:
+            raise ValueError(
+                "DistanceService received both backend= and index=; "
+                "index= is a deprecated alias for backend=, pass one only"
+            )
+        if index is not None:
+            warnings.warn(
+                "DistanceService(index=...) is deprecated; "
+                "pass backend= (positionally or by keyword) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            backend = index
+        if backend is None:
+            raise ValueError(
+                "DistanceService needs a backend: a built index satisfying "
+                "DistanceBackend, or an ExecutionRuntime wrapping one"
+            )
+        if isinstance(backend, ExecutionRuntime):
+            self.runtime = backend
+        elif isinstance(backend, DistanceBackend):
+            self.runtime = InProcessRuntime(backend)
         else:
-            self.runtime = InProcessRuntime(index)
+            raise ValueError(
+                "backend must satisfy the DistanceBackend Protocol or be an "
+                f"ExecutionRuntime; got {type(backend).__name__}"
+            )
         self.index = self.runtime.index
+        self._closed = False
         self.observability = observability or NULL_OBSERVABILITY
         # The runtime traces its scheduler/worker round-trips under the
         # service's request spans and is counted in the same registry.
@@ -416,8 +448,13 @@ class DistanceService:
     # ------------------------------------------------------------------
     def close(self) -> None:
         """Release the runtime's resources (worker processes, shared
-        memory segments); idempotent. In-process runtimes own nothing,
-        so this is free — always safe to call."""
+        memory segments, sockets); idempotent across every runtime —
+        in-process runtimes own nothing, so this is free, and repeated
+        calls (context-manager exit after an explicit close, shared
+        teardown paths) are no-ops."""
+        if self._closed:
+            return
+        self._closed = True
         self.runtime.close()
 
     def __enter__(self) -> "DistanceService":

@@ -1,0 +1,565 @@
+"""TCP shard replicas: the first remote transport on the runtime protocol.
+
+:class:`SocketShardRuntime` serves each region shard of a
+:class:`~repro.core.sharded.ShardedDHLIndex` from **N replica
+processes**, each listening on its own loopback TCP endpoint and
+speaking the length-framed protocol of :mod:`repro.service.protocol` —
+the exact frames the shared-memory pipe transport uses, length-prefixed
+for the byte stream. Nothing about the scheduler changes: the
+:class:`~repro.service.runtime.RegionPairScheduler` base emits the same
+typed :class:`~repro.service.protocol.SubQuery` batches; this module
+only implements how frames travel and how label buffers sync when
+shared memory is not available (each replica holds a private writable
+copy, kept current by inline
+:class:`~repro.service.protocol.EpochDelta` frames).
+
+**Replicas + failover.** Reads round-robin across a shard's replicas.
+A request that times out or loses its connection marks the replica
+dead (its process exits on disconnect; there are no restarts) and is
+retried **once** on a sibling replica — counted in
+``pool_stats().failovers``. Because every retry re-sends the full
+:class:`~repro.service.protocol.ComputeBatch` (overlay blocks are
+elided per replica, re-shipped when the sibling holds none), a replica
+kill mid-batch loses zero requests.
+
+**Consistency.** Updates broadcast an inline ``EpochDelta`` (changed
+label arrays, spliced worker-side) to *every* replica of a touched
+shard, reusing the exact epoch-stamp contract of the shared-memory
+transport: a replica holding the wrong epoch refuses the batch with a
+:class:`~repro.service.protocol.StaleReply`. The parent resolves a
+refusal from a *behind* replica by pushing a full
+:class:`~repro.service.protocol.Republish` and retrying once — counted
+in ``pool_stats().resyncs`` — so a replica that missed a broadcast
+(e.g. its delta send failed) heals instead of being torn down; a
+refusal that persists surfaces as
+:class:`~repro.exceptions.WorkerEpochError` ("missed epoch
+broadcast"), same as the pipe transport.
+
+The processes bind ``127.0.0.1`` port 0 and report the chosen port over
+a one-shot bootstrap pipe; the runtime is a faithful local stand-in for
+a multi-host deployment (per-request timeouts, reconnectless failover,
+explicit buffer shipping) while staying runnable in CI.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+from multiprocessing import get_context
+from typing import Iterable
+
+import numpy as np
+
+from repro.exceptions import ServiceRuntimeError, WorkerEpochError
+from repro.observability import Span
+from repro.service.protocol import (
+    AckReply,
+    ByeReply,
+    ComputeBatch,
+    EpochDelta,
+    ErrorReply,
+    Message,
+    ReadyReply,
+    Republish,
+    Shutdown,
+    SpecRequest,
+    StaleReply,
+    SubQuery,
+    SubResult,
+    recv_message,
+    send_message,
+)
+from repro.service.runtime import RegionPairScheduler
+from repro.service.workers import ShardExecutor
+
+__all__ = ["SocketShardRuntime"]
+
+_STARTUP_TIMEOUT = 120.0
+_SHUTDOWN_TIMEOUT = 5.0
+
+
+# ---------------------------------------------------------------------------
+# the replica process
+# ---------------------------------------------------------------------------
+
+def _socket_worker_main(bootstrap) -> None:
+    """One shard replica: bind a loopback port, serve its one client.
+
+    The replica accepts exactly one connection (its parent runtime) and
+    answers protocol frames until a :class:`Shutdown` frame or
+    disconnect — a vanished parent, or a parent that abandoned this
+    replica after a failover, must not leave an orphan process behind.
+    The port is reported over the one-shot *bootstrap* pipe, then all
+    traffic is TCP. State lives in the shared
+    :class:`~repro.service.workers.ShardExecutor`; label buffers arrive
+    inline and are kept as private writable arrays so
+    :class:`EpochDelta` splices apply locally.
+    """
+    executor = ShardExecutor()
+    server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        server.bind(("127.0.0.1", 0))
+        server.listen(1)
+        bootstrap.send(server.getsockname()[1])
+        bootstrap.close()
+        server.settimeout(_STARTUP_TIMEOUT)
+        conn, _ = server.accept()
+    except Exception:
+        server.close()
+        raise
+    server.close()
+    try:
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        while True:
+            try:
+                message = recv_message(conn)
+            except Exception:
+                # Disconnect (or an unframeable stream) ends the
+                # replica: the parent never reuses a broken connection.
+                break
+            try:
+                if isinstance(message, SpecRequest):
+                    # Private writable copies: deltas splice in place.
+                    reply: Message = executor.setup(
+                        message,
+                        np.array(message.values, dtype=np.float64),
+                        np.array(message.offsets, dtype=np.int64),
+                    )
+                elif isinstance(message, ComputeBatch):
+                    reply = executor.compute(message)
+                elif isinstance(message, EpochDelta):
+                    reply = executor.apply_delta(message)
+                elif isinstance(message, Republish):
+                    executor.bind(
+                        np.array(message.values, dtype=np.float64),
+                        np.array(message.offsets, dtype=np.int64),
+                    )
+                    executor.epoch = message.epoch
+                    reply = AckReply()
+                elif isinstance(message, Shutdown):
+                    send_message(conn, ByeReply())
+                    break
+                else:  # pragma: no cover - future message types
+                    reply = ErrorReply(
+                        message=f"unhandled {type(message).__name__}"
+                    )
+            except Exception as exc:  # surface instead of hanging the parent
+                reply = ErrorReply(message=f"{type(exc).__name__}: {exc}")
+            try:
+                send_message(conn, reply)
+            except OSError:  # pragma: no cover - parent went away mid-reply
+                break
+    finally:
+        conn.close()
+
+
+# ---------------------------------------------------------------------------
+# parent-side replica handle
+# ---------------------------------------------------------------------------
+
+class _ReplicaHandle:
+    """Parent-side endpoint of one shard replica over TCP.
+
+    Owns the process and the connected socket. :meth:`request` applies
+    the per-request timeout; any timeout or socket error marks the
+    handle dead permanently (the transport's failover unit is the whole
+    replica — no reconnects, matching how a remote host would be
+    drained). A lock serialises cross-batch races, as in the pipe
+    transport.
+    """
+
+    def __init__(self, ctx, sid: int, replica: int, index, *, timeout: float):
+        self.sid = sid
+        self.replica = replica
+        self.timeout = timeout
+        self.process = None
+        self.sock: socket.socket | None = None
+        self.alive = False
+        #: Overlay epoch of the intra block this replica holds (-1: none).
+        self.block_epoch = -1
+        self._lock = threading.Lock()
+        bootstrap, child_bootstrap = ctx.Pipe()
+        try:
+            self.process = ctx.Process(
+                target=_socket_worker_main,
+                args=(child_bootstrap,),
+                name=f"dhl-socket-shard-{sid}-r{replica}",
+                daemon=True,
+            )
+            self.process.start()
+            child_bootstrap.close()
+            if not bootstrap.poll(_STARTUP_TIMEOUT):
+                raise ServiceRuntimeError(
+                    f"shard {sid} replica {replica} never reported its port"
+                )
+            port = bootstrap.recv()
+            self.sock = socket.create_connection(
+                ("127.0.0.1", port), timeout=_STARTUP_TIMEOUT
+            )
+            self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            values, offsets = index.shard_buffers(sid)
+            send_message(
+                self.sock,
+                SpecRequest(
+                    payload=index.shard_worker_payload(sid),
+                    values=values,
+                    offsets=offsets,
+                ),
+            )
+            reply = recv_message(self.sock)
+            if not isinstance(reply, ReadyReply):
+                raise ServiceRuntimeError(
+                    f"shard {sid} replica {replica} failed to start: {reply!r}"
+                )
+            self.sock.settimeout(timeout)
+            self.alive = True
+        except BaseException:
+            self.destroy()
+            raise
+        finally:
+            bootstrap.close()
+
+    def request(self, message: Message) -> Message:
+        """One framed round trip; timeout/socket failure kills the handle."""
+        with self._lock:
+            if not self.alive:
+                raise ServiceRuntimeError(
+                    f"shard {self.sid} replica {self.replica} is dead"
+                )
+            try:
+                send_message(self.sock, message)
+                reply = recv_message(self.sock)
+            except Exception as exc:
+                # Timeout, reset, or a torn frame: this replica is done.
+                self.alive = False
+                raise ServiceRuntimeError(
+                    f"shard {self.sid} replica {self.replica} failed "
+                    f"({type(exc).__name__}: {exc})"
+                ) from exc
+        if isinstance(reply, ErrorReply):
+            raise ServiceRuntimeError(
+                f"shard {self.sid} replica {self.replica}: {reply.message}"
+            )
+        return reply
+
+    def destroy(self) -> None:
+        """Close the connection and reap the process; idempotent."""
+        if self.sock is not None:
+            if self.alive:
+                try:
+                    with self._lock:
+                        send_message(self.sock, Shutdown())
+                        self.sock.settimeout(_SHUTDOWN_TIMEOUT)
+                        recv_message(self.sock)
+                except Exception:
+                    pass
+            self.alive = False
+            try:
+                self.sock.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            self.sock = None
+        if self.process is not None:
+            self.process.join(_SHUTDOWN_TIMEOUT)
+            if self.process.is_alive():  # pragma: no cover - stuck replica
+                self.process.terminate()
+                self.process.join(_SHUTDOWN_TIMEOUT)
+            self.process = None
+
+
+# ---------------------------------------------------------------------------
+# the runtime
+# ---------------------------------------------------------------------------
+
+class SocketShardRuntime(RegionPairScheduler):
+    """Serve a sharded index from N TCP replica processes per shard.
+
+    Parameters
+    ----------
+    index:
+        A built :class:`~repro.core.sharded.ShardedDHLIndex`; the
+        parent keeps the authoritative copy, replicas hold private
+        label buffers synced by inline protocol frames.
+    replicas:
+        Replica processes per shard. One gives the socket equivalent of
+        the pipe transport; two or more add read capacity and failover.
+    request_timeout:
+        Per-request socket timeout in seconds; an expired request fails
+        over to a sibling replica.
+    start_method:
+        ``multiprocessing`` start method (``spawn`` by default).
+    """
+
+    kind = "socket-pool"
+
+    def __init__(
+        self,
+        index,
+        *,
+        replicas: int = 2,
+        request_timeout: float = 30.0,
+        start_method: str = "spawn",
+    ):
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        super().__init__(index)
+        self.replicas = replicas
+        self.request_timeout = request_timeout
+        self._groups: list[list[_ReplicaHandle]] = [[] for _ in range(index.k)]
+        self._rr = [itertools.count() for _ in range(index.k)]
+        # Label layout each shard's replicas hold (the ``delta_applicable``
+        # check of the shared-memory transport): a delta may only be
+        # spliced while the live store still fits the shipped offsets.
+        self._published_offsets = [
+            np.array(index.shard_buffers(sid)[1], dtype=np.int64)
+            for sid in range(index.k)
+        ]
+        ctx = get_context(start_method)
+        try:
+            futures = [
+                self._pool.submit(
+                    _ReplicaHandle, ctx, sid, r, index,
+                    timeout=request_timeout,
+                )
+                for sid in range(index.k)
+                for r in range(replicas)
+            ]
+            errors = []
+            for future in futures:
+                try:
+                    handle = future.result()
+                    self._groups[handle.sid].append(handle)
+                except BaseException as exc:
+                    errors.append(exc)
+            if errors:
+                raise errors[0]
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # ExecutionRuntime surface
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> str:
+        return (
+            f"socket-pool/sharded[{self.index.k}x{self.replicas} replicas]"
+        )
+
+    @property
+    def worker_count(self) -> int:
+        return sum(len(group) for group in self._groups)
+
+    def alive_replicas(self, sid: int) -> list[_ReplicaHandle]:
+        return [handle for handle in self._groups[sid] if handle.alive]
+
+    # ------------------------------------------------------------------
+    # transport hooks
+    # ------------------------------------------------------------------
+    def _pick(self, sid: int, exclude=()) -> _ReplicaHandle:
+        """Round-robin over the shard's live replicas."""
+        group = [
+            handle
+            for handle in self._groups[sid]
+            if handle.alive and handle not in exclude
+        ]
+        if not group:
+            raise ServiceRuntimeError(
+                f"no live replica left for shard {sid}; "
+                "the runtime must be closed"
+            )
+        return group[next(self._rr[sid]) % len(group)]
+
+    def _dispatch(
+        self,
+        requests: dict[int, list[tuple[tuple[int, int], SubQuery]]],
+        request_span: Span | None = None,
+    ) -> dict[tuple[int, int], SubResult]:
+        """One framed round trip per shard, with one-retry failover.
+
+        The chosen replica gets the whole batch; on timeout or
+        connection loss the identical work (blocks re-elided against
+        the *sibling's* held state) is retried once on another live
+        replica — the request set is immutable, so a replica killed
+        mid-batch loses nothing. A ``StaleReply`` from a behind replica
+        triggers a full republish + one retry before giving up.
+        """
+
+        def send_to(handle: _ReplicaHandle, items, want_trace: bool):
+            shipped = -1
+            subs = []
+            for _, sub in items:
+                if sub.block is not None:
+                    if sub.block_epoch == handle.block_epoch:
+                        sub = sub.without_block()
+                    else:
+                        shipped = sub.block_epoch
+                subs.append(sub)
+            reply = handle.request(
+                ComputeBatch(
+                    epoch=self._epochs[handle.sid],
+                    subs=subs,
+                    want_trace=want_trace,
+                )
+            )
+            if isinstance(reply, StaleReply):
+                reply = self._handle_stale(handle, reply, subs, want_trace)
+            if shipped >= 0:
+                handle.block_epoch = shipped
+            return reply
+
+        def run(sid: int, items):
+            worker_span = None
+            if request_span is not None:
+                worker_span = request_span.child(f"worker[{sid}]")
+                worker_span.annotate(subs=len(items))
+            want_trace = worker_span is not None
+            try:
+                attempt = self._pick(sid)
+                tried = [attempt]
+                while True:
+                    try:
+                        reply = send_to(attempt, items, want_trace)
+                        break
+                    except ServiceRuntimeError:
+                        # The replica timed out or dropped: fail over to
+                        # a sibling not yet tried this batch (which may
+                        # need the blocks re-sent). _pick raises once no
+                        # live sibling remains.
+                        self.stats.failovers += 1
+                        if worker_span is not None:
+                            worker_span.annotate(failover=True)
+                        attempt = self._pick(sid, exclude=tried)
+                        tried.append(attempt)
+            finally:
+                if worker_span is not None:
+                    worker_span.finish()
+            if worker_span is not None and reply.trace is not None:
+                worker_span.graft(reply.trace.spans)
+            return [
+                (slot, result)
+                for (slot, _), result in zip(items, reply.results)
+            ]
+
+        futures = [
+            self._pool.submit(run, sid, items) for sid, items in requests.items()
+        ]
+        replies: dict[tuple[int, int], SubResult] = {}
+        for future in futures:
+            for slot, result in future.result():
+                replies[slot] = result
+        return replies
+
+    def _handle_stale(
+        self, handle: _ReplicaHandle, stale: StaleReply, subs, want_trace
+    ):
+        """Resync a behind replica with a full republish, retry once."""
+        if stale.stamped > stale.held:
+            values, offsets = self.index.shards[handle.sid].labels.export_buffers()
+            self._published_offsets[handle.sid] = np.array(offsets, dtype=np.int64)
+            handle.request(
+                Republish(
+                    epoch=self._epochs[handle.sid],
+                    values=values,
+                    offsets=offsets,
+                )
+            )
+            self.stats.resyncs += 1
+            retry = handle.request(
+                ComputeBatch(
+                    epoch=self._epochs[handle.sid],
+                    subs=subs,
+                    want_trace=want_trace,
+                )
+            )
+            if not isinstance(retry, StaleReply):
+                return retry
+            stale = retry
+        raise WorkerEpochError(
+            f"shard {handle.sid} replica {handle.replica} holds epoch "
+            f"{stale.held} but the batch is stamped {stale.stamped}"
+            + (" (missed epoch broadcast)" if stale.stamped > stale.held else "")
+        )
+
+    def _sync_shard(self, sid: int, affected: Iterable[int]) -> None:
+        """Broadcast an inline label delta to every live replica.
+
+        The changed label arrays are concatenated once (sorted vertex
+        order) and the same frame goes to each replica, which splices
+        it by its own offsets. A replica whose delta send fails is
+        marked dead — the next read fails over, and the stale-resync
+        path covers a replica that somehow diverges.
+        """
+        labels = self.index.shards[sid].labels
+        if not np.array_equal(
+            np.diff(self._published_offsets[sid]), labels.lengths
+        ):
+            # Label layout moved: a splice against the old offsets would
+            # corrupt the replicas — publish fresh buffers instead.
+            self._full_sync(sid)
+            return
+        vertices = np.array(sorted(set(int(v) for v in affected)), dtype=np.int64)
+        if len(vertices):
+            payload = np.concatenate([labels.view(v) for v in vertices])
+        else:
+            payload = np.empty(0, dtype=np.float64)
+        delta = EpochDelta(
+            epoch=self._epochs[sid], vertices=vertices, payload=payload
+        )
+        synced = False
+        for handle in self.alive_replicas(sid):
+            try:
+                handle.request(delta)
+                synced = True
+                self.stats.delta_bytes += int(payload.nbytes)
+            except ServiceRuntimeError:
+                continue  # dead replica: reads will fail over past it
+        if not synced:
+            raise ServiceRuntimeError(
+                f"no live replica left for shard {sid}; "
+                "the runtime must be closed"
+            )
+        self.stats.delta_syncs += 1
+
+    def _full_sync(self, sid: int) -> None:
+        """Republish whole buffers to every live replica."""
+        values, offsets = self.index.shards[sid].labels.export_buffers()
+        self._published_offsets[sid] = np.array(offsets, dtype=np.int64)
+        message = Republish(
+            epoch=self._epochs[sid], values=values, offsets=offsets
+        )
+        synced = False
+        for handle in self.alive_replicas(sid):
+            try:
+                handle.request(message)
+                synced = True
+                self.stats.republish_bytes += int(
+                    values.nbytes + offsets.nbytes
+                )
+            except ServiceRuntimeError:
+                continue
+        if not synced:
+            raise ServiceRuntimeError(
+                f"no live replica left for shard {sid}; "
+                "the runtime must be closed"
+            )
+        self.stats.republishes += 1
+
+    def _close_transport(self) -> None:
+        for group in self._groups:
+            for handle in group:
+                try:
+                    handle.destroy()
+                except Exception:  # pragma: no cover - teardown best effort
+                    pass
+        self._groups = [[] for _ in range(self.index.k)]
+
+    def __repr__(self) -> str:  # pragma: no cover - repr sugar
+        state = (
+            "closed"
+            if self._closed
+            else f"{self.worker_count}/{self.index.k * self.replicas} replicas"
+        )
+        return f"SocketShardRuntime(k={self.index.k}, {state})"

@@ -10,15 +10,26 @@ and re-binds a :class:`~repro.labelling.labels.HierarchicalLabelling`
 onto the shared buffers, so the big label payload crosses the process
 boundary exactly once and queries gather from it zero-copy.
 
-**Batch scheduling.** An incoming pair batch is grouped by
-``(source region, target region)`` exactly like the in-process sharded
-engine; each group becomes worker requests dispatched concurrently
-(one I/O thread per worker, workers truly parallel across cores):
-intra-shard groups ask the owning worker for the shard-kernel distances
-plus both boundary fans in one round trip, cross-shard groups ask the
-two owning workers for one fan each. The parent then runs the overlay
-min-plus combine over the returned fans — the overlay index itself
-never leaves the parent.
+**Protocol.** Parent and worker speak the typed runtime protocol of
+:mod:`repro.service.protocol`: every request/reply is a versioned
+dataclass serialised by the length-framed binary codec and carried as
+one ``send_bytes``/``recv_bytes`` frame per message (the pipe already
+preserves frame boundaries, so no extra length prefix). The only pickle
+left is inside the startup :class:`~repro.service.protocol.SpecRequest`
+— compute, delta and republish traffic is struct + JSON header + raw
+numpy buffers. The worker-side state machine is
+:class:`ShardExecutor`, shared verbatim with the TCP transport in
+:mod:`repro.service.socket_runtime` — the two runtimes differ only in
+how frames travel and how label buffers sync.
+
+**Batch scheduling** lives in the shared
+:class:`~repro.service.runtime.RegionPairScheduler` base: pair batches
+split by ``(source region, target region)`` exactly like the in-process
+sharded engine; each group becomes typed
+:class:`~repro.service.protocol.SubQuery` messages dispatched
+concurrently (one I/O thread per worker, workers truly parallel across
+cores). The parent runs the overlay min-plus combine over returned
+fans — the overlay index itself never leaves the parent.
 
 **Epoch broadcast.** ``apply_update`` runs maintenance in the parent
 (where the authoritative shards live), then re-publishes only what
@@ -39,26 +50,35 @@ from __future__ import annotations
 
 import pickle
 import threading
-from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
 from multiprocessing import get_context, shared_memory
-from typing import Iterable, Sequence
+from typing import Iterable
 
 import numpy as np
 
 from repro.exceptions import ServiceRuntimeError, WorkerEpochError
-from repro.observability import Span, maybe_child, phase
-from repro.service.runtime import ExecutionRuntime
-from repro.sharding.engine import (
-    boundary_fan,
-    min_plus_compact,
-    region_pair_groups,
+from repro.observability import Span, maybe_child
+from repro.service.protocol import (
+    AckReply,
+    ByeReply,
+    ComputeBatch,
+    ComputeReply,
+    EpochDelta,
+    ErrorReply,
+    Message,
+    ReadyReply,
+    Republish,
+    Shutdown,
+    SpecRequest,
+    StaleReply,
+    SubQuery,
+    SubResult,
+    TraceEnvelope,
+    decode_frame,
+    encode_frame,
 )
-from repro.sharding.stats import ShardedMaintenanceStats
+from repro.service.runtime import RegionPairScheduler, WorkerPoolStats
 
-__all__ = ["ShardWorkerRuntime", "WorkerPoolStats"]
-
-WeightChange = tuple[int, int, float]
+__all__ = ["ShardExecutor", "ShardWorkerRuntime", "WorkerPoolStats"]
 
 _STARTUP_TIMEOUT = 120.0
 _SHUTDOWN_TIMEOUT = 5.0
@@ -98,12 +118,12 @@ def _attach_shm(name: str) -> shared_memory.SharedMemory:
             resource_tracker.register = original
 
 
-@dataclass
 class _Segment:
     """A parent-owned shared-memory segment and its numpy view."""
 
-    shm: shared_memory.SharedMemory
-    array: np.ndarray
+    def __init__(self, shm: shared_memory.SharedMemory, array: np.ndarray):
+        self.shm = shm
+        self.array = array
 
     @property
     def meta(self) -> tuple[str, int]:
@@ -128,172 +148,233 @@ def _publish_array(array: np.ndarray, dtype) -> _Segment:
 
 
 # ---------------------------------------------------------------------------
-# the worker process
+# the worker-side state machine (transport independent)
 # ---------------------------------------------------------------------------
 
-def _worker_attach(index, values_meta, offsets_meta) -> list:
-    """Bind *index*'s labelling onto the published segments (zero-copy)."""
-    from repro.labelling.labels import HierarchicalLabelling
-    from repro.labelling.query import QueryEngine
+class ShardExecutor:
+    """One shard's protocol state machine, independent of transport.
 
-    values_shm = _attach_shm(values_meta[0])
-    offsets_shm = _attach_shm(offsets_meta[0])
-    values = np.ndarray((values_meta[1],), dtype=np.float64, buffer=values_shm.buf)
-    offsets = np.ndarray((offsets_meta[1],), dtype=np.int64, buffer=offsets_shm.buf)
-    # The parent is the only writer; a worker-side write would silently
-    # diverge from the authoritative store, so make it raise instead.
+    Both worker mains — the pipe worker below and the TCP worker in
+    :mod:`repro.service.socket_runtime` — decode frames and hand the
+    messages here. The executor owns the shard structure, the bound
+    label buffers, the held epoch and the cached overlay block; it
+    answers every message with the matching reply dataclass and never
+    touches a byte stream, which is what makes the compute path
+    testable in-process and reusable across transports.
+    """
+
+    def __init__(self):
+        self.index = None
+        self.boundary_local = None
+        self.epoch = 0
+        self.values: np.ndarray | None = None
+        self.offsets: np.ndarray | None = None
+        self._block: np.ndarray | None = None
+        self._block_epoch = -1
+
+    # -- lifecycle ------------------------------------------------------
+    def setup(self, spec: SpecRequest, values, offsets) -> ReadyReply:
+        """Unpickle the shard structure, bind the label buffers."""
+        payload = pickle.loads(spec.payload)
+        self.index = payload["index"]
+        self.boundary_local = payload["boundary_local"]
+        self.epoch = spec.epoch
+        self.bind(values, offsets)
+        return ReadyReply(
+            num_vertices=self.index.graph.num_vertices, epoch=self.epoch
+        )
+
+    def bind(self, values: np.ndarray, offsets: np.ndarray) -> None:
+        """Rebind the labelling + query engine onto fresh buffers."""
+        from repro.labelling.labels import HierarchicalLabelling
+        from repro.labelling.query import QueryEngine
+
+        self.values = values
+        self.offsets = offsets
+        labels = HierarchicalLabelling.from_shared_buffers(
+            values, offsets, self.index.hq.tau
+        )
+        self.index.labels = labels
+        self.index._engine = QueryEngine(self.index.hq, labels)
+
+    # -- maintenance ----------------------------------------------------
+    def apply_delta(self, delta: EpochDelta) -> AckReply:
+        """Adopt the epoch; splice inline label deltas first if present.
+
+        The shared-memory transport ships ``vertices=None`` (the parent
+        already wrote the values into the segment in place); the socket
+        transport ships the changed label arrays inline and the
+        executor splices them into its private writable buffers using
+        its own offsets.
+        """
+        if delta.vertices is not None:
+            values, offsets = self.values, self.offsets
+            payload = delta.payload
+            pos = 0
+            for v in delta.vertices:
+                start = int(offsets[v])
+                length = int(offsets[v + 1]) - start
+                values[start : start + length] = payload[pos : pos + length]
+                pos += length
+        self.epoch = delta.epoch
+        return AckReply()
+
+    # -- compute --------------------------------------------------------
+    def compute(self, batch: ComputeBatch) -> ComputeReply | StaleReply:
+        """Answer one batch's worth of shard-local work at its epoch.
+
+        A batch stamped with a different epoch than held is refused
+        without touching the buffers — the consistency contract that
+        keeps a worker that missed a broadcast from serving silently
+        wrong distances.
+        """
+        if batch.epoch != self.epoch:
+            return StaleReply(held=self.epoch, stamped=batch.epoch)
+        from repro.sharding.engine import boundary_fan, min_plus_compact
+
+        worker_span = Span("shard_compute") if batch.want_trace else None
+        engine = self.index.engine
+        results: list[SubResult] = []
+        for sub_index, sub in enumerate(batch.subs):
+            sub_span = (
+                worker_span.child(f"sub[{sub_index}]")
+                if worker_span is not None
+                else None
+            )
+            block = self._resolve_block(sub)
+            intra = ds = dt = None
+            if sub.s is not None:
+                with maybe_child(sub_span, "intra_kernel"):
+                    intra = engine.distances_arrays(sub.s, sub.t)
+            if sub.fan_src is not None:
+                with maybe_child(sub_span, "fan_src"):
+                    ds = boundary_fan(
+                        engine, sub.fan_src.vertices, self.boundary_local,
+                        compact=True,
+                    )
+            if sub.fan_dst is not None:
+                with maybe_child(sub_span, "fan_dst"):
+                    dt = boundary_fan(
+                        engine, sub.fan_dst.vertices, self.boundary_local,
+                        compact=True,
+                    )
+            if block is not None:
+                # Intra-shard sub: fold the boundary route here, return
+                # the final array instead of two fan matrices.
+                with maybe_child(sub_span, "min_plus"):
+                    best = min_plus_compact(ds[0], ds[1], block, dt[0], dt[1])
+                    if intra is not None:
+                        best = np.minimum(intra, best)
+                results.append(SubResult(final=best))
+            elif intra is not None:
+                results.append(SubResult(final=intra))
+            else:
+                results.append(
+                    SubResult(
+                        ds=ds[0] if ds is not None else None,
+                        ds_inverse=ds[1] if ds is not None else None,
+                        dt=dt[0] if dt is not None else None,
+                        dt_inverse=dt[1] if dt is not None else None,
+                    )
+                )
+            if sub_span is not None:
+                sub_span.finish()
+        trace = (
+            TraceEnvelope(spans=worker_span.finish().to_dict())
+            if worker_span is not None
+            else None
+        )
+        return ComputeReply(results=results, trace=trace)
+
+    def _resolve_block(self, sub: SubQuery) -> np.ndarray | None:
+        """The sub's overlay block: shipped inline, or held from before.
+
+        The scheduler elides a block only when it believes this target
+        holds the stamped overlay epoch; a mismatch here means the
+        parent's bookkeeping diverged, which must surface, not silently
+        use stale overlay distances.
+        """
+        if sub.block is not None:
+            self._block = sub.block
+            self._block_epoch = sub.block_epoch
+            return sub.block
+        if sub.block_cached:
+            if self._block is None or self._block_epoch != sub.block_epoch:
+                raise RuntimeError("no cached overlay block held")
+            return self._block
+        return None
+
+
+# ---------------------------------------------------------------------------
+# the worker process (pipe transport)
+# ---------------------------------------------------------------------------
+
+def _attach_views(message) -> tuple[list, np.ndarray, np.ndarray]:
+    """Attach the segments a :class:`SpecRequest`/:class:`Republish`
+    names; returns read-only numpy views over them.
+
+    The parent is the only writer; a worker-side write would silently
+    diverge from the authoritative store, so it raises instead.
+    """
+    values_shm = _attach_shm(message.shm_values)
+    offsets_shm = _attach_shm(message.shm_offsets)
+    values = np.ndarray(
+        (message.values_len,), dtype=np.float64, buffer=values_shm.buf
+    )
+    offsets = np.ndarray(
+        (message.offsets_len,), dtype=np.int64, buffer=offsets_shm.buf
+    )
     values.flags.writeable = False
     offsets.flags.writeable = False
-    labels = HierarchicalLabelling.from_shared_buffers(values, offsets, index.hq.tau)
-    index.labels = labels
-    index._engine = QueryEngine(index.hq, labels)
-    return [values_shm, offsets_shm]
+    return [values_shm, offsets_shm], values, offsets
 
 
 def _worker_main(conn) -> None:
-    """One shard worker: attach buffers, answer requests until shutdown.
+    """One shard worker: attach buffers, answer frames until shutdown.
 
     Runs as the target of a spawned process (module-level, so it is
-    importable under any start method). The protocol is one pickled
-    tuple per request, answered in order:
-
-    ``("spec", payload, values_meta, offsets_meta)``
-        First message. Unpickle the shard structure, attach the shared
-        label buffers, reply ``("ready", num_vertices)``.
-    ``("compute", epoch, subs[, want_trace])``
-        Answer one batch's worth of shard-local work at *epoch* — all
-        of this worker's sub-batches travel in one message, so a batch
-        costs one pipe round trip per worker. Each sub is
-        ``(s, t, fan_src, fan_dst, block)``: batch distances for the
-        ``s``/``t`` local-id arrays (or ``None``), boundary fans for
-        the ``fan_src``/``fan_dst`` arrays (or ``None``), and — for
-        intra-shard sub-batches — the overlay boundary block, so the
-        worker runs the min-plus combine itself and ships back one
-        final array instead of two fan matrices. The block only
-        changes with overlay maintenance, so the parent ships it once
-        per overlay epoch and sends the marker string ``"cached"``
-        afterwards; the worker keeps the last received block. Fans are
-        returned in deduplicated ``(unique_matrix, inverse)`` form, so
-        pipe bytes scale with unique endpoints, not raw pair count.
-        Replies ``("ok", [(best_or_intra, ds, dt), ...], span_dict)`` —
-        ``span_dict`` is the worker-side span tree (dict form) when the
-        optional ``want_trace`` flag was sent truthy, else ``None`` —
-        or ``("stale", held, stamped)`` without touching the buffers
-        when the epoch does not match.
-    ``("epoch", new_epoch)``
-        The parent finished an in-place delta publish; adopt the epoch.
-    ``("republish", new_epoch, values_meta, offsets_meta)``
-        The label layout changed: detach, attach the new segments,
-        adopt the epoch. Replies ``("ok",)`` *before* the parent unlinks
-        the old segments.
-    ``("shutdown",)``
-        Reply ``("bye",)``, detach everything, exit.
+    importable under any start method). Each pipe message is one
+    protocol frame; the :class:`ShardExecutor` holds all state. Worker
+    exceptions become :class:`~repro.service.protocol.ErrorReply`
+    frames instead of hanging the parent.
     """
-    index = None
-    boundary_local = None
+    executor = ShardExecutor()
     shms: list = []
-    epoch = 0
-    cached_block = None
     try:
         while True:
             try:
-                message = conn.recv()
-            except EOFError:
+                frame = conn.recv_bytes()
+            except (EOFError, OSError):
                 break
-            op = message[0]
             try:
-                if op == "spec":
-                    payload = pickle.loads(message[1])
-                    index = payload["index"]
-                    boundary_local = payload["boundary_local"]
-                    shms = _worker_attach(index, message[2], message[3])
-                    reply = ("ready", index.graph.num_vertices)
-                elif op == "compute":
-                    stamped = message[1]
-                    if stamped != epoch:
-                        reply = ("stale", epoch, stamped)
-                    else:
-                        # Optional trailing flag: a sampled parent trace
-                        # wants this worker's span subtree shipped back.
-                        want_trace = len(message) > 3 and bool(message[3])
-                        worker_span = Span("shard_compute") if want_trace else None
-                        engine = index.engine
-                        results = []
-                        for sub_index, (s, t, fan_src, fan_dst, block) in (
-                            enumerate(message[2])
-                        ):
-                            sub_span = (
-                                worker_span.child(f"sub[{sub_index}]")
-                                if worker_span is not None
-                                else None
-                            )
-                            if isinstance(block, str):  # "cached" marker
-                                if cached_block is None:
-                                    raise RuntimeError(
-                                        "no cached overlay block held"
-                                    )
-                                block = cached_block
-                            elif block is not None:
-                                cached_block = block
-                            intra = ds = dt = None
-                            if s is not None:
-                                with maybe_child(sub_span, "intra_kernel"):
-                                    intra = engine.distances_arrays(s, t)
-                            if fan_src is not None:
-                                with maybe_child(sub_span, "fan_src"):
-                                    ds = boundary_fan(
-                                        engine,
-                                        fan_src,
-                                        boundary_local,
-                                        compact=True,
-                                    )
-                            if fan_dst is not None:
-                                with maybe_child(sub_span, "fan_dst"):
-                                    dt = boundary_fan(
-                                        engine,
-                                        fan_dst,
-                                        boundary_local,
-                                        compact=True,
-                                    )
-                            if block is not None:
-                                # Intra-shard sub: fold the boundary
-                                # route here, return the final array.
-                                with maybe_child(sub_span, "min_plus"):
-                                    best = min_plus_compact(
-                                        ds[0], ds[1], block, dt[0], dt[1]
-                                    )
-                                    if intra is not None:
-                                        best = np.minimum(intra, best)
-                                results.append((best, None, None))
-                            else:
-                                results.append((intra, ds, dt))
-                            if sub_span is not None:
-                                sub_span.finish()
-                        reply = (
-                            "ok",
-                            results,
-                            worker_span.finish().to_dict()
-                            if worker_span is not None
-                            else None,
-                        )
-                elif op == "epoch":
-                    epoch = message[1]
-                    reply = ("ok",)
-                elif op == "republish":
+                message = decode_frame(frame)
+                if isinstance(message, SpecRequest):
+                    shms, values, offsets = _attach_views(message)
+                    reply: Message = executor.setup(message, values, offsets)
+                elif isinstance(message, ComputeBatch):
+                    reply = executor.compute(message)
+                elif isinstance(message, EpochDelta):
+                    reply = executor.apply_delta(message)
+                elif isinstance(message, Republish):
                     old = shms
-                    shms = _worker_attach(index, message[2], message[3])
+                    shms, values, offsets = _attach_views(message)
+                    executor.bind(values, offsets)
+                    executor.epoch = message.epoch
+                    # Ack *before* the parent unlinks the old segments;
+                    # detach our old mappings now that the swap is done.
                     for shm in old:
                         shm.close()
-                    epoch = message[1]
-                    reply = ("ok",)
-                elif op == "shutdown":
-                    conn.send(("bye",))
+                    reply = AckReply()
+                elif isinstance(message, Shutdown):
+                    conn.send_bytes(encode_frame(ByeReply()))
                     break
-                else:
-                    reply = ("error", f"unknown op {op!r}")
+                else:  # pragma: no cover - future message types
+                    reply = ErrorReply(
+                        message=f"unhandled {type(message).__name__}"
+                    )
             except Exception as exc:  # surface instead of hanging the parent
-                reply = ("error", f"{type(exc).__name__}: {exc}")
-            conn.send(reply)
+                reply = ErrorReply(message=f"{type(exc).__name__}: {exc}")
+            conn.send_bytes(encode_frame(reply))
     finally:
         for shm in shms:
             try:
@@ -337,16 +418,19 @@ class _WorkerHandle:
             )
             self.process.start()
             child_conn.close()
-            self.conn.send(
-                (
-                    "spec",
-                    index.shard_worker_payload(sid),
-                    self.values_seg.meta,
-                    self.offsets_seg.meta,
+            self.conn.send_bytes(
+                encode_frame(
+                    SpecRequest(
+                        payload=index.shard_worker_payload(sid),
+                        shm_values=self.values_seg.meta[0],
+                        shm_offsets=self.offsets_seg.meta[0],
+                        values_len=self.values_seg.meta[1],
+                        offsets_len=self.offsets_seg.meta[1],
+                    )
                 )
             )
             reply = self.request_reply(timeout=_STARTUP_TIMEOUT)
-            if reply[0] != "ready":
+            if not isinstance(reply, ReadyReply):
                 raise ServiceRuntimeError(
                     f"shard worker {sid} failed to start: {reply!r}"
                 )
@@ -354,32 +438,35 @@ class _WorkerHandle:
             self.destroy()
             raise
 
-    def request_reply(self, timeout: float | None = None):
+    def request_reply(self, timeout: float | None = None) -> Message:
         if timeout is not None and not self.conn.poll(timeout):
             raise ServiceRuntimeError(
                 f"shard worker {self.sid} did not answer within {timeout}s"
             )
-        return self.conn.recv()
+        return decode_frame(self.conn.recv_bytes())
 
-    def request(self, message: tuple, timeout: float | None = None):
-        """Send one request and decode the worker's reply."""
+    def request(self, message: Message, timeout: float | None = None) -> Message:
+        """Send one request frame and decode the worker's reply."""
         with self._lock:
             try:
-                self.conn.send(message)
+                self.conn.send_bytes(encode_frame(message))
                 reply = self.request_reply(timeout)
             except (BrokenPipeError, EOFError, OSError) as exc:
                 raise ServiceRuntimeError(
                     f"shard worker {self.sid} is gone ({exc!r}); "
                     "the runtime must be closed"
                 ) from exc
-        if reply[0] == "error":
-            raise ServiceRuntimeError(f"shard worker {self.sid}: {reply[1]}")
-        if reply[0] == "stale":
-            held, stamped = reply[1], reply[2]
+        if isinstance(reply, ErrorReply):
+            raise ServiceRuntimeError(f"shard worker {self.sid}: {reply.message}")
+        if isinstance(reply, StaleReply):
             raise WorkerEpochError(
-                f"shard worker {self.sid} holds epoch {held} but the batch "
-                f"is stamped {stamped}"
-                + (" (missed epoch broadcast)" if stamped > held else "")
+                f"shard worker {self.sid} holds epoch {reply.held} but the "
+                f"batch is stamped {reply.stamped}"
+                + (
+                    " (missed epoch broadcast)"
+                    if reply.stamped > reply.held
+                    else ""
+                )
             )
         return reply
 
@@ -427,7 +514,13 @@ class _WorkerHandle:
         self.segments = [self.values_seg, self.offsets_seg]
         try:
             self.request(
-                ("republish", new_epoch, self.values_seg.meta, self.offsets_seg.meta)
+                Republish(
+                    epoch=new_epoch,
+                    shm_values=self.values_seg.meta[0],
+                    shm_offsets=self.offsets_seg.meta[0],
+                    values_len=self.values_seg.meta[1],
+                    offsets_len=self.offsets_seg.meta[1],
+                )
             )
         finally:
             # Unlink the old pair whether the worker acked re-attachment
@@ -443,7 +536,7 @@ class _WorkerHandle:
         if self.process is not None and self.process.is_alive():
             try:
                 with self._lock:
-                    self.conn.send(("shutdown",))
+                    self.conn.send_bytes(encode_frame(Shutdown()))
                     self.request_reply(timeout=_SHUTDOWN_TIMEOUT)
             except Exception:
                 pass
@@ -464,36 +557,7 @@ class _WorkerHandle:
 # the runtime
 # ---------------------------------------------------------------------------
 
-@dataclass
-class WorkerPoolStats:
-    """Scheduler and epoch-broadcast counters of a worker-pool runtime.
-
-    ``sub_batches`` counts worker requests (the split granularity),
-    ``intra_pairs``/``cross_pairs`` how the traffic divided, and the
-    broadcast counters certify the delta path: after N flushes,
-    ``delta_syncs + republishes == shards touched across those flushes``
-    and ``delta_bytes`` stays far below N full buffer copies.
-    """
-
-    batches: int = 0
-    pairs: int = 0
-    intra_pairs: int = 0
-    cross_pairs: int = 0
-    sub_batches: int = 0
-    epoch_broadcasts: int = 0
-    delta_syncs: int = 0
-    delta_bytes: int = 0
-    republishes: int = 0
-    republish_bytes: int = 0
-    #: Whole-buffer re-syncs forced by maintenance that bypassed
-    #: ``apply_update`` (direct index updates; epoch drift).
-    full_syncs: int = 0
-
-    def as_dict(self) -> dict[str, int]:
-        return dict(self.__dict__)
-
-
-class ShardWorkerRuntime(ExecutionRuntime):
+class ShardWorkerRuntime(RegionPairScheduler):
     """Serve a sharded index from one worker process per region shard.
 
     Parameters
@@ -509,33 +573,15 @@ class ShardWorkerRuntime(ExecutionRuntime):
     """
 
     kind = "worker-pool"
-    # Sharded distances have no per-pair hub certificate (see
-    # ShardedDHLIndex); the cache must use epoch invalidation.
-    supports_fine_grained_eviction = False
 
     def __init__(self, index, *, start_method: str = "spawn"):
-        from repro.core.sharded import ShardedDHLIndex
-
-        if not isinstance(index, ShardedDHLIndex):
-            raise TypeError(
-                "ShardWorkerRuntime requires a ShardedDHLIndex; got "
-                f"{type(index).__name__} (use InProcessRuntime instead)"
-            )
-        self.index = index
-        self.stats = WorkerPoolStats()
-        self._epochs = [0] * index.k
+        super().__init__(index)
         # Overlay epoch at which each worker last received its intra
         # boundary block (-1: never shipped).
         self._block_epochs = [-1] * index.k
-        self._index_epoch = index.epoch
         self._workers: list[_WorkerHandle] = []
-        self._pool: ThreadPoolExecutor | None = None
-        self._closed = False
         ctx = get_context(start_method)
         try:
-            self._pool = ThreadPoolExecutor(
-                max_workers=index.k, thread_name_prefix="shard-io"
-            )
             # Spawn + handshake concurrently: interpreter boot dominates
             # worker startup, so k workers come up in ~one boot.
             futures = [
@@ -565,133 +611,20 @@ class ShardWorkerRuntime(ExecutionRuntime):
     def worker_count(self) -> int:
         return len(self._workers)
 
-    def distances(self, pairs: Sequence[tuple[int, int]]) -> np.ndarray:
-        pairs = list(pairs)
-        if not pairs:
-            return np.empty(0, dtype=np.float64)
-        arr = np.asarray(pairs, dtype=np.int64)
-        return self.distances_arrays(arr[:, 0], arr[:, 1])
-
-    def distances_arrays(self, s: np.ndarray, t: np.ndarray) -> np.ndarray:
-        """Batch distances via the region-pair-aware batch scheduler."""
-        if self._closed:
-            raise ServiceRuntimeError("runtime is closed")
-        self._reconcile_index_epoch()
-        # Attach scheduler/worker spans under the caller's open request
-        # span (None when the request was not sampled or tracing is off).
-        request_span = self.observability.tracer.current
-        owner = self.index
-        s = np.asarray(s, dtype=np.int64)
-        t = np.asarray(t, dtype=np.int64)
-        if not len(s):
-            return np.empty(0, dtype=np.float64)
-        out = np.full(len(s), np.inf, dtype=np.float64)
-        rs = owner.region_of[s]
-        rt = owner.region_of[t]
-        local_s = owner.local_of[s]
-        local_t = owner.local_of[t]
-        has_overlay = owner.overlay is not None
-        overlay_epoch = owner.overlay.epoch if has_overlay else 0
-
-        groups: list[tuple[np.ndarray, int, int]] = []
-        requests: dict[int, list[tuple[tuple[int, int], tuple]]] = {}
-        shipped_blocks: dict[int, int] = {}
-
-        def enqueue(sid: int, slot: tuple[int, int], sub: tuple) -> None:
-            requests.setdefault(sid, []).append((slot, sub))
-            self.stats.sub_batches += 1
-
-        def intra_block(i: int):
-            # The worker keeps the last block it saw; only an overlay
-            # maintenance epoch forces a fresh ship.
-            if self._block_epochs[i] == overlay_epoch:
-                return "cached"
-            shipped_blocks[i] = overlay_epoch
-            return engine.overlay_block(i, i)
-
-        engine = owner.engine  # overlay blocks + their epoch cache
-        # Same (region_s, region_t) split as the in-process sharded
-        # engine, but each group becomes worker sub-batches.
-        with maybe_child(request_span, "scheduler"):
-            for g, (idx, i, j) in enumerate(region_pair_groups(rs, rt, owner.k)):
-                groups.append((idx, i, j))
-                s_local = local_s[idx]
-                t_local = local_t[idx]
-                fan = (
-                    has_overlay
-                    and len(owner.boundary_local[i])
-                    and len(owner.boundary_local[j])
-                )
-                if i == j:
-                    self.stats.intra_pairs += len(idx)
-                    # The (tiny, epoch-cached) overlay block travels with
-                    # the sub-batch: the owning worker folds the boundary
-                    # route itself and ships back one final array.
-                    enqueue(
-                        i,
-                        (g, "final"),
-                        (
-                            s_local,
-                            t_local,
-                            s_local if fan else None,
-                            t_local if fan else None,
-                            intra_block(i) if fan else None,
-                        ),
-                    )
-                else:
-                    self.stats.cross_pairs += len(idx)
-                    if fan:
-                        engine.overlay_block(i, j)  # warm the cache serially
-                        enqueue(i, (g, "src"), (None, None, s_local, None, None))
-                        enqueue(j, (g, "dst"), (None, None, None, t_local, None))
-
-        replies = self._dispatch(requests, request_span)
-        # Only a delivered block counts as held worker-side; a failed
-        # dispatch re-ships next batch.
-        for sid, stamp in shipped_blocks.items():
-            self._block_epochs[sid] = stamp
-
-        # Cross-shard combines need both workers' fans, so they run in
-        # the parent — spread across the I/O threads (numpy releases
-        # the GIL for the large intermediates).
-        combines = []
-        for g, (idx, i, j) in enumerate(groups):
-            if i == j:
-                out[idx] = replies[(g, "final")][0]
-            elif (g, "src") in replies:
-                combines.append((g, idx, i, j))
-
-        def combine(item):
-            g, idx, i, j = item
-            ds, ds_inv = replies[(g, "src")][1]
-            dt, dt_inv = replies[(g, "dst")][2]
-            out[idx] = min_plus_compact(
-                ds, ds_inv, engine.overlay_block(i, j), dt, dt_inv
-            )
-
-        with maybe_child(request_span, "min_plus_combine") as combine_span:
-            if combine_span is not None:
-                combine_span.annotate(groups=len(combines))
-            if len(combines) > 1:
-                list(self._pool.map(combine, combines))
-            elif combines:
-                combine(combines[0])
-        out[s == t] = 0.0
-        self.stats.batches += 1
-        self.stats.pairs += len(s)
-        return out
-
+    # ------------------------------------------------------------------
+    # transport hooks
+    # ------------------------------------------------------------------
     def _dispatch(
         self,
-        requests: dict[int, list[tuple[tuple[int, int], tuple]]],
+        requests: dict[int, list[tuple[tuple[int, int], SubQuery]]],
         request_span: Span | None = None,
-    ) -> dict[tuple[int, int], tuple]:
-        """Ship each worker its sub-batches in one message, concurrently.
+    ) -> dict[tuple[int, int], SubResult]:
+        """Ship each worker its sub-queries in one frame, concurrently.
 
         One pipe round trip per worker per batch (the I/O threads only
         wait on their worker, so the k shard processes compute in
-        parallel); replies map scheduler slots to ``(intra, ds, dt)``
-        triples. With *request_span*, each round trip gets a
+        parallel). Overlay blocks the worker already holds are elided
+        per target. With *request_span*, each round trip gets a
         ``worker[sid]`` child span and the worker is asked to ship its
         own subtree back, which is grafted under that child — the spans
         are finished even when the worker refuses the batch as stale,
@@ -700,126 +633,83 @@ class ShardWorkerRuntime(ExecutionRuntime):
 
         def run(sid: int, items):
             handle = self._workers[sid]
-            subs = [sub for _, sub in items]
+            held = self._block_epochs[sid]
+            shipped = -1
+            subs = []
+            for _, sub in items:
+                if sub.block is not None:
+                    if sub.block_epoch == held:
+                        sub = sub.without_block()
+                    else:
+                        shipped = sub.block_epoch
+                subs.append(sub)
             worker_span = None
             if request_span is not None:
                 worker_span = request_span.child(f"worker[{sid}]")
                 worker_span.annotate(subs=len(subs))
             try:
                 reply = handle.request(
-                    ("compute", self._epochs[sid], subs, worker_span is not None)
+                    ComputeBatch(
+                        epoch=self._epochs[sid],
+                        subs=subs,
+                        want_trace=worker_span is not None,
+                    )
                 )
             finally:
                 if worker_span is not None:
                     worker_span.finish()
-            if worker_span is not None and len(reply) > 2 and reply[2]:
-                worker_span.graft(reply[2])
-            return [(slot, result) for (slot, _), result in zip(items, reply[1])]
+            if worker_span is not None and reply.trace is not None:
+                worker_span.graft(reply.trace.spans)
+            if shipped >= 0:
+                # Only a delivered block counts as held worker-side; a
+                # failed dispatch re-ships next batch.
+                self._block_epochs[sid] = shipped
+            return [
+                (slot, result)
+                for (slot, _), result in zip(items, reply.results)
+            ]
 
         futures = [
             self._pool.submit(run, sid, items) for sid, items in requests.items()
         ]
-        replies: dict[tuple[int, int], tuple] = {}
+        replies: dict[tuple[int, int], SubResult] = {}
         for future in futures:
-            for slot, reply in future.result():
-                replies[slot] = reply
+            for slot, result in future.result():
+                replies[slot] = result
         return replies
 
-    def distance(self, s: int, t: int) -> float:
-        return float(
-            self.distances_arrays(
-                np.array([s], dtype=np.int64), np.array([t], dtype=np.int64)
-            )[0]
-        )
+    def _sync_shard(self, sid: int, affected: Iterable[int]) -> None:
+        handle = self._workers[sid]
+        labels = self.index.shards[sid].labels
+        if handle.delta_applicable(labels):
+            self.stats.delta_bytes += handle.write_deltas(labels, affected)
+            handle.request(EpochDelta(epoch=self._epochs[sid]))
+            self.stats.delta_syncs += 1
+        else:  # label layout moved: publish fresh buffers
+            self.stats.republish_bytes += handle.republish(
+                labels, self._epochs[sid]
+            )
+            self.stats.republishes += 1
 
-    # ------------------------------------------------------------------
-    # maintenance + epoch broadcast
-    # ------------------------------------------------------------------
-    def apply_update(
-        self, changes: Iterable[WeightChange], workers: int | None = None
-    ) -> ShardedMaintenanceStats:
-        """Apply the batch in the parent, then broadcast shard deltas.
+    def _full_sync(self, sid: int) -> None:
+        handle = self._workers[sid]
+        labels = self.index.shards[sid].labels
+        if handle.delta_applicable(labels):
+            handle.write_full(labels)
+            handle.request(EpochDelta(epoch=self._epochs[sid]))
+        else:
+            self.stats.republish_bytes += handle.republish(
+                labels, self._epochs[sid]
+            )
+            self.stats.republishes += 1
 
-        Overlay maintenance needs no broadcast (the overlay index lives
-        only in the parent); a touched shard gets its changed label
-        slots copied into the shared segment plus an epoch bump — or a
-        full republish if maintenance changed the label layout.
-        """
-        if self._closed:
-            raise ServiceRuntimeError("runtime is closed")
-        self._reconcile_index_epoch()
-        stats = self.index.update(changes, workers)
-        self._index_epoch = self.index.epoch
-        with phase("flush.delta_sync"):
-            for sid in stats.touched_shards:
-                handle = self._workers[sid]
-                labels = self.index.shards[sid].labels
-                self._epochs[sid] += 1
-                if handle.delta_applicable(labels):
-                    self.stats.delta_bytes += handle.write_deltas(
-                        labels, stats.per_shard[sid].affected_labels
-                    )
-                    handle.request(("epoch", self._epochs[sid]))
-                    self.stats.delta_syncs += 1
-                else:  # label layout moved: publish fresh buffers
-                    self.stats.republish_bytes += handle.republish(
-                        labels, self._epochs[sid]
-                    )
-                    self.stats.republishes += 1
-                self.stats.epoch_broadcasts += 1
-        return stats
-
-    def pool_stats(self) -> WorkerPoolStats:
-        return self.stats
-
-    def _reconcile_index_epoch(self) -> None:
-        """Re-sync workers after maintenance that bypassed this runtime.
-
-        A direct ``index.update(...)`` (structural op, another caller)
-        advances the index epoch without telling us which labels moved;
-        the only safe answer is a whole-buffer publish per shard —
-        in place when the layout still fits, fresh segments otherwise.
-        """
-        if self.index.epoch == self._index_epoch:
-            return
-        for sid, handle in enumerate(self._workers):
-            labels = self.index.shards[sid].labels
-            self._epochs[sid] += 1
-            if handle.delta_applicable(labels):
-                handle.write_full(labels)
-                handle.request(("epoch", self._epochs[sid]))
-            else:
-                self.stats.republish_bytes += handle.republish(
-                    labels, self._epochs[sid]
-                )
-                self.stats.republishes += 1
-            self.stats.full_syncs += 1
-            self.stats.epoch_broadcasts += 1
-        self._index_epoch = self.index.epoch
-
-    # ------------------------------------------------------------------
-    # lifecycle
-    # ------------------------------------------------------------------
-    def close(self) -> None:
-        """Join every worker and unlink every shared segment; idempotent."""
-        if self._closed:
-            return
-        self._closed = True
+    def _close_transport(self) -> None:
         for handle in self._workers:
             try:
                 handle.destroy()
             except Exception:  # pragma: no cover - teardown best effort
                 pass
         self._workers = []
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
-
-    def __del__(self):  # pragma: no cover - safety net
-        try:
-            self.close()
-        except Exception:
-            pass
 
     def __repr__(self) -> str:  # pragma: no cover - repr sugar
         state = "closed" if self._closed else f"{len(self._workers)} workers"

@@ -1,0 +1,263 @@
+"""The asyncio micro-batching frontend: folding, shedding, ordering.
+
+The frontend's contract: concurrent ``await``-style calls fold into
+few scheduler batches (the whole point — per-call dispatch would pay a
+full runtime round trip per pair), every admitted request is answered
+with exactly what the synchronous service would say, requests past the
+queue-depth limit are shed with
+:class:`~repro.exceptions.ServiceOverloadError` rather than queued, and
+updates stay strictly ordered with the queries around them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import DHLConfig
+from repro.core.index import DHLIndex
+from repro.exceptions import ServiceOverloadError
+from repro.graph.generators import grid_network
+from repro.observability import Observability
+from repro.service.async_frontend import AsyncDistanceService
+from repro.service.service import DistanceService
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    return grid_network(6, 6)
+
+
+@pytest.fixture()
+def service(small_graph):
+    with DistanceService(
+        DHLIndex.build(small_graph.copy(), DHLConfig(seed=0))
+    ) as svc:
+        yield svc
+
+
+class SlowService:
+    """Delegating wrapper whose query path takes a fixed beat — lets a
+    test *guarantee* a backlog builds while a batch is executing."""
+
+    def __init__(self, inner, delay: float = 0.03):
+        self._inner = inner
+        self.delay = delay
+        self.observability = inner.observability
+
+    def distances(self, pairs):
+        time.sleep(self.delay)
+        return self._inner.distances(pairs)
+
+    def submit_many(self, changes):
+        self._inner.submit_many(changes)
+
+    def flush(self):
+        return self._inner.flush()
+
+
+# ---------------------------------------------------------------------------
+# correctness: async answers == sync answers
+# ---------------------------------------------------------------------------
+
+def test_results_match_sync_service(service, small_graph):
+    n = small_graph.num_vertices
+    pairs = [(s, t) for s in range(0, n, 3) for t in range(0, n, 4)]
+    expected = service.distances(pairs)
+
+    async def scenario():
+        async with AsyncDistanceService(service) as frontend:
+            singles = await asyncio.gather(
+                *(frontend.distance(s, t) for s, t in pairs)
+            )
+            batched = await frontend.distances(pairs)
+            return singles, batched
+
+    singles, batched = asyncio.run(scenario())
+    np.testing.assert_array_equal(np.array(singles), expected)
+    np.testing.assert_array_equal(batched, expected)
+
+
+def test_empty_batch_short_circuits(service):
+    async def scenario():
+        async with AsyncDistanceService(service) as frontend:
+            out = await frontend.distances([])
+            assert out.size == 0
+            assert frontend.stats.offered_requests == 0
+
+    asyncio.run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# micro-batching
+# ---------------------------------------------------------------------------
+
+def test_concurrent_calls_fold_into_few_batches(service):
+    """64 concurrent single-pair awaits must not cost 64 scheduler
+    batches: whatever queues while a batch executes folds into one."""
+    slow = SlowService(service)
+
+    async def scenario():
+        async with AsyncDistanceService(slow) as frontend:
+            await asyncio.gather(
+                *(frontend.distance(s % 30, s % 30 + 1) for s in range(64))
+            )
+            return frontend.stats
+
+    stats = asyncio.run(scenario())
+    assert stats.answered_requests == 64
+    assert stats.batches <= 32  # acceptance: >= 2x folding vs serial
+    assert stats.merge_ratio >= 2.0
+    assert stats.max_merged >= 2
+    assert stats.batched_pairs == 64
+
+
+def test_serial_awaits_do_not_batch(service):
+    """A serial caller gets merge_ratio 1.0 — batching needs concurrency."""
+
+    async def scenario():
+        async with AsyncDistanceService(service) as frontend:
+            for s in range(8):
+                await frontend.distance(s, s + 2)
+            return frontend.stats
+
+    stats = asyncio.run(scenario())
+    assert stats.batches == 8
+    assert stats.merge_ratio == 1.0
+
+
+def test_max_batch_caps_a_single_fold(service):
+    async def scenario():
+        async with AsyncDistanceService(SlowService(service), max_batch=8) as f:
+            await asyncio.gather(*(f.distance(s, s + 1) for s in range(32)))
+            return f.stats
+
+    stats = asyncio.run(scenario())
+    assert stats.answered_requests == 32
+    # No drain may fold more pairs than max_batch plus the one item
+    # that opened the run (the opener is never split).
+    assert stats.batches >= 32 // 9
+
+
+# ---------------------------------------------------------------------------
+# admission control
+# ---------------------------------------------------------------------------
+
+def test_overload_sheds_instead_of_queueing(service):
+    """With depth 4 and a slow backend, a 20-task burst sheds the rest —
+    and the books balance: every offer is answered or shed."""
+    slow = SlowService(service, delay=0.05)
+
+    async def scenario():
+        async with AsyncDistanceService(slow, max_queue_depth=4) as frontend:
+            results = await asyncio.gather(
+                *(frontend.distance(s, s + 1) for s in range(20)),
+                return_exceptions=True,
+            )
+            return frontend.stats, results
+
+    stats, results = asyncio.run(scenario())
+    shed = [r for r in results if isinstance(r, ServiceOverloadError)]
+    answered = [r for r in results if isinstance(r, float)]
+    assert len(shed) == stats.shed_requests > 0
+    assert len(answered) == stats.answered_requests > 0
+    assert stats.offered_requests == stats.answered_requests + stats.shed_requests
+    expected = service.distances([(0, 1)])[0]
+    assert all(r == expected or r >= 0 for r in answered)
+
+
+def test_shed_counter_reaches_metrics_registry(small_graph):
+    obs = Observability.enabled()
+    with DistanceService(
+        DHLIndex.build(small_graph.copy(), DHLConfig(seed=0)),
+        observability=obs,
+    ) as svc:
+        slow = SlowService(svc, delay=0.05)
+
+        async def scenario():
+            async with AsyncDistanceService(slow, max_queue_depth=2) as f:
+                await asyncio.gather(
+                    *(f.distance(s, s + 1) for s in range(12)),
+                    return_exceptions=True,
+                )
+
+        asyncio.run(scenario())
+    snap = obs.registry.snapshot()
+    assert snap["dhl_async_shed_total"]["value"] > 0
+    assert snap["dhl_async_batches_total"]["value"] >= 1
+    assert (
+        snap["dhl_async_requests_total"]["value"]
+        + snap["dhl_async_shed_total"]["value"]
+        == 12
+    )
+
+
+# ---------------------------------------------------------------------------
+# updates: ordered with surrounding queries
+# ---------------------------------------------------------------------------
+
+def test_update_is_ordered_with_queries(small_graph):
+    graph = small_graph.copy()
+    u, v, w = next(iter(graph.edges()))
+    with DistanceService(
+        DHLIndex.build(graph.copy(), DHLConfig(seed=0))
+    ) as svc:
+        sync_before = svc.distance(u, v)
+
+        async def scenario():
+            async with AsyncDistanceService(SlowService(svc)) as frontend:
+                # Enqueue query → update → query in one tick: the
+                # dispatcher must answer the first with the old weight
+                # and the last with the new one.
+                first = asyncio.ensure_future(frontend.distance(u, v))
+                bump = asyncio.ensure_future(
+                    frontend.update([(u, v, w * 3.0)])
+                )
+                second = asyncio.ensure_future(frontend.distance(u, v))
+                return await asyncio.gather(first, bump, second), frontend.stats
+
+        (before, _, after), stats = asyncio.run(scenario())
+        assert before == sync_before
+        assert after == svc.distance(u, v)
+        assert after <= w * 3.0
+        assert stats.updates == 1
+        assert svc.index.epoch > 0  # the update really flushed
+
+
+# ---------------------------------------------------------------------------
+# lifecycle
+# ---------------------------------------------------------------------------
+
+def test_calls_require_a_running_dispatcher(service):
+    async def scenario():
+        frontend = AsyncDistanceService(service)
+        with pytest.raises(ServiceOverloadError, match="not running"):
+            await frontend.distances([(0, 1)])
+
+    asyncio.run(scenario())
+
+
+def test_close_is_idempotent_and_leaves_service_usable(service):
+    async def scenario():
+        frontend = await AsyncDistanceService(service).start()
+        await frontend.distances([(0, 1)])
+        await frontend.close()
+        await frontend.close()
+        with pytest.raises(ServiceOverloadError):
+            await frontend.distances([(0, 2)])
+        with pytest.raises(ServiceOverloadError, match="closed"):
+            await frontend.start()
+
+    asyncio.run(scenario())
+    # The frontend only borrows the service: it must still answer.
+    assert service.distance(0, 1) >= 0
+
+
+def test_constructor_validation(service):
+    with pytest.raises(ValueError, match="max_batch"):
+        AsyncDistanceService(service, max_batch=0)
+    with pytest.raises(ValueError, match="max_queue_depth"):
+        AsyncDistanceService(service, max_queue_depth=0)

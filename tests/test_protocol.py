@@ -1,0 +1,375 @@
+"""The runtime wire protocol: roundtrips, framing, and rejection.
+
+The codec is the contract between the scheduler and every transport
+(pipes today, TCP replicas, future remote hosts), so the load-bearing
+properties are: any message survives encode→decode bit-exactly
+(hypothesis-generated batches, deltas, traces included), and a frame
+that is truncated, version-skewed, or otherwise malformed raises
+:class:`ProtocolError` instead of yielding garbage distances.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ProtocolError
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    AckReply,
+    ByeReply,
+    ComputeBatch,
+    ComputeReply,
+    EpochDelta,
+    ErrorReply,
+    FanQuery,
+    ReadyReply,
+    Republish,
+    Shutdown,
+    SpecRequest,
+    StaleReply,
+    SubQuery,
+    SubResult,
+    TraceEnvelope,
+    decode_frame,
+    encode_frame,
+    recv_message,
+    send_message,
+)
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+i64_arrays = st.lists(
+    st.integers(min_value=0, max_value=2**31), min_size=0, max_size=8
+).map(lambda xs: np.array(xs, dtype=np.int64))
+
+f64_arrays = st.lists(
+    st.one_of(
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+        st.just(float("inf")),
+    ),
+    min_size=0,
+    max_size=8,
+).map(lambda xs: np.array(xs, dtype=np.float64))
+
+
+def f64_matrix(draw):
+    rows = draw(st.integers(min_value=1, max_value=4))
+    cols = draw(st.integers(min_value=1, max_value=4))
+    flat = draw(
+        st.lists(
+            st.floats(allow_nan=False, allow_infinity=True, width=32),
+            min_size=rows * cols,
+            max_size=rows * cols,
+        )
+    )
+    return np.array(flat, dtype=np.float64).reshape(rows, cols)
+
+
+@st.composite
+def sub_queries(draw):
+    has_pairs = draw(st.booleans())
+    has_fans = draw(st.booleans())
+    has_block = has_fans and draw(st.booleans())
+    s = draw(i64_arrays) if has_pairs else None
+    return SubQuery(
+        s=s,
+        t=(draw(i64_arrays) if has_pairs else None),
+        fan_src=FanQuery(draw(i64_arrays)) if has_fans else None,
+        fan_dst=FanQuery(draw(i64_arrays)) if has_fans else None,
+        block=f64_matrix(draw) if has_block else None,
+        block_cached=draw(st.booleans()) if not has_block else False,
+        block_epoch=draw(st.integers(min_value=-1, max_value=50)),
+    )
+
+
+@st.composite
+def compute_batches(draw):
+    return ComputeBatch(
+        epoch=draw(st.integers(min_value=0, max_value=1000)),
+        subs=draw(st.lists(sub_queries(), min_size=0, max_size=4)),
+        want_trace=draw(st.booleans()),
+    )
+
+
+@st.composite
+def epoch_deltas(draw):
+    inline = draw(st.booleans())
+    return EpochDelta(
+        epoch=draw(st.integers(min_value=0, max_value=1000)),
+        vertices=draw(i64_arrays) if inline else None,
+        payload=draw(f64_arrays) if inline else None,
+    )
+
+
+@st.composite
+def trace_envelopes(draw):
+    # The span dict shape produced by Span.to_dict(): JSON-safe nesting.
+    leaf = st.fixed_dictionaries(
+        {
+            "name": st.text(min_size=1, max_size=12),
+            "seconds": st.floats(min_value=0, max_value=10, allow_nan=False),
+        }
+    )
+    return TraceEnvelope(
+        spans=draw(
+            st.fixed_dictionaries(
+                {
+                    "name": st.text(min_size=1, max_size=12),
+                    "seconds": st.floats(
+                        min_value=0, max_value=10, allow_nan=False
+                    ),
+                    "children": st.lists(leaf, max_size=3),
+                }
+            )
+        )
+    )
+
+
+@st.composite
+def compute_replies(draw):
+    results = []
+    for _ in range(draw(st.integers(min_value=0, max_value=3))):
+        if draw(st.booleans()):
+            results.append(SubResult(final=draw(f64_arrays)))
+        else:
+            results.append(
+                SubResult(
+                    ds=f64_matrix(draw),
+                    ds_inverse=draw(i64_arrays),
+                    dt=f64_matrix(draw),
+                    dt_inverse=draw(i64_arrays),
+                )
+            )
+    return ComputeReply(
+        results=results,
+        trace=draw(trace_envelopes()) if draw(st.booleans()) else None,
+    )
+
+
+# ---------------------------------------------------------------------------
+# equality helpers (dataclass == chokes on numpy fields)
+# ---------------------------------------------------------------------------
+
+def assert_same(a, b):
+    assert type(a) is type(b)
+    if isinstance(a, np.ndarray):
+        assert a.dtype == b.dtype and a.shape == b.shape
+        np.testing.assert_array_equal(a, b)
+        return
+    if hasattr(a, "__dataclass_fields__"):
+        for name in a.__dataclass_fields__:
+            assert_same(getattr(a, name), getattr(b, name))
+        return
+    if isinstance(a, (list, tuple)):
+        assert len(a) == len(b)
+        for x, y in zip(a, b):
+            assert_same(x, y)
+        return
+    assert a == b
+
+
+# ---------------------------------------------------------------------------
+# roundtrip properties
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=50, deadline=None)
+@given(batch=compute_batches())
+def test_compute_batch_roundtrip(batch):
+    assert_same(decode_frame(encode_frame(batch)), batch)
+
+
+@settings(max_examples=50, deadline=None)
+@given(delta=epoch_deltas())
+def test_epoch_delta_roundtrip(delta):
+    assert_same(decode_frame(encode_frame(delta)), delta)
+
+
+@settings(max_examples=50, deadline=None)
+@given(reply=compute_replies())
+def test_compute_reply_roundtrip(reply):
+    assert_same(decode_frame(encode_frame(reply)), reply)
+
+
+@settings(max_examples=25, deadline=None)
+@given(envelope=trace_envelopes())
+def test_trace_envelope_rides_compute_reply(envelope):
+    reply = ComputeReply(results=[], trace=envelope)
+    assert decode_frame(encode_frame(reply)).trace.spans == envelope.spans
+
+
+def test_scalar_messages_roundtrip():
+    for message in (
+        ReadyReply(num_vertices=42, epoch=7),
+        StaleReply(held=3, stamped=5),
+        ErrorReply(message="KeyError: 'boom'"),
+        AckReply(),
+        ByeReply(),
+        Shutdown(),
+        Republish(
+            epoch=9,
+            shm_values="psm_abc",
+            shm_offsets="psm_def",
+            values_len=10,
+            offsets_len=11,
+        ),
+        Republish(
+            epoch=9,
+            values=np.array([1.0, np.inf]),
+            offsets=np.array([0, 2], dtype=np.int64),
+        ),
+    ):
+        assert_same(decode_frame(encode_frame(message)), message)
+
+
+def test_spec_request_roundtrip_preserves_payload_bytes():
+    spec = SpecRequest(
+        payload=b"\x00\x01pickled-structure\xff",
+        epoch=3,
+        values=np.array([1.5, 2.5]),
+        offsets=np.array([0, 1, 2], dtype=np.int64),
+    )
+    out = decode_frame(encode_frame(spec))
+    assert out.payload == spec.payload
+    assert out.epoch == 3
+    np.testing.assert_array_equal(out.values, spec.values)
+
+
+def test_decoded_arrays_preserve_dtype_and_2d_shape():
+    sub = SubQuery(
+        fan_src=FanQuery(np.array([3, 1, 2], dtype=np.int64)),
+        block=np.arange(6, dtype=np.float64).reshape(2, 3),
+    )
+    out = decode_frame(encode_frame(ComputeBatch(epoch=0, subs=[sub])))
+    decoded = out.subs[0]
+    assert decoded.block.shape == (2, 3)
+    assert decoded.block.dtype == np.float64
+    assert decoded.fan_src.vertices.dtype == np.int64
+
+
+def test_frame_has_no_pickle_on_compute_path():
+    """Compute frames must be parseable without the pickle module: the
+    byte stream contains the magic + JSON meta + raw buffers only."""
+    batch = ComputeBatch(
+        epoch=1,
+        subs=[SubQuery(s=np.array([1], dtype=np.int64), t=np.array([2], dtype=np.int64))],
+    )
+    frame = encode_frame(batch)
+    assert frame.startswith(b"DHLP")
+    # Pickle streams start with b"\x80"; no pickle opcode framing here.
+    assert b"\x80\x04" not in frame and b"\x80\x05" not in frame
+
+
+# ---------------------------------------------------------------------------
+# rejection: truncation, version skew, malformed frames
+# ---------------------------------------------------------------------------
+
+def reference_frame() -> bytes:
+    return encode_frame(
+        ComputeBatch(
+            epoch=5,
+            subs=[
+                SubQuery(
+                    s=np.array([0, 1], dtype=np.int64),
+                    t=np.array([2, 3], dtype=np.int64),
+                    block=np.ones((2, 2)),
+                )
+            ],
+        )
+    )
+
+
+@pytest.mark.parametrize("cut", [0, 3, 7, 11, 20, -1])
+def test_truncated_frames_rejected(cut):
+    frame = reference_frame()
+    with pytest.raises(ProtocolError, match="truncated|header"):
+        decode_frame(frame[: cut if cut >= 0 else len(frame) - 1])
+
+
+def test_every_truncation_point_rejected_or_never_silent():
+    """No prefix of a valid frame may decode silently — each length
+    either raises ProtocolError or (full length) decodes correctly."""
+    frame = reference_frame()
+    for n in range(len(frame)):
+        with pytest.raises(ProtocolError):
+            decode_frame(frame[:n])
+    decode_frame(frame)  # the untruncated frame still parses
+
+
+def test_version_mismatch_rejected():
+    frame = bytearray(reference_frame())
+    offset = 4  # after magic
+    (version,) = struct.unpack_from("<H", frame, offset)
+    assert version == PROTOCOL_VERSION
+    struct.pack_into("<H", frame, offset, PROTOCOL_VERSION + 1)
+    with pytest.raises(ProtocolError, match="version mismatch"):
+        decode_frame(bytes(frame))
+
+
+def test_bad_magic_rejected():
+    frame = b"NOPE" + reference_frame()[4:]
+    with pytest.raises(ProtocolError, match="magic"):
+        decode_frame(frame)
+
+
+def test_unknown_message_type_rejected():
+    frame = bytearray(reference_frame())
+    struct.pack_into("<H", frame, 6, 999)  # after magic + version
+    with pytest.raises(ProtocolError, match="unknown message type"):
+        decode_frame(bytes(frame))
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(ProtocolError, match="oversized"):
+        decode_frame(reference_frame() + b"xx")
+
+
+def test_corrupt_meta_rejected():
+    frame = bytearray(encode_frame(AckReply()))
+    frame[-2] = 0xFF  # stomp inside the JSON meta
+    with pytest.raises(ProtocolError):
+        decode_frame(bytes(frame))
+
+
+# ---------------------------------------------------------------------------
+# socket framing helpers
+# ---------------------------------------------------------------------------
+
+def test_send_recv_roundtrip_over_real_socket():
+    server, client = socket.socketpair()
+    batch = ComputeBatch(
+        epoch=2, subs=[SubQuery(s=np.array([5], dtype=np.int64), t=np.array([6], dtype=np.int64))]
+    )
+    received = []
+
+    def serve():
+        received.append(recv_message(server))
+        send_message(server, AckReply())
+
+    thread = threading.Thread(target=serve)
+    thread.start()
+    send_message(client, batch)
+    reply = recv_message(client)
+    thread.join(5)
+    server.close()
+    client.close()
+    assert isinstance(reply, AckReply)
+    assert_same(received[0], batch)
+
+
+def test_recv_message_rejects_peer_disconnect_mid_frame():
+    server, client = socket.socketpair()
+    frame = encode_frame(AckReply())
+    client.sendall(struct.pack("<I", len(frame)) + frame[: len(frame) // 2])
+    client.close()
+    with pytest.raises(ProtocolError, match="truncated"):
+        recv_message(server)
+    server.close()
