@@ -34,10 +34,14 @@ class DHLConfig:
     engine:
         Sequential maintenance engine for Algorithms 2-5. ``"array"``
         (default) runs the frontier-batched CSR kernels of
-        :mod:`repro.labelling.maintenance_kernels`; ``"reference"``
-        runs the scalar one-pop-per-entry path. Both engines produce
-        identical labels, change counts and affected sets — the
-        reference exists for differential testing.
+        :mod:`repro.labelling.maintenance_kernels`; ``"compiled"`` runs
+        the numba-JIT scalar sweeps of
+        :mod:`repro.labelling.compiled` (downgrading to ``"array"``
+        with a one-time warning when numba is unavailable — see
+        :meth:`resolve_engine`); ``"reference"`` runs the scalar
+        one-pop-per-entry path. All engines produce identical labels,
+        change counts and affected sets — the reference exists for
+        differential testing.
     validate:
         When True, run the (expensive) structural invariant checks after
         construction: comparability of shortcut endpoints and the
@@ -63,7 +67,23 @@ class DHLConfig:
             )
         if self.workers is not None and self.workers < 1:
             raise IndexBuildError(f"workers must be >= 1, got {self.workers}")
-        if self.engine not in ("array", "reference"):
+        if self.engine not in ("array", "reference", "compiled"):
             raise IndexBuildError(
-                f"engine must be 'array' or 'reference', got {self.engine!r}"
+                "engine must be one of 'array', 'reference' or 'compiled', "
+                f"got {self.engine!r}"
             )
+
+    def resolve_engine(self) -> str:
+        """The engine that will actually run.
+
+        ``"array"`` and ``"reference"`` resolve to themselves.
+        ``"compiled"`` resolves to itself when the numba kernels are
+        usable and downgrades to ``"array"`` otherwise, emitting a
+        single ``RuntimeWarning`` per process — requesting the compiled
+        engine on a numba-less machine is never an error.
+        """
+        if self.engine != "compiled":
+            return self.engine
+        from repro.labelling.compiled import resolved_engine
+
+        return resolved_engine(self.engine)

@@ -88,6 +88,7 @@ class _DirectionView(CSRShortcutMixin):
         "_up_rows",
         "_down_rows",
         "_down_sets",
+        "_direct_cache",
     )
 
     def __init__(self, tau: np.ndarray, csr: ShortcutCSR, weights: np.ndarray):
@@ -341,14 +342,35 @@ class DirectedDHLIndex:
         path (array kernels by default, scalar reference on demand).
         """
         self._epoch += 1
-        if not (workers and workers > 1) and self.config.engine == "array":
-            array_fn = (
-                labels_decrease_array if kind == "decrease" else labels_increase_array
-            )
-            stats = array_fn(self._out_view, self.labels_out, affected[_OUT])
-            return stats.merge(
-                array_fn(self._in_view, self.labels_in, affected[_IN])
-            )
+        if not (workers and workers > 1):
+            engine = self.config.resolve_engine()
+            if engine == "compiled":
+                from repro.labelling.compiled import (
+                    labels_decrease_compiled,
+                    labels_increase_compiled,
+                )
+
+                compiled_fn = (
+                    labels_decrease_compiled
+                    if kind == "decrease"
+                    else labels_increase_compiled
+                )
+                stats = compiled_fn(
+                    self._out_view, self.labels_out, affected[_OUT]
+                )
+                return stats.merge(
+                    compiled_fn(self._in_view, self.labels_in, affected[_IN])
+                )
+            if engine == "array":
+                array_fn = (
+                    labels_decrease_array
+                    if kind == "decrease"
+                    else labels_increase_array
+                )
+                stats = array_fn(self._out_view, self.labels_out, affected[_OUT])
+                return stats.merge(
+                    array_fn(self._in_view, self.labels_in, affected[_IN])
+                )
         if workers and workers > 1:
             parallel_fn = (
                 maintain_labels_decrease_parallel

@@ -35,6 +35,10 @@ from repro.labelling.maintenance import (
     apply_decrease,
     apply_increase,
 )
+from repro.labelling.compiled import (
+    apply_decrease_compiled,
+    apply_increase_compiled,
+)
 from repro.labelling.maintenance_kernels import (
     apply_decrease_array,
     apply_increase_array,
@@ -84,7 +88,7 @@ class DHLIndex:
         self.labels = labels
         self.config = config
         self._stats = stats
-        self._engine = QueryEngine(hq, labels)
+        self._engine = QueryEngine(hq, labels, engine=config.resolve_engine())
         # Monotone maintenance epoch: bumped once per applied update batch.
         # The serving layer keys its result cache on it; the batch kernel
         # itself needs no refresh — it gathers from the flat label store
@@ -235,7 +239,10 @@ class DHLIndex:
                 return apply_decrease_parallel(
                     self.hu, self.labels, batch, workers
                 )
-            if self.config.engine == "array":
+            engine = self.config.resolve_engine()
+            if engine == "compiled":
+                return apply_decrease_compiled(self.hu, self.labels, batch)
+            if engine == "array":
                 return apply_decrease_array(self.hu, self.labels, batch)
             return apply_decrease(self.hu, self.labels, batch)
 
@@ -259,7 +266,10 @@ class DHLIndex:
                 return apply_increase_parallel(
                     self.hu, self.labels, batch, workers
                 )
-            if self.config.engine == "array":
+            engine = self.config.resolve_engine()
+            if engine == "compiled":
+                return apply_increase_compiled(self.hu, self.labels, batch)
+            if engine == "array":
                 return apply_increase_array(self.hu, self.labels, batch)
             return apply_increase(self.hu, self.labels, batch)
 

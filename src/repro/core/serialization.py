@@ -195,6 +195,19 @@ def save_index(index, path: Path) -> None:
     (path / "manifest.json").write_text(json.dumps(manifest))
 
 
+def _warmup_for(config) -> None:
+    """JIT-compile the numba kernels when a loaded index will use them.
+
+    Loading is the serving cold-start path: warming here keeps kernel
+    compilation off the first query/maintenance request. No-op (beyond
+    the one-time downgrade warning) when numba is unavailable.
+    """
+    if config.resolve_engine() == "compiled":
+        from repro.labelling.compiled import warmup_kernels
+
+        warmup_kernels()
+
+
 def load_index(path: Path, mmap_labels: bool = False):
     """Load a :class:`~repro.core.index.DHLIndex` saved by :func:`save_index`.
 
@@ -211,6 +224,7 @@ def load_index(path: Path, mmap_labels: bool = False):
     data = np.load(path / "arrays.npz")
     graph = graph_from_json(json.dumps(manifest["graph"]))
     config = DHLConfig(**manifest["config"])
+    _warmup_for(config)
 
     n = manifest["n"]
     hq = _hq_from_payload(data, [int(b) for b in manifest["node_bits"]], n)
@@ -299,6 +313,7 @@ def load_directed_index(path: Path, mmap_labels: bool = False):
     manifest = _read_manifest(path, "directed")
     data = np.load(path / "arrays.npz")
     config = DHLConfig(**manifest["config"])
+    _warmup_for(config)
     n = manifest["n"]
 
     coords = data["coords"] if "coords" in data else None
@@ -404,6 +419,7 @@ def load_sharded_index(path: Path, mmap_labels: bool = False):
         )
     graph = graph_from_json(json.dumps(manifest["graph"]))
     config = DHLConfig(**manifest["config"])
+    _warmup_for(config)
     region_of = np.load(path / "region_of.npy")
     partition = regions_from_assignment(graph, region_of)
     if partition.k != manifest["k"]:

@@ -70,6 +70,7 @@ class ContractionResult(CSRShortcutMixin):
         "_up_rows",
         "_down_rows",
         "_down_sets",
+        "_direct_cache",
     )
 
     def __init__(

@@ -364,3 +364,6 @@ class CSRShortcutMixin:
         self._up_rows = None
         self._down_rows = None
         self._down_sets = None
+        # Compiled-engine per-slot direct edge weights (lazily built and
+        # version-pinned by repro.labelling.compiled.engine).
+        self._direct_cache = None

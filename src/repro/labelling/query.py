@@ -57,16 +57,41 @@ class _BatchTables:
 
 
 class QueryEngine:
-    """Binds a query hierarchy and a labelling into a distance oracle."""
+    """Binds a query hierarchy and a labelling into a distance oracle.
 
-    __slots__ = ("hq", "labels", "_tables", "_hub_values", "_hub_offsets")
+    ``engine="compiled"`` routes the batch gather through the numba
+    kernel of :mod:`repro.labelling.compiled` (one fused per-pair loop,
+    no K-bucketed temporaries) when the compiled package is usable;
+    any other value — or an unusable compiled package — runs the
+    numpy K-bucketed kernel. Constructing a compiled engine triggers
+    the JIT warmup so the first query batch never pays compilation.
+    """
 
-    def __init__(self, hq: QueryHierarchy, labels: HierarchicalLabelling):
+    __slots__ = (
+        "hq",
+        "labels",
+        "engine",
+        "_tables",
+        "_hub_values",
+        "_hub_offsets",
+    )
+
+    def __init__(
+        self,
+        hq: QueryHierarchy,
+        labels: HierarchicalLabelling,
+        engine: str = "array",
+    ):
         self.hq = hq
         self.labels = labels
+        self.engine = engine
         self._tables: _BatchTables | None = None
         self._hub_values: np.ndarray | None = None
         self._hub_offsets: np.ndarray | None = None
+        if engine == "compiled":
+            from repro.labelling.compiled import warmup_kernels
+
+            warmup_kernels()
 
     def distance(self, s: int, t: int) -> float:
         """Exact shortest-path distance between *s* and *t*.
@@ -168,6 +193,11 @@ class QueryEngine:
         starts = labels.offsets
         last = len(values) - 1
         k = self.common_ancestor_counts(s, t)
+        if self.engine == "compiled":
+            import repro.labelling.compiled as compiled
+
+            if compiled.available():
+                return self._compiled_kernel(s, t, k, want_hubs)
         count = len(s)
         out = np.empty(count, dtype=np.float64)
         hubs = np.full(count, -1, dtype=np.int64) if want_hubs else None
@@ -213,6 +243,28 @@ class QueryEngine:
             out[same] = 0.0
         if want_hubs:
             hubs[same | np.isinf(out)] = -1
+        return out, hubs
+
+    def _compiled_kernel(
+        self, s: np.ndarray, t: np.ndarray, k: np.ndarray, want_hubs: bool
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Fused per-pair gather through the numba kernel.
+
+        The common-ancestor counts stay in the numpy bitstring kernel
+        (already one vectorised pass); only the gather+min loop — where
+        the K-bucketed numpy path pays its temporaries — is compiled.
+        """
+        from repro.labelling.compiled import batch_query_compiled
+
+        labels = self.labels
+        out, best = batch_query_compiled(labels.values, labels.offsets, s, t, k)
+        if not want_hubs:
+            return out, None
+        hub_values, hub_offsets = self.hub_store()
+        hubs = np.full(len(s), -1, dtype=np.int64)
+        hit = best >= 0
+        if hit.any():
+            hubs[hit] = hub_values[hub_offsets[s[hit]] + best[hit]]
         return out, hubs
 
     def distances(self, pairs: Sequence[tuple[int, int]]) -> np.ndarray:

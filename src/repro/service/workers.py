@@ -195,7 +195,12 @@ class ShardExecutor:
             values, offsets, self.index.hq.tau
         )
         self.index.labels = labels
-        self.index._engine = QueryEngine(self.index.hq, labels)
+        # Resolve the engine in the worker process: the compiled package
+        # probes (and warms) locally, so a numba-less worker downgrades
+        # cleanly even if the parent compiled.
+        self.index._engine = QueryEngine(
+            self.index.hq, labels, engine=self.index.config.resolve_engine()
+        )
 
     # -- maintenance ----------------------------------------------------
     def apply_delta(self, delta: EpochDelta) -> AckReply:
