@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import os
 import platform
 import time
@@ -648,6 +649,125 @@ def run_observability_quick(index, pairs, repeats: int) -> dict:
     }
 
 
+def run_structural_quick(graph, repeats: int, batch_size: int = 128) -> dict:
+    """Structural-batch measurements: delete/restore throughput, the
+    insert fast-path speedup, and compaction latency.
+
+    * ``structural_batch_pairs_per_s``: ops/second through a
+      state-invariant delete-then-restore roundtrip (each deletion is an
+      inf-weight increase, each restore a decrease back), so best-of-N
+      loops are honest.
+    * ``insert_fastpath_ratio``: one comparable-endpoint link insertion
+      (a single construction event — the latency a serving flush pays)
+      timed on a default index (frontier-kernel fast path) and on one
+      built with ``insert_closure_limit=0`` (every insertion forced
+      onto the fallback-rebuild tier); the ratio is fallback/fast — the
+      CI gate requires the fast path to be at least 5x faster. Each
+      timing runs on a freshly built index (same seed, same hierarchy)
+      because insertions mutate state; a larger 4-link batch then
+      cross-checks that both tiers answer identically.
+    * ``compaction_ms``: one compaction pass over the dead slots the
+      deletion batch left behind.
+    """
+    probe = DHLIndex.build(graph.copy(), DHLConfig(seed=0))
+    n = graph.num_vertices
+    hq = probe.hq
+
+    # Comparable non-adjacent endpoint pairs: the fast-path eligible set.
+    candidates = []
+    seen = set()
+    for a in range(n):
+        if len(candidates) >= 4:
+            break
+        for b in range(a + 1, n):
+            if (
+                (a, b) not in seen
+                and hq.comparable(a, b)
+                and not graph.has_edge(a, b)
+            ):
+                seen.add((a, b))
+                candidates.append((a, b))
+                break
+    if not candidates:
+        raise AssertionError(
+            "no comparable non-adjacent pairs on the quick dataset — "
+            "cannot measure the insert fast path"
+        )
+    # Realistic link weights: slightly better than the existing route,
+    # not a teleporter that rewrites half the labelling.
+    inserts = [
+        (a, b, float(max(1.0, round(probe.distance(a, b) * 0.95))))
+        for a, b in candidates
+    ]
+
+    def insertion_leg(config, batch, rounds) -> tuple[float, DHLIndex]:
+        best = math.inf
+        index = None
+        for _ in range(rounds):
+            index = DHLIndex.build(graph.copy(), config)
+            start = time.perf_counter()
+            index.apply_batch(insertions=batch)
+            best = min(best, time.perf_counter() - start)
+        return best, index
+
+    rounds = max(3, repeats)
+    rebuild_cfg = DHLConfig(seed=0, insert_closure_limit=0)
+    # The gated ratio is the per-event latency: one construction event.
+    fast_seconds, _ = insertion_leg(DHLConfig(seed=0), inserts[:1], rounds)
+    rebuild_seconds, _ = insertion_leg(rebuild_cfg, inserts[:1], rounds)
+    # Tier parity on the larger batch: both must answer identically.
+    _, fast_index = insertion_leg(DHLConfig(seed=0), inserts, 1)
+    _, rebuild_index = insertion_leg(rebuild_cfg, inserts, 1)
+    if not fast_index.structural_counters.get("fastpath_inserts"):
+        raise AssertionError("fast-path leg fell back to a rebuild")
+    if not rebuild_index.structural_counters.get("fallback_rebuilds"):
+        raise AssertionError("rebuild leg unexpectedly took the fast path")
+    # Both legs must answer identically after the same insertions.
+    check_rng = np.random.default_rng(5)
+    for s, t in check_rng.integers(0, n, size=(32, 2)):
+        a = fast_index.distance(int(s), int(t))
+        b = rebuild_index.distance(int(s), int(t))
+        if not (a == b or (math.isinf(a) and math.isinf(b))):
+            raise AssertionError(
+                f"fast-path and rebuild legs disagree at ({s}, {t})"
+            )
+
+    # Delete/restore roundtrip throughput on the probe index.
+    edges = [(u, v, w) for u, v, w in graph.edges() if math.isfinite(w)]
+    rng = np.random.default_rng(11)
+    picked = rng.choice(
+        len(edges), size=min(batch_size, len(edges) // 2), replace=False
+    )
+    deletions = [(edges[i][0], edges[i][1]) for i in picked]
+    restores = [edges[i] for i in picked]
+    ops_per_roundtrip = 2 * len(deletions)
+
+    def roundtrip():
+        probe.apply_batch(deletions=deletions)
+        probe.apply_batch(insertions=restores)
+
+    roundtrip()  # warm caches
+    structural_pairs_per_s = ops_per_roundtrip / best_of(roundtrip, repeats)
+
+    # Compaction latency over the dead slots one deletion batch leaves.
+    probe.apply_batch(deletions=deletions)
+    start = time.perf_counter()
+    compaction = probe.compact()
+    compact_seconds = time.perf_counter() - start
+    probe.apply_batch(insertions=restores)
+
+    return {
+        "structural_batch_pairs_per_s": round(structural_pairs_per_s, 1),
+        "insert_fastpath_ms": round(fast_seconds * 1000, 3),
+        "insert_rebuild_ms": round(rebuild_seconds * 1000, 3),
+        "insert_fastpath_ratio": round(
+            rebuild_seconds / max(fast_seconds, 1e-9), 3
+        ),
+        "compaction_ms": round(compact_seconds * 1000, 3),
+        "compaction_slots_reclaimed": compaction.dead_slots_reclaimed,
+    }
+
+
 def run_quick(
     dataset: str = "FLA",
     num_pairs: int = 20_000,
@@ -728,6 +848,8 @@ def run_quick(
 
     update_metrics, phase_breakdown = run_update_quick(graph, max(3, repeats // 3))
 
+    structural_metrics = run_structural_quick(graph, max(3, repeats // 3))
+
     obs_metrics = run_observability_quick(index, pairs, repeats)
 
     async_metrics = run_async_quick(index, pairs, repeats)
@@ -760,6 +882,7 @@ def run_quick(
             "cache_hit_rate": round(report.service.cache.hit_rate, 4),
             **compiled_metrics,
             **update_metrics,
+            **structural_metrics,
             **obs_metrics,
             **async_metrics,
             **sharded_metrics,

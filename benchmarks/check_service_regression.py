@@ -141,6 +141,12 @@ MIN_SOCKET_RATIO_SINGLE_CORE = 0.1
 # acceptance floor — below it the dispatcher is no longer folding
 # (every await paying its own executor round trip reads as ~1x).
 MIN_ASYNC_MICROBATCH_SPEEDUP = float(os.environ.get("REPRO_ASYNC_FLOOR", 2.0))
+# The insert fast path extends the CSR slot store and runs one seeded
+# decrease sweep; the fallback tier re-contracts H_U and relabels the
+# whole index. On the quick profile the measured gap is well over an
+# order of magnitude; 5x is the acceptance floor — below it the fast
+# path has degenerated into (or is being bypassed for) a rebuild.
+MIN_INSERT_FASTPATH_RATIO = float(os.environ.get("REPRO_FASTPATH_FLOOR", 5.0))
 
 
 def _metrics(doc: dict, label: str) -> dict:
@@ -230,6 +236,17 @@ def check(current: dict, baseline: dict, tolerance: float) -> list[str]:
             f"update_touched_shards: {touched} != 1 "
             "(an intra-region update leaked outside its owning shard)"
         )
+
+    fastpath_ratio = _require(cur, "insert_fastpath_ratio", failures)
+    if fastpath_ratio is not None and fastpath_ratio < MIN_INSERT_FASTPATH_RATIO:
+        failures.append(
+            f"insert_fastpath_ratio: {fastpath_ratio} < "
+            f"{MIN_INSERT_FASTPATH_RATIO} "
+            "(frontier-kernel insert fast path no longer beats the "
+            "fallback rebuild tier)"
+        )
+    for key in ("structural_batch_pairs_per_s", "compaction_ms"):
+        _require(cur, key, failures)
 
     engine_ratio = _require(cur, "update_array_over_reference", failures)
     if engine_ratio is not None and engine_ratio < MIN_UPDATE_ENGINE_SPEEDUP:

@@ -1,13 +1,17 @@
 """Road closures and structural changes (Section 8 of the paper).
 
-Shows the structural-update toolkit:
+Shows the batch-dynamic structural toolkit through one ``apply_batch``
+entry point:
 
-* closing roads (weight -> infinity, an incremental DHL+ update);
+* closing roads (deletions: inf-weight DHL+ updates, slots go dead);
 * closing a whole intersection (vertex deletion);
-* re-opening (DHL- restore);
-* building a brand-new road (edge insertion with partial repartitioning).
+* re-opening (insertions restore dead edges via a DHL- decrease);
+* building a brand-new road (comparable endpoints ride the
+  frontier-kernel fast path; incomparable ones repartition + rebuild);
+* compacting dead slots out of the shortcut/label stores.
 
-Run with::
+The measured per-dataset version of this scenario lives in
+``repro-experiments structural``. Run this walkthrough with::
 
     python examples/road_closures.py
 """
@@ -30,19 +34,22 @@ def check(index: DHLIndex, s: int, t: int) -> float:
 
 def main() -> None:
     graph = delaunay_network(1_500, seed=31)
+    original = graph.copy()  # build adopts the graph; keep pristine weights
     index = DHLIndex.build(graph, DHLConfig(seed=0))
     s, t = 4, 1_362
 
     baseline = check(index, s, t)
     print(f"normal conditions: d({s}, {t}) = {baseline:.0f}")
 
-    # 1. Close the first road of the shortest corridor (via the hub).
+    # 1. Rush hour: close the first roads of the shortest corridor (via
+    #    the hub) as one deletion batch.
     _, hub = index.distance_with_hub(s, t)
-    closed = []
-    for u, w in list(index.graph.neighbors(hub).items())[:2]:
-        if math.isfinite(w):
-            index.delete_edge(hub, u)
-            closed.append((hub, u, w))
+    closed = [
+        (hub, u, w)
+        for u, w in list(index.graph.neighbors(hub).items())[:2]
+        if math.isfinite(w)
+    ]
+    index.apply_batch(deletions=[(u, v) for u, v, _ in closed])
     after_close = check(index, s, t)
     if math.isinf(after_close):
         effect = "no route left"
@@ -58,29 +65,51 @@ def main() -> None:
     print(f"closed intersection {hub} entirely: d = {after_vertex:.0f}")
     assert math.isinf(index.distance(s, hub)), "closed intersection unreachable"
 
-    # 3. Re-open everything.
-    for u, v, w in closed:
-        index.restore_edge(u, v, w)
-    for u, w in list(graph.neighbors(hub).items()):
-        if index.graph.weight(hub, u) != w:
-            index.restore_edge(hub, u, w)
+    # 3. Re-open everything: one insertion batch restores every dead
+    #    edge (an insertion on a logically-deleted edge is a restore).
+    reopen = [
+        (hub, u, w)
+        for u, w in original.neighbors(hub).items()
+        if index.graph.weight(hub, u) != w
+    ]
+    index.apply_batch(insertions=reopen)
     reopened = check(index, s, t)
     assert reopened == baseline
-    print(f"re-opened: d back to {reopened:.0f}")
+    print(f"re-opened {len(reopen)} roads: d back to {reopened:.0f}")
 
-    # 4. A new bypass road is built between two suburbs: structural
-    #    insertion repartitions only the affected subtree of H_Q.
+    # 4. A new bypass road is built between two suburbs. Incomparable
+    #    endpoints repartition the affected subtree of H_Q; comparable
+    #    ones would take the slot-extension fast path instead.
     a, b = 100, 1_400
     if not index.graph.has_edge(a, b):
         before = check(index, a, b)
         bypass_weight = max(1.0, before / 4)
-        index = index.insert_edge(a, b, float(round(bypass_weight)))
+        stats = index.apply_batch(insertions=[(a, b, float(round(bypass_weight)))])
+        path = "fast path" if stats.fastpath_inserts else "fallback rebuild"
         after = check(index, a, b)
         print(
-            f"new bypass ({a}, {b}) of length {bypass_weight:.0f}: "
+            f"new bypass ({a}, {b}) of length {bypass_weight:.0f} ({path}): "
             f"d({a}, {b}) {before:.0f} -> {after:.0f}"
         )
         check(index, s, t)  # rest of the network still exact
+
+    # 5. Winter: a batch of permanent closures, then compaction squeezes
+    #    the dead slots out of the shortcut and label stores.
+    victims = [
+        (u, v)
+        for u, v, w in list(index.graph.edges())[:40]
+        if math.isfinite(w) and u != a and v != b
+    ][:25]
+    index.apply_batch(deletions=victims)
+    frac = index.dead_fraction
+    compaction = index.compact()
+    print(
+        f"closed {len(victims)} roads permanently: dead fraction "
+        f"{frac:.3f} -> {index.dead_fraction:.3f}, reclaimed "
+        f"{compaction.dead_slots_reclaimed} slots "
+        f"({compaction.bytes_reclaimed} B)"
+    )
+    check(index, s, t)
 
     print("\nall queries verified against Dijkstra after every change")
 

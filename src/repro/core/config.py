@@ -46,6 +46,21 @@ class DHLConfig:
         When True, run the (expensive) structural invariant checks after
         construction: comparability of shortcut endpoints and the
         minimum-weight property. Intended for tests and debugging.
+    insert_closure_limit:
+        Structural-insertion fast-path budget: the maximum number of new
+        shortcut slots one ``apply_batch`` may allocate through the
+        transitive closure before the batch falls back to rebuilding the
+        shortcut hierarchy on the same H_Q. The closure stays small when
+        both endpoints share a leaf of H_Q (their LCA subtree is tiny)
+        and grows with the LCA subtree's separator sizes, so this is the
+        "LCA subtree below a size threshold" gate expressed in units of
+        actual allocation work. 0 disables the fast path entirely.
+    compaction_threshold:
+        Dead-slot fraction of the CSR shortcut store above which the
+        serving layer triggers a compaction pass on flush (a slot is
+        dead when its weight — both directions for the directed index —
+        is inf, i.e. the edge was structurally deleted). 1.0 disables
+        automatic compaction; explicit ``index.compact()`` always works.
     """
 
     beta: float = 0.2
@@ -55,6 +70,8 @@ class DHLConfig:
     workers: int | None = None
     engine: str = "array"
     validate: bool = False
+    insert_closure_limit: int = 4096
+    compaction_threshold: float = 0.25
 
     def __post_init__(self) -> None:
         if not 0.0 < self.beta <= 0.5:
@@ -71,6 +88,16 @@ class DHLConfig:
             raise IndexBuildError(
                 "engine must be one of 'array', 'reference' or 'compiled', "
                 f"got {self.engine!r}"
+            )
+        if self.insert_closure_limit < 0:
+            raise IndexBuildError(
+                "insert_closure_limit must be >= 0, got "
+                f"{self.insert_closure_limit}"
+            )
+        if not 0.0 < self.compaction_threshold <= 1.0:
+            raise IndexBuildError(
+                "compaction_threshold must be in (0, 1], got "
+                f"{self.compaction_threshold}"
             )
 
     def resolve_engine(self) -> str:

@@ -37,7 +37,11 @@ import numpy as np
 
 from repro.core.config import DHLConfig
 from repro.core.stats import IndexStats
-from repro.exceptions import IndexBuildError, MaintenanceError
+from repro.exceptions import (
+    IndexBuildError,
+    MaintenanceError,
+    StructuralFallbackRequired,
+)
 from repro.graph.digraph import DiGraph
 from repro.graph.graph import Graph
 from repro.hierarchy.csr import CSRShortcutMixin, ShortcutCSR, build_shortcut_csr
@@ -222,7 +226,14 @@ class DirectedDHLIndex:
         for u, v, w in digraph.arcs():
             if not g.has_edge(u, v):
                 reverse = digraph.out_neighbors(v).get(u, math.inf)
-                g.add_edge(u, v, min(w, reverse))
+                wmin = min(w, reverse)
+                if math.isinf(wmin):
+                    # Logically deleted in both directions: keep the
+                    # structural edge so every arc retains a slot.
+                    g.add_edge(u, v, 0.0)
+                    g.set_weight(u, v, math.inf)
+                else:
+                    g.add_edge(u, v, wmin)
         return g
 
     @staticmethod
@@ -425,9 +436,21 @@ class DirectedDHLIndex:
                     cand = w_cur + self.wout[lo][other]
                     src, dst = hi, other
                 tlo, thi, tdir = self._key(src, dst)
-                if self._w(tlo, thi, tdir) > cand:
-                    affected[tdir].setdefault((tlo, thi), self._w(tlo, thi, tdir))
-                    self._set_w(tlo, thi, tdir, cand)
+                tslot = self.csr.find_slot(tlo, thi)
+                if tslot < 0:
+                    # Pair dropped by compaction (both directions were
+                    # inf). Pure weight decreases can only produce inf
+                    # candidates for it; an insertion-seeded sweep can
+                    # produce a finite one, which only a rebuild absorbs.
+                    if math.isfinite(cand):
+                        raise StructuralFallbackRequired(
+                            "directed decrease reached a compacted slot"
+                        )
+                    continue
+                tweights = self._weights(tdir)
+                if tweights[tslot] > cand:
+                    affected[tdir].setdefault((tlo, thi), float(tweights[tslot]))
+                    tweights[tslot] = cand
                     heap.push((tlo, thi, tdir), rank_key[tlo])
 
         return self._maintain_labels(affected, "decrease", workers)
@@ -480,7 +503,11 @@ class DirectedDHLIndex:
                         t_src, t_dst = hi, other
                         cand_old = old + self.wout[lo][other]
                     tlo, thi, tdir = self._key(t_src, t_dst)
-                    if self._w(tlo, thi, tdir) == cand_old:
+                    tslot = self.csr.find_slot(tlo, thi)
+                    # Pairs removed by compaction were inf — no suspect.
+                    if tslot < 0:
+                        continue
+                    if self._weights(tdir)[tslot] == cand_old:
                         heap.push((tlo, thi, tdir), rank_key[tlo])
                 affected[direction].setdefault((lo, hi), old)
                 self._set_w(lo, hi, direction, w_new)
@@ -519,6 +546,45 @@ class DirectedDHLIndex:
         for a, b, w in changes:
             final[(a, b)] = w
         return self.update([(a, b, w) for (a, b), w in final.items()], workers)
+
+    # ------------------------------------------------------------------
+    # structural updates — implemented in core.structural
+    # ------------------------------------------------------------------
+    def apply_batch(
+        self,
+        insertions: Iterable[WeightChange] = (),
+        deletions: Iterable[tuple[int, int]] = (),
+        weight_changes: Iterable[WeightChange] = (),
+        workers: int | None = None,
+    ):
+        """Apply one mixed structural arc batch; see
+        :func:`repro.core.structural.apply_batch_directed`."""
+        from repro.core.structural import apply_batch_directed
+
+        return apply_batch_directed(
+            self, insertions, deletions, weight_changes, workers
+        )
+
+    def compact(self):
+        """Reclaim dead shortcut slots (both directions inf) and label
+        slack; see :func:`repro.core.structural.compact_directed_index`."""
+        from repro.core.structural import compact_directed_index
+
+        return compact_directed_index(self)
+
+    @property
+    def dead_fraction(self) -> float:
+        """Fraction of shortcut slots dead in both directions."""
+        from repro.core.structural import dead_fraction
+
+        return dead_fraction(self.out_weights, self.in_weights)
+
+    @property
+    def structural_counters(self) -> dict[str, int]:
+        """Lifetime structural counters (see :class:`DHLIndex`)."""
+        from repro.core.structural import structural_counters
+
+        return structural_counters(self)
 
     # ------------------------------------------------------------------
     # persistence and introspection

@@ -17,6 +17,7 @@ Updates go through DHL+/DHL- (Algorithms 2-5) or their parallel variants
 from __future__ import annotations
 
 import math
+import warnings
 from pathlib import Path
 from typing import Iterable, Sequence
 
@@ -358,8 +359,68 @@ class DHLIndex:
     # ------------------------------------------------------------------
     # structural updates (Section 8) — implemented in core.structural
     # ------------------------------------------------------------------
+    def apply_batch(
+        self,
+        insertions: Iterable[WeightChange] = (),
+        deletions: Iterable[tuple[int, int]] = (),
+        weight_changes: Iterable[WeightChange] = (),
+        workers: int | None = None,
+    ):
+        """Apply one mixed structural batch (insert / delete / reweigh).
+
+        Deletions of live edges take the infinite-weight-increase fast
+        path, genuinely new edges take the closure fast path when their
+        endpoints are ⪯_H-comparable and the closure fits
+        ``config.insert_closure_limit``, and everything else falls back
+        to a rebuild — see :mod:`repro.core.structural`. Mutates the
+        index in place and returns a
+        :class:`~repro.core.structural.StructuralStats`.
+        """
+        from repro.core.structural import apply_batch
+
+        return apply_batch(
+            self, insertions, deletions, weight_changes, workers
+        )
+
+    def compact(self):
+        """Reclaim logically dead shortcut slots and label-store slack.
+
+        Queried distances are unchanged; deletions become permanent
+        (restoring a compacted edge re-inserts it). Returns a
+        :class:`~repro.core.structural.CompactionStats`.
+        """
+        from repro.core.structural import compact_index
+
+        return compact_index(self)
+
+    @property
+    def dead_fraction(self) -> float:
+        """Fraction of shortcut slots that are logically deleted."""
+        from repro.core.structural import dead_fraction
+
+        return dead_fraction(self.hu.up_weights)
+
+    @property
+    def structural_counters(self) -> dict[str, int]:
+        """Lifetime structural counters (already-deleted drops, fast-path
+        inserts, fallback rebuilds, compaction reclaim totals)."""
+        from repro.core.structural import structural_counters
+
+        return structural_counters(self)
+
     def delete_edge(self, u: int, v: int) -> MaintenanceStats:
-        """Logically delete a road: raise its weight to infinity."""
+        """Logically delete a road: raise its weight to infinity.
+
+        .. deprecated:: thin wrapper over :meth:`apply_batch` — batch
+           structural changes there instead of issuing them one edge at
+           a time.
+        """
+        warnings.warn(
+            "DHLIndex.delete_edge is deprecated; use "
+            "apply_batch(deletions=[(u, v)])",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         from repro.core.structural import delete_edge
 
         return delete_edge(self, u, v)
@@ -377,7 +438,18 @@ class DHLIndex:
         return delete_vertex(self, v)
 
     def insert_edge(self, u: int, v: int, weight: float) -> "DHLIndex":
-        """Insert a brand-new road; returns the (partially rebuilt) index."""
+        """Insert a brand-new road; returns the (mutated) index.
+
+        .. deprecated:: thin wrapper over :meth:`apply_batch` — the
+           index is now updated in place; the return value exists for
+           the old rebuild-and-return call shape.
+        """
+        warnings.warn(
+            "DHLIndex.insert_edge is deprecated; use "
+            "apply_batch(insertions=[(u, v, w)])",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         from repro.core.structural import insert_edge
 
         return insert_edge(self, u, v, weight)

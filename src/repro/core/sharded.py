@@ -358,6 +358,212 @@ class ShardedDHLIndex:
         return self.update([(u, v, w) for (u, v), w in final.items()], workers)
 
     # ------------------------------------------------------------------
+    # structural updates
+    # ------------------------------------------------------------------
+    def apply_batch(
+        self,
+        insertions: Iterable[WeightChange] = (),
+        deletions: Iterable[tuple[int, int]] = (),
+        weight_changes: Iterable[WeightChange] = (),
+        workers: int | None = None,
+    ) -> ShardedMaintenanceStats:
+        """Apply one mixed structural batch, routed per shard.
+
+        Intra-region insertions and deletions go to the owning shard's
+        own :meth:`DHLIndex.apply_batch` (fast paths and all), followed
+        by the usual overlay clique refresh from its affected labels.
+        Cut-edge deletions become infinite-weight overlay increases; a
+        *new* cut edge changes the boundary vertex set itself, so the
+        boundary navigation arrays and the overlay are rebuilt from the
+        updated graph (the region assignment never changes).
+        """
+        from repro.core.structural import _bump, structural_counters  # noqa: F401
+
+        graph = self.graph
+        stats = ShardedMaintenanceStats()
+        workers = self.config.workers if workers is None else workers
+
+        folded_changes = list(weight_changes)
+        per_shard_del: dict[int, list[tuple[int, int]]] = {}
+        cut_deletes: list[tuple[int, int]] = []
+        per_shard_ins: dict[int, list[WeightChange]] = {}
+        cross_inserts: list[WeightChange] = []
+        for u, v in deletions:
+            if not graph.has_edge(u, v) or math.isinf(graph.weight(u, v)):
+                _bump(self, "already_deleted_edges")
+                continue
+            ru, rv = int(self.region_of[u]), int(self.region_of[v])
+            if ru == rv:
+                per_shard_del.setdefault(ru, []).append(
+                    (int(self.local_of[u]), int(self.local_of[v]))
+                )
+            else:
+                cut_deletes.append((u, v))
+        for u, v, w in insertions:
+            if graph.has_edge(u, v):
+                folded_changes.append((u, v, w))
+                continue
+            ru, rv = int(self.region_of[u]), int(self.region_of[v])
+            if ru == rv:
+                per_shard_ins.setdefault(ru, []).append(
+                    (int(self.local_of[u]), int(self.local_of[v]), w)
+                )
+            else:
+                cross_inserts.append((u, v, w))
+
+        if folded_changes:
+            # Duplicate reports on one edge coalesce last-wins
+            # (sequential semantics).
+            net: dict[tuple[int, int], WeightChange] = {}
+            for u, v, w in folded_changes:
+                net[(u, v) if u <= v else (v, u)] = (u, v, w)
+            folded_changes = list(net.values())
+            weight_stats = self.update(folded_changes, workers)
+            stats.per_shard.update(weight_stats.per_shard)
+            stats.overlay_stats = weight_stats.overlay_stats
+            stats.absorb(weight_stats, np.arange(graph.num_vertices))
+
+        overlay_changes: list[WeightChange] = []
+        for u, v in cut_deletes:
+            graph.set_weight(u, v, math.inf)
+            overlay_changes.append(
+                (int(self.overlay_of[u]), int(self.overlay_of[v]), math.inf)
+            )
+
+        touched = sorted(set(per_shard_del) | set(per_shard_ins))
+        for rid in touched:
+            shard_structural = self.shards[rid].apply_batch(
+                insertions=per_shard_ins.get(rid, []),
+                deletions=per_shard_del.get(rid, []),
+                workers=1,
+            )
+            shard_stats = shard_structural.maintenance
+            merged = stats.per_shard.get(rid)
+            stats.per_shard[rid] = (
+                shard_stats if merged is None else merged.merge(shard_stats)
+            )
+            stats.absorb(shard_stats, self.shard_vertices[rid])
+            if self.overlay is not None:
+                overlay_changes.extend(
+                    clique_refresh_changes(
+                        self.shards[rid],
+                        self.boundary_local[rid],
+                        self.boundary_overlay[rid],
+                        self.overlay.graph,
+                        shard_stats.affected_labels,
+                    )
+                )
+            # Mirror the shard's structural outcome on the global graph.
+            globals_of = self.shard_vertices[rid]
+            for lu, lv in per_shard_del.get(rid, []):
+                graph.set_weight(int(globals_of[lu]), int(globals_of[lv]), math.inf)
+            for lu, lv, w in per_shard_ins.get(rid, []):
+                graph.add_edge(int(globals_of[lu]), int(globals_of[lv]), w)
+
+        if overlay_changes and self.overlay is not None:
+            with phase("sharded.overlay_update"):
+                overlay_stats = self.overlay.update(overlay_changes, workers)
+            stats.overlay_stats = stats.overlay_stats.merge(overlay_stats)
+            stats.absorb(overlay_stats, self.boundary_global)
+            self._engine.invalidate_blocks()
+
+        if cross_inserts:
+            with phase("structural.fallback_rebuild"):
+                for u, v, w in cross_inserts:
+                    graph.add_edge(u, v, w)
+                self._rebuild_boundary_structures()
+            _bump(self, "fallback_rebuilds")
+            stats.absorb(
+                MaintenanceStats(affected_labels=set(self.boundary_global.tolist())),
+                np.arange(graph.num_vertices),
+            )
+
+        self._epoch += 1
+        return stats
+
+    def _rebuild_boundary_structures(self) -> None:
+        """Re-derive cut edges / boundaries and rebuild the overlay.
+
+        Region vertex sets are preserved (``regions_from_assignment``
+        lists each region's vertices in ascending id order, matching the
+        construction-time ordering), so shard-local ids stay valid.
+        """
+        from repro.partition.regions import regions_from_assignment
+
+        self.partition = regions_from_assignment(self.graph, self.region_of)
+        n = self.graph.num_vertices
+        boundary_global = np.asarray(
+            self.partition.boundary_vertices(), dtype=np.int64
+        )
+        self.boundary_global = boundary_global
+        self.overlay_of = np.full(n, -1, dtype=np.int64)
+        self.overlay_of[boundary_global] = np.arange(len(boundary_global))
+        self.boundary_local = []
+        self.boundary_overlay = []
+        for bverts in self.partition.boundary:
+            barr = np.asarray(bverts, dtype=np.int64)
+            self.boundary_local.append(self.local_of[barr])
+            self.boundary_overlay.append(self.overlay_of[barr])
+        self._build_overlay()
+
+    def compact(self):
+        """Compact every shard (and the overlay or boundary structures).
+
+        Shards squeeze their own dead slots and edges; global-graph
+        edges that are dead follow them out. When that removes a cut
+        edge, the boundary vertex set may shrink, so the navigation
+        arrays and overlay are rebuilt; otherwise the overlay compacts
+        in place. Returns an aggregate
+        :class:`~repro.core.structural.CompactionStats`.
+        """
+        from repro.core.structural import CompactionStats, _bump
+
+        total = CompactionStats()
+        for shard in self.shards:
+            cs = shard.compact()
+            total.dead_slots_reclaimed += cs.dead_slots_reclaimed
+            total.bytes_reclaimed += cs.bytes_reclaimed
+        cut_removed = False
+        for u, v, w in list(self.graph.edges()):
+            if math.isinf(w):
+                self.graph.remove_edge(u, v)
+                if self.region_of[u] != self.region_of[v]:
+                    cut_removed = True
+        if cut_removed:
+            self._rebuild_boundary_structures()
+        elif self.overlay is not None:
+            cs = self.overlay.compact()
+            total.dead_slots_reclaimed += cs.dead_slots_reclaimed
+            total.bytes_reclaimed += cs.bytes_reclaimed
+            self._engine.invalidate_blocks()
+        self._epoch += 1
+        _bump(self, "compactions")
+        _bump(self, "dead_slots_reclaimed", total.dead_slots_reclaimed)
+        _bump(self, "bytes_reclaimed", total.bytes_reclaimed)
+        return total
+
+    @property
+    def dead_fraction(self) -> float:
+        """Aggregate dead-slot fraction across shards and overlay."""
+        dead = 0
+        slots = 0
+        components = list(self.shards)
+        if self.overlay is not None:
+            components.append(self.overlay)
+        for component in components:
+            weights = component.hu.up_weights
+            dead += int(np.isinf(weights).sum())
+            slots += len(weights)
+        return dead / slots if slots else 0.0
+
+    @property
+    def structural_counters(self) -> dict[str, int]:
+        """Lifetime structural counters (see :class:`DHLIndex`)."""
+        from repro.core.structural import structural_counters
+
+        return structural_counters(self)
+
+    # ------------------------------------------------------------------
     # cross-process serving hooks (shared-memory shard workers)
     # ------------------------------------------------------------------
     def shard_buffers(self, sid: int) -> tuple[np.ndarray, np.ndarray]:

@@ -1,69 +1,220 @@
-"""Structural updates — Section 8 of the paper.
+"""Batch-dynamic structural updates — insert/delete fast paths.
 
-Road networks rarely change shape, so the paper treats structure as
-stable and handles the rare exceptions as follows:
+The paper treats topology as stable (Section 8) and handles exceptions
+coarsely: insertion repartitioned the LCA subtree and rebuilt H_U and L
+wholesale, deletion left infinite-weight slots allocated forever. This
+module replaces that with a batched engine in the BatchHL+ direction
+(VLDB 2023): mixed batches of insertions, deletions and weight changes
+are reflected through the existing frontier-batched maintenance kernels,
+with rebuilds reserved for the cases that genuinely invalidate the
+hierarchy.
 
-* **edge deletion** — raise the weight to infinity (a DHL+ update); the
-  shortcut slot stays allocated so structural stability (U1) holds;
-* **vertex deletion** — delete all incident edges;
-* **edge insertion** — repartition the subtree of H_Q rooted at the
-  lowest common ancestor node of the endpoints, then rebuild H_U and L.
+**Deletion fast path.** A deletion is an infinite-weight increase
+through ``shortcuts_increase_array`` / ``labels_increase_array``; the
+slot stays allocated but is *logically dead*. The compaction pass
+(below) reclaims dead slots once their fraction crosses the configured
+threshold.
 
-For insertion the paper repartitions "the largest affected induced
-subgraph"; we do exactly that for the partition tree (all untouched
-subtrees are reused), then rebuild the contraction and labelling, which
-are the cheaper phases of construction. A brand-new edge can create new
-valley paths between vertices *above* the repartitioned subtree, so the
-shortcut structure outside it is not reusable in general — rebuilding it
-keeps correctness unconditional.
+**Insertion fast path.** The shortcut structure of a fixed contraction
+order is the transitive closure of a clique invariant: contracting ``v``
+adds a shortcut between every pair of its not-yet-contracted neighbours,
+so every up-row is a clique. Adding edge ``(u, v)`` while *keeping the
+contraction order* therefore adds exactly the closure of the pair
+``(u, v)``: for each new pair ``(lo, hi)`` (``lo`` deeper), every
+partner ``x`` in ``lo``'s final up-row needs the pair ``(x, hi)``, and
+so on upward. Two gates guard the fast path:
+
+* ``hq.comparable(u, v)`` — a vertex's ancestors form a chain, so the
+  whole closure is automatically ⪯_H-comparable when the seed pair is;
+  an *incomparable* new edge violates the separator property of H_Q and
+  forces the repartition fallback. Endpoints sharing a leaf node of H_Q
+  are always comparable — the common fast case.
+* the closure size against ``config.insert_closure_limit`` — a closure
+  that outgrows the budget (the new arc's LCA subtree is large) falls
+  back to rebuilding H_U + L on the *same* H_Q, which is still far
+  cheaper than repartitioning and works on snapshot-loaded indexes
+  (whose partition tree is not persisted).
+
+Qualifying batches allocate their closure slots in one
+:func:`~repro.hierarchy.csr.extend_slots` merge (weights ``inf`` —
+allocated, not yet relaxed), add the new edges as logically-deleted, and
+seed one decrease sweep from the new arcs: the monotone min-relaxation
+from ``inf`` reaches exactly the Property-3.1 fixpoint of the extended
+store. Insertion-seeded sweeps always run through the *guarded* array
+kernel (every engine): on a previously compacted store the sweep can
+produce a finite candidate for a removed pair, which the guard converts
+into :class:`~repro.exceptions.StructuralFallbackRequired` → rebuild.
+
+**Compaction.** Dead slots (weight ``inf``; both directions for the
+directed index) are squeezed out of the CSR store, their graph edges
+removed physically, and label-store slack repacked. Removing only inf
+slots preserves the minimum-weight property of every surviving slot
+(triangles through a removed slot contributed ``inf``) and pure weight
+maintenance can never miss them (see the kernel guards); deletions
+become *permanent* — restoring a compacted edge routes through the
+insertion path.
 """
 
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass, field
 
-from repro.exceptions import MaintenanceError
+import numpy as np
+
+from repro.exceptions import MaintenanceError, StructuralFallbackRequired
 from repro.graph.graph import Graph
+from repro.hierarchy.csr import ShortcutCSR, compact_slots, extend_slots
 from repro.hierarchy.query_hierarchy import QueryHierarchy
 from repro.hierarchy.update_hierarchy import UpdateHierarchy
 from repro.labelling.build import build_labelling
 from repro.labelling.maintenance import MaintenanceStats
+from repro.observability.phases import phase
 from repro.partition.recursive import PartitionTreeNode, recursive_bisection
 
-__all__ = ["delete_edge", "restore_edge", "delete_vertex", "insert_edge"]
+__all__ = [
+    "StructuralStats",
+    "CompactionStats",
+    "apply_batch",
+    "apply_batch_directed",
+    "compact_index",
+    "compact_directed_index",
+    "dead_fraction",
+    "delete_edge",
+    "restore_edge",
+    "delete_vertex",
+    "insert_edge",
+]
+
+#: Accounting bytes per shortcut slot (weights + indices + derived),
+#: matching the ``shortcut_bytes`` convention of ``IndexStats``.
+_SLOT_BYTES = 24
 
 
-def delete_edge(index, u: int, v: int) -> MaintenanceStats:
-    """Logically delete edge ``(u, v)`` by increasing its weight to inf."""
-    current = index.graph.weight(u, v)
-    if math.isinf(current):
-        return MaintenanceStats()  # already deleted
-    return index.increase([(u, v, math.inf)])
+@dataclass
+class StructuralStats:
+    """Outcome of one :func:`apply_batch` call.
+
+    ``maintenance`` merges the kernel stats of every sub-pass (the
+    serving layer evicts caches from its ``affected_labels``);
+    the counters say *how* the batch was absorbed — how many arcs took
+    the insertion fast path versus a fallback rebuild, how many slots
+    the closure allocated, and how many deletions were dropped because
+    the edge was already dead (the ``already_deleted`` counter the bare
+    ``delete_edge`` used to swallow).
+    """
+
+    maintenance: MaintenanceStats = field(default_factory=MaintenanceStats)
+    inserted: int = 0
+    deleted: int = 0
+    weight_changed: int = 0
+    already_deleted: int = 0
+    fastpath_inserts: int = 0
+    fallback_rebuilds: int = 0
+    repartitions: int = 0
+    new_slots: int = 0
 
 
-def restore_edge(index, u: int, v: int, weight: float) -> MaintenanceStats:
-    """Restore a logically deleted edge with *weight* (a decrease)."""
-    if not math.isfinite(weight) or weight < 0:
-        raise MaintenanceError(f"restore weight must be finite, got {weight!r}")
-    current = index.graph.weight(u, v)
-    if weight > current:
-        raise MaintenanceError(
-            f"edge ({u}, {v}) currently weighs {current}; restoring to a "
-            "larger weight is an increase — use increase()"
-        )
-    return index.decrease([(u, v, weight)])
+@dataclass
+class CompactionStats:
+    """Outcome of one compaction pass."""
+
+    dead_slots_reclaimed: int = 0
+    bytes_reclaimed: int = 0
 
 
-def delete_vertex(index, v: int) -> MaintenanceStats:
-    """Logically delete vertex *v*: all incident roads become infinite."""
-    changes = [
-        (v, u, math.inf)
-        for u, w in index.graph.neighbors(v).items()
-        if math.isfinite(w)
-    ]
-    if not changes:
-        return MaintenanceStats()
-    return index.increase(changes)
+def structural_counters(index) -> dict[str, int]:
+    """The index's persistent structural counters (created on demand)."""
+    counters = getattr(index, "_structural_counters", None)
+    if counters is None:
+        counters = index._structural_counters = {
+            "already_deleted_edges": 0,
+            "fastpath_inserts": 0,
+            "fallback_rebuilds": 0,
+            "compactions": 0,
+            "dead_slots_reclaimed": 0,
+            "bytes_reclaimed": 0,
+        }
+    return counters
+
+
+def _bump(index, key: str, by: int = 1) -> None:
+    counters = structural_counters(index)
+    counters[key] = counters.get(key, 0) + by
+
+
+# ---------------------------------------------------------------------------
+# insertion closure
+# ---------------------------------------------------------------------------
+
+def _ordered_pair(rank: np.ndarray, u: int, v: int) -> tuple[int, int]:
+    """``(lo, hi)`` with ``lo`` the deeper (earlier-contracted) endpoint."""
+    return (u, v) if rank[u] < rank[v] else (v, u)
+
+
+def _insertion_closure(
+    csr: ShortcutCSR,
+    rank: np.ndarray,
+    pairs: list[tuple[int, int]],
+    limit: int,
+) -> list[tuple[int, int]] | None:
+    """Transitive closure of new shortcut pairs under the clique invariant.
+
+    For each genuinely new pair ``(lo, hi)``, every partner in ``lo``'s
+    final up-row (existing row plus partners this closure adds) must
+    also pair with ``hi`` — the exact set of shortcuts
+    ``contract_in_order`` would create for the same order on the updated
+    graph. Returns the new pairs (deterministic order), or ``None`` when
+    the closure exceeds *limit* (fall back to a rebuild).
+    """
+    new_rows: dict[int, list[int]] = {}
+    seen: set[tuple[int, int]] = set()
+    work = list(pairs)
+    while work:
+        lo, hi = work.pop()
+        if (lo, hi) in seen or csr.find_slot(lo, hi) >= 0:
+            continue
+        seen.add((lo, hi))
+        if len(seen) > limit:
+            return None
+        partners = csr.row(lo).tolist() + new_rows.get(lo, [])
+        new_rows.setdefault(lo, []).append(hi)
+        for x in partners:
+            if x == hi:
+                continue
+            pair = _ordered_pair(rank, x, hi)
+            if pair not in seen:
+                work.append(pair)
+    return sorted(seen)
+
+
+# ---------------------------------------------------------------------------
+# rebuild fallbacks
+# ---------------------------------------------------------------------------
+
+def _full_affected_stats(n: int) -> MaintenanceStats:
+    """Conservative stats after a rebuild: every label may have moved."""
+    return MaintenanceStats(affected_labels=set(range(n)))
+
+
+def _rebuild_on_same_hq(index) -> MaintenanceStats:
+    """Rebuild H_U and L over the current graph, keeping H_Q.
+
+    Works on snapshot-loaded indexes too — the contraction order is a
+    pure function of ``hq.tau``, which is always available.
+    """
+    from repro.labelling.query import QueryEngine
+
+    hu = UpdateHierarchy.build(index.graph, index.hq)
+    labels = build_labelling(hu)
+    index.hu = hu
+    index.labels = labels
+    index._engine = QueryEngine(
+        index.hq, labels, engine=index.config.resolve_engine()
+    )
+    index._epoch += 1
+    index._refresh_size_stats()
+    return _full_affected_stats(index.graph.num_vertices)
 
 
 def _subtree_vertices(hq: QueryHierarchy, node_id: int) -> list[int]:
@@ -81,32 +232,15 @@ def _subtree_vertices(hq: QueryHierarchy, node_id: int) -> list[int]:
     return vertices
 
 
-def insert_edge(index, u: int, v: int, weight: float):
-    """Insert a new road ``(u, v)``; returns a new, consistent index.
+def _splice_repartition(index, u: int, v: int) -> None:
+    """Repartition the LCA subtree of ``(u, v)`` and refresh H_Q in place.
 
-    The H_Q subtree rooted at the LCA node of ``l(u)`` and ``l(v)`` is
-    repartitioned over the updated subgraph (other subtrees are reused
-    verbatim); the update hierarchy and labelling are rebuilt.
+    The edge must already be in the graph. Untouched subtrees are reused
+    verbatim; H_U/L are *not* rebuilt here — the caller does that once
+    per batch.
     """
-    from repro.core.index import DHLIndex
-
     graph: Graph = index.graph
-    if graph.has_edge(u, v):
-        raise MaintenanceError(
-            f"edge ({u}, {v}) already exists; use decrease()/increase()"
-        )
-    if not math.isfinite(weight) or weight < 0:
-        raise MaintenanceError(f"weight must be finite and non-negative, got {weight!r}")
     hq: QueryHierarchy = index.hq
-    if hq.tree_nodes is None:
-        raise MaintenanceError(
-            "index was loaded without its partition tree; rebuild it to "
-            "support edge insertion"
-        )
-
-    graph.add_edge(u, v, weight)
-
-    # Find the LCA node of the endpoints' tree nodes.
     depth = hq.lca_depth(u, v)
     nid = int(hq.node_of[u])
     while hq.node_depth[nid] > depth:
@@ -137,10 +271,554 @@ def insert_edge(index, u: int, v: int, weight: float):
         parent_node = hq.tree_nodes[parent_id]
         parent_node.children[parent_node.children.index(old_node)] = new_subtree
         root = hq.tree_nodes[0]
+    index.hq = QueryHierarchy.from_partition_tree(root, graph.num_vertices)
 
-    new_hq = QueryHierarchy.from_partition_tree(root, graph.num_vertices)
-    new_hu = UpdateHierarchy.build(graph, new_hq)
-    labels = build_labelling(new_hu)
-    new_index = DHLIndex(graph, new_hq, new_hu, labels, index.config, index.stats())
-    new_index._refresh_size_stats()
-    return new_index
+
+# ---------------------------------------------------------------------------
+# the batch driver (undirected)
+# ---------------------------------------------------------------------------
+
+def _validate_insertion(graph, u: int, v: int, w: float) -> None:
+    if u == v:
+        raise MaintenanceError(f"cannot insert a self-loop at vertex {u}")
+    if not math.isfinite(w) or w < 0:
+        raise MaintenanceError(
+            f"weight must be finite and non-negative, got {w!r}"
+        )
+
+
+def apply_batch(
+    index,
+    insertions=(),
+    deletions=(),
+    weight_changes=(),
+    workers: int | None = None,
+) -> StructuralStats:
+    """Apply one mixed structural batch to a :class:`DHLIndex` in place.
+
+    * *deletions* — ``(u, v)`` pairs; live edges become infinite-weight
+      increases (the deletion fast path), already-dead or missing edges
+      only bump the ``already_deleted`` counter.
+    * *weight_changes* — ``(u, v, w)`` triples on existing edges,
+      classified into the increase/decrease kernels as in
+      :meth:`DHLIndex.update` (a finite ``w`` on a dead edge is a
+      restore: a plain decrease).
+    * *insertions* — ``(u, v, w)`` triples; an existing edge folds into
+      a weight change, new edges take the closure fast path or a
+      fallback rebuild (see the module docstring).
+
+    Mutates the index (hierarchies, labels, engine are swapped on
+    fallback) and returns a :class:`StructuralStats`.
+    """
+    graph: Graph = index.graph
+    stats = StructuralStats()
+
+    increases: list[tuple[int, int, float]] = []
+    decreases: list[tuple[int, int, float]] = []
+    for u, v in deletions:
+        if not graph.has_edge(u, v) or math.isinf(graph.weight(u, v)):
+            stats.already_deleted += 1
+            _bump(index, "already_deleted_edges")
+        else:
+            increases.append((u, v, math.inf))
+            stats.deleted += 1
+
+    # Duplicate reports on one edge coalesce last-wins (sequential
+    # semantics) — the kernels reject mixed-direction batches.
+    net_changes: dict[tuple[int, int], tuple[int, int, float]] = {}
+    for u, v, w in weight_changes:
+        net_changes[(u, v) if u <= v else (v, u)] = (u, v, w)
+    for u, v, w in net_changes.values():
+        current = graph.weight(u, v)
+        if w > current:
+            increases.append((u, v, w))
+            stats.weight_changed += 1
+        elif w < current:
+            decreases.append((u, v, w))
+            stats.weight_changed += 1
+
+    real_inserts: list[tuple[int, int, float]] = []
+    for u, v, w in insertions:
+        _validate_insertion(graph, u, v, w)
+        if graph.has_edge(u, v):
+            current = graph.weight(u, v)
+            if w < current:
+                decreases.append((u, v, w))
+            elif w > current:
+                increases.append((u, v, w))
+            stats.weight_changed += 1
+        else:
+            real_inserts.append((u, v, w))
+
+    if increases:
+        stats.maintenance = stats.maintenance.merge(
+            index.increase(increases, workers)
+        )
+    if decreases:
+        stats.maintenance = stats.maintenance.merge(
+            index.decrease(decreases, workers)
+        )
+    if real_inserts:
+        stats.inserted = len(real_inserts)
+        _apply_insertions(index, real_inserts, workers, stats)
+    return stats
+
+
+def _apply_insertions(index, inserts, workers, stats: StructuralStats) -> None:
+    """Route genuinely new edges through the fast path or a fallback."""
+    graph: Graph = index.graph
+    hq: QueryHierarchy = index.hq
+
+    incomparable = [
+        (u, v) for u, v, _ in inserts if not hq.comparable(u, v)
+    ]
+    if incomparable:
+        # The separator property of H_Q is genuinely invalidated; only a
+        # repartition restores it, and that needs the partition tree.
+        if hq.tree_nodes is None:
+            raise MaintenanceError(
+                "index was loaded without its partition tree; the new "
+                f"edge{'s' if len(incomparable) > 1 else ''} "
+                f"{incomparable} join incomparable vertices and need a "
+                "repartition — rebuild the index to insert them"
+            )
+        with phase("structural.fallback_rebuild"):
+            for u, v, w in inserts:
+                graph.add_edge(u, v, w)
+            for u, v in incomparable:
+                _splice_repartition(index, u, v)
+            stats.maintenance = stats.maintenance.merge(
+                _rebuild_on_same_hq(index)
+            )
+        stats.repartitions = len(incomparable)
+        stats.fallback_rebuilds += 1
+        _bump(index, "fallback_rebuilds")
+        return
+
+    hu: UpdateHierarchy = index.hu
+    pairs = [_ordered_pair(hu.rank, u, v) for u, v, _ in inserts]
+    closure = _insertion_closure(
+        hu.csr, hu.rank, pairs, index.config.insert_closure_limit
+    )
+    if closure is None:
+        with phase("structural.fallback_rebuild"):
+            for u, v, w in inserts:
+                graph.add_edge(u, v, w)
+            stats.maintenance = stats.maintenance.merge(
+                _rebuild_on_same_hq(index)
+            )
+        stats.fallback_rebuilds += 1
+        _bump(index, "fallback_rebuilds")
+        return
+
+    with phase("structural.slot_alloc"):
+        if closure:
+            new_lo = np.fromiter((p[0] for p in closure), np.int64, len(closure))
+            new_hi = np.fromiter((p[1] for p in closure), np.int64, len(closure))
+            new_csr, (new_weights,), _ = extend_slots(
+                hu.csr, new_lo, new_hi, hu.up_weights
+            )
+            hu.csr = new_csr
+            hu.up_weights = new_weights
+            hu._reset_csr_caches()
+        # New edges enter logically deleted; the seeded decrease sweep
+        # relaxes them (and their closure) to the Property-3.1 fixpoint.
+        for u, v, _ in inserts:
+            graph.add_edge(u, v, 0.0)
+            graph.set_weight(u, v, math.inf)
+    stats.new_slots = len(closure)
+
+    with phase("structural.fastpath_sweep"):
+        try:
+            sweep = _seeded_decrease(
+                index, [(u, v, w) for u, v, w in inserts]
+            )
+        except StructuralFallbackRequired:
+            # The sweep needed a pair that compaction removed. The graph
+            # already carries the final weights (the kernel seed phase
+            # applies them before sweeping); rebuild H_U + L from it.
+            for u, v, w in inserts:
+                graph.set_weight(u, v, w)
+            with phase("structural.fallback_rebuild"):
+                stats.maintenance = stats.maintenance.merge(
+                    _rebuild_on_same_hq(index)
+                )
+            stats.fallback_rebuilds += 1
+            _bump(index, "fallback_rebuilds")
+            return
+    stats.maintenance = stats.maintenance.merge(sweep)
+    stats.fastpath_inserts = len(inserts)
+    _bump(index, "fastpath_inserts", len(inserts))
+
+
+def _seeded_decrease(index, changes) -> MaintenanceStats:
+    """Insertion-seeded decrease sweep — always the guarded array kernel.
+
+    The compiled scalar sweep *skips* finite candidates for missing
+    pairs (exact only for weight maintenance) and the reference path is
+    slower; routing every insertion sweep through the array kernel keeps
+    the fallback signal reliable under all engines.
+    """
+    from repro.core.index import DHLIndex
+    from repro.labelling.maintenance_kernels import apply_decrease_array
+
+    return index._note_maintenance(
+        DHLIndex._run_with_phases(
+            lambda: apply_decrease_array(index.hu, index.labels, changes)
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# compaction (undirected)
+# ---------------------------------------------------------------------------
+
+def dead_fraction(weights, *more_weights) -> float:
+    """Fraction of slots that are logically dead (all directions inf)."""
+    if len(weights) == 0:
+        return 0.0
+    dead = np.isinf(weights)
+    for other in more_weights:
+        dead &= np.isinf(other)
+    return float(dead.mean())
+
+
+def compact_index(index) -> CompactionStats:
+    """Squeeze dead slots out of a :class:`DHLIndex`'s stores, in place.
+
+    Dead shortcut slots leave the CSR store, their (dead) graph edges
+    are removed physically — deletion becomes permanent — and label
+    slack is repacked. Queried distances are unchanged: every removed
+    triangle contributed ``inf``. Bumps the epoch when anything was
+    reclaimed, which routes worker/replica runtimes through their
+    existing whole-buffer republish path.
+    """
+    hu = index.hu
+    stats = CompactionStats()
+    with phase("structural.compaction"):
+        label_bytes = index.labels.compact()
+        dead = np.isinf(hu.up_weights)
+        dead_count = int(dead.sum())
+        if dead_count:
+            new_csr, (new_weights,) = compact_slots(
+                hu.csr, ~dead, hu.up_weights
+            )
+            hu.csr = new_csr
+            hu.up_weights = new_weights
+            hu._reset_csr_caches()
+        # A deleted edge whose slot kept a finite witness shortcut is
+        # still physically dead in the graph — remove it even when no
+        # slot was reclaimed, so restores always route through the
+        # insertion path.
+        graph = index.graph
+        removed_edges = 0
+        for u, v, w in list(graph.edges()):
+            if math.isinf(w):
+                graph.remove_edge(u, v)
+                removed_edges += 1
+        if dead_count or label_bytes or removed_edges:
+            index._epoch += 1
+            index._refresh_size_stats()
+    stats.dead_slots_reclaimed = dead_count
+    stats.bytes_reclaimed = dead_count * _SLOT_BYTES + label_bytes
+    _bump(index, "compactions")
+    _bump(index, "dead_slots_reclaimed", stats.dead_slots_reclaimed)
+    _bump(index, "bytes_reclaimed", stats.bytes_reclaimed)
+    return stats
+
+
+# ---------------------------------------------------------------------------
+# the batch driver (directed)
+# ---------------------------------------------------------------------------
+
+def apply_batch_directed(
+    index,
+    insertions=(),
+    deletions=(),
+    weight_changes=(),
+    workers: int | None = None,
+) -> StructuralStats:
+    """Directed counterpart of :func:`apply_batch` (arcs, not edges).
+
+    The two directions share one structural CSR, so a new arc whose
+    reverse already exists (or whose pair survived as a shortcut) is a
+    pure weight decrease from ``inf``. A structurally new pair takes the
+    same closure fast path over the shared skeleton, extending *both*
+    direction weight arrays; incomparable or over-budget insertions
+    rebuild the directed hierarchy (re-contract on the same H_Q).
+    """
+    digraph = index.digraph
+    stats = StructuralStats()
+
+    increases: list[tuple[int, int, float]] = []
+    decreases: list[tuple[int, int, float]] = []
+    for u, v in deletions:
+        if not digraph.has_arc(u, v) or math.isinf(digraph.weight(u, v)):
+            stats.already_deleted += 1
+            _bump(index, "already_deleted_edges")
+        else:
+            increases.append((u, v, math.inf))
+            stats.deleted += 1
+
+    # Duplicate reports on one arc coalesce last-wins (sequential
+    # semantics) — the kernels reject mixed-direction batches.
+    net_changes: dict[tuple[int, int], float] = {}
+    for u, v, w in weight_changes:
+        net_changes[(u, v)] = w
+    for (u, v), w in net_changes.items():
+        current = digraph.weight(u, v)
+        if w > current:
+            increases.append((u, v, w))
+            stats.weight_changed += 1
+        elif w < current:
+            decreases.append((u, v, w))
+            stats.weight_changed += 1
+
+    real_inserts: list[tuple[int, int, float]] = []
+    for u, v, w in insertions:
+        _validate_insertion(digraph, u, v, w)
+        if digraph.has_arc(u, v):
+            current = digraph.weight(u, v)
+            if w < current:
+                decreases.append((u, v, w))
+            elif w > current:
+                increases.append((u, v, w))
+            stats.weight_changed += 1
+        else:
+            real_inserts.append((u, v, w))
+
+    if increases:
+        stats.maintenance = stats.maintenance.merge(
+            index.increase(increases, workers)
+        )
+    if decreases:
+        stats.maintenance = stats.maintenance.merge(
+            index.decrease(decreases, workers)
+        )
+    if real_inserts:
+        stats.inserted = len(real_inserts)
+        _apply_directed_insertions(index, real_inserts, workers, stats)
+    return stats
+
+
+def _rebuild_directed(index) -> MaintenanceStats:
+    """Re-contract the directed hierarchy on the same H_Q, in place."""
+    from repro.core.directed import DirectedDHLIndex, _DirectionView
+    from repro.hierarchy.csr import build_shortcut_csr
+    from repro.labelling.build import build_labelling as _build
+
+    rank, up, wout, win = DirectedDHLIndex._contract(index.digraph, index.hq)
+    index.rank = np.asarray(rank, dtype=np.int64)
+    index.rank_key = index.rank.astype(np.float64)
+    index.csr, index.out_weights, index.in_weights = build_shortcut_csr(
+        up, index.rank, wout, win
+    )
+    index._out_view = _DirectionView(index.hq.tau, index.csr, index.out_weights)
+    index._in_view = _DirectionView(index.hq.tau, index.csr, index.in_weights)
+    index.labels_out = _build(index._out_view)
+    index.labels_in = _build(index._in_view)
+    index._epoch += 1
+    index._refresh_size_stats()
+    return _full_affected_stats(index.digraph.num_vertices)
+
+
+def _apply_directed_insertions(
+    index, inserts, workers, stats: StructuralStats
+) -> None:
+    digraph = index.digraph
+    hq = index.hq
+    csr: ShortcutCSR = index.csr
+
+    comparable = all(hq.comparable(u, v) for u, v, _ in inserts)
+    closure = None
+    if comparable:
+        pairs = [_ordered_pair(index.rank, u, v) for u, v, _ in inserts]
+        closure = _insertion_closure(
+            csr, index.rank, pairs, index.config.insert_closure_limit
+        )
+    if closure is None:
+        # Over-budget closures re-contract on the same H_Q; incomparable
+        # pairs invalidate the shared skeleton's separators, so the rare
+        # incomparable case rebuilds the partition tree too (directed
+        # construction derives it from the digraph, no tree splice
+        # needed).
+        with phase("structural.fallback_rebuild"):
+            for u, v, w in inserts:
+                digraph.add_arc(u, v, w)
+            if comparable:
+                stats.maintenance = stats.maintenance.merge(
+                    _rebuild_directed(index)
+                )
+            else:
+                _rebuild_directed_full(index)
+                stats.maintenance = stats.maintenance.merge(
+                    _full_affected_stats(digraph.num_vertices)
+                )
+                stats.repartitions = sum(
+                    0 if hq.comparable(u, v) else 1 for u, v, _ in inserts
+                )
+        stats.fallback_rebuilds += 1
+        _bump(index, "fallback_rebuilds")
+        return
+
+    with phase("structural.slot_alloc"):
+        if closure:
+            new_lo = np.fromiter((p[0] for p in closure), np.int64, len(closure))
+            new_hi = np.fromiter((p[1] for p in closure), np.int64, len(closure))
+            new_csr, (out_w, in_w), _ = extend_slots(
+                csr, new_lo, new_hi, index.out_weights, index.in_weights
+            )
+            index.csr = new_csr
+            index.out_weights = out_w
+            index.in_weights = in_w
+            for view, weights in (
+                (index._out_view, out_w),
+                (index._in_view, in_w),
+            ):
+                view.csr = new_csr
+                view.up_weights = weights
+                view._reset_csr_caches()
+        for u, v, _ in inserts:
+            digraph.add_arc(u, v, 0.0)
+            digraph.set_weight(u, v, math.inf)
+    stats.new_slots = len(closure)
+
+    with phase("structural.fastpath_sweep"):
+        try:
+            sweep = index.decrease(
+                [(u, v, w) for u, v, w in inserts], workers
+            )
+        except StructuralFallbackRequired:
+            for u, v, w in inserts:
+                digraph.set_weight(u, v, w)
+            with phase("structural.fallback_rebuild"):
+                stats.maintenance = stats.maintenance.merge(
+                    _rebuild_directed(index)
+                )
+            stats.fallback_rebuilds += 1
+            _bump(index, "fallback_rebuilds")
+            return
+    stats.maintenance = stats.maintenance.merge(sweep)
+    stats.fastpath_inserts = len(inserts)
+    _bump(index, "fastpath_inserts", len(inserts))
+
+
+def _rebuild_directed_full(index) -> None:
+    """Full directed rebuild (new partition tree) adopted in place."""
+    from repro.core.directed import DirectedDHLIndex
+
+    fresh = DirectedDHLIndex.build(index.digraph, index.config)
+    index.hq = fresh.hq
+    index.rank = fresh.rank
+    index.rank_key = fresh.rank_key
+    index.csr = fresh.csr
+    index.out_weights = fresh.out_weights
+    index.in_weights = fresh.in_weights
+    index._out_view = fresh._out_view
+    index._in_view = fresh._in_view
+    index.labels_out = fresh.labels_out
+    index.labels_in = fresh.labels_in
+    index._epoch += 1
+    index._refresh_size_stats()
+
+
+def compact_directed_index(index) -> CompactionStats:
+    """Directed compaction: a slot dies when *both* directions are inf."""
+    stats = CompactionStats()
+    with phase("structural.compaction"):
+        label_bytes = index.labels_out.compact() + index.labels_in.compact()
+        dead = np.isinf(index.out_weights) & np.isinf(index.in_weights)
+        dead_count = int(dead.sum())
+        if dead_count:
+            new_csr, (out_w, in_w) = compact_slots(
+                index.csr, ~dead, index.out_weights, index.in_weights
+            )
+            index.csr = new_csr
+            index.out_weights = out_w
+            index.in_weights = in_w
+            for view, weights in (
+                (index._out_view, out_w),
+                (index._in_view, in_w),
+            ):
+                view.csr = new_csr
+                view.up_weights = weights
+                view._reset_csr_caches()
+        digraph = index.digraph
+        removed_arcs = 0
+        for u, v, w in list(digraph.arcs()):
+            if math.isinf(w):
+                digraph.remove_arc(u, v)
+                removed_arcs += 1
+        if dead_count or label_bytes or removed_arcs:
+            index._epoch += 1
+            index._refresh_size_stats()
+    stats.dead_slots_reclaimed = dead_count
+    stats.bytes_reclaimed = dead_count * 2 * _SLOT_BYTES + label_bytes
+    _bump(index, "compactions")
+    _bump(index, "dead_slots_reclaimed", stats.dead_slots_reclaimed)
+    _bump(index, "bytes_reclaimed", stats.bytes_reclaimed)
+    return stats
+
+
+# ---------------------------------------------------------------------------
+# single-edge conveniences (the historical Section 8 surface)
+# ---------------------------------------------------------------------------
+
+def delete_edge(index, u: int, v: int) -> MaintenanceStats:
+    """Logically delete edge ``(u, v)`` through the batch path.
+
+    Deleting an already-dead (or compacted-away) edge returns empty
+    stats and records it in the index's ``already_deleted_edges``
+    counter instead of failing silently.
+    """
+    return apply_batch(index, deletions=[(u, v)]).maintenance
+
+
+def restore_edge(index, u: int, v: int, weight: float) -> MaintenanceStats:
+    """Restore a logically deleted edge with *weight* (a decrease).
+
+    After a compaction pass the edge is physically gone; restoring then
+    routes through the insertion path of :func:`apply_batch`.
+    """
+    if not math.isfinite(weight) or weight < 0:
+        raise MaintenanceError(f"restore weight must be finite, got {weight!r}")
+    if not index.graph.has_edge(u, v):
+        return apply_batch(
+            index, insertions=[(u, v, weight)]
+        ).maintenance
+    current = index.graph.weight(u, v)
+    if weight > current:
+        raise MaintenanceError(
+            f"edge ({u}, {v}) currently weighs {current}; restoring to a "
+            "larger weight is an increase — use increase()"
+        )
+    return index.decrease([(u, v, weight)])
+
+
+def delete_vertex(index, v: int) -> MaintenanceStats:
+    """Logically delete vertex *v*: all incident roads become infinite.
+
+    The neighbour set is snapshotted before any mutation (the live
+    adjacency view must not be iterated while maintenance writes to it)
+    and the deletions run as one batch, returning the merged stats.
+    """
+    neighbors = list(index.graph.neighbors(v).items())
+    deletions = [(v, u) for u, w in neighbors if math.isfinite(w)]
+    if not deletions:
+        return MaintenanceStats()
+    return apply_batch(index, deletions=deletions).maintenance
+
+
+def insert_edge(index, u: int, v: int, weight: float):
+    """Insert a new road ``(u, v)``; returns the (mutated) index.
+
+    Historical surface: the index is now updated *in place* through
+    :func:`apply_batch` (fast path or fallback rebuild) and returned for
+    drop-in compatibility with the old rebuild-and-return contract.
+    """
+    if index.graph.has_edge(u, v):
+        raise MaintenanceError(
+            f"edge ({u}, {v}) already exists; use decrease()/increase()"
+        )
+    apply_batch(index, insertions=[(u, v, weight)])
+    return index

@@ -17,6 +17,7 @@ __all__ = [
     "HierarchyError",
     "IndexBuildError",
     "MaintenanceError",
+    "StructuralFallbackRequired",
     "SerializationError",
     "ServiceRuntimeError",
     "ProtocolError",
@@ -68,6 +69,18 @@ class IndexBuildError(ReproError):
 
 class MaintenanceError(ReproError):
     """A dynamic update could not be applied to an index."""
+
+
+class StructuralFallbackRequired(MaintenanceError):
+    """A structural fast path hit a case only a rebuild can absorb.
+
+    Raised from inside a maintenance sweep when a finite shortcut
+    candidate targets a pair that compaction removed from the store —
+    the store has no slot to hold the result, so the caller must fall
+    back to rebuilding the shortcut hierarchy (on the same H_Q). Pure
+    weight maintenance can never trigger this; only insertion-seeded
+    sweeps over a previously compacted store can.
+    """
 
 
 class SerializationError(ReproError):

@@ -29,6 +29,7 @@ from repro.experiments.service import service_scenarios
 from repro.experiments.service_sockets import service_sockets_scenarios
 from repro.experiments.service_workers import service_workers_scenarios
 from repro.experiments.sharded import sharded_scenarios
+from repro.experiments.structural import structural_scenarios
 from repro.experiments.tables import (
     figure1_summary,
     table1_datasets,
@@ -51,6 +52,7 @@ EXPERIMENTS = {
     "service-sockets": service_sockets_scenarios,
     "service-workers": service_workers_scenarios,
     "sharded": sharded_scenarios,
+    "structural": structural_scenarios,
     "verify": verify_correctness,
 }
 

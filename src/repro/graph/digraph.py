@@ -128,6 +128,19 @@ class DiGraph:
         self._in[v][u] = w
         return old
 
+    def remove_arc(self, u: int, v: int) -> float:
+        """Physically remove an arc; returns its last weight.
+
+        Used by shortcut-store compaction to make logical deletions
+        permanent — most callers should prefer an infinite-weight
+        :meth:`set_weight`, which the maintenance kernels understand.
+        """
+        old = self.weight(u, v)
+        del self._out[u][v]
+        del self._in[v][u]
+        self._m -= 1
+        return old
+
     def reversed(self) -> "DiGraph":
         """Return a new digraph with every arc reversed."""
         g = DiGraph(self.num_vertices, self.coords)

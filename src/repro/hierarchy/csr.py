@@ -32,7 +32,14 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
-__all__ = ["ShortcutCSR", "WeightRows", "WeightRow", "build_shortcut_csr"]
+__all__ = [
+    "ShortcutCSR",
+    "WeightRows",
+    "WeightRow",
+    "build_shortcut_csr",
+    "extend_slots",
+    "compact_slots",
+]
 
 
 class ShortcutCSR:
@@ -198,6 +205,82 @@ def build_shortcut_csr(
         )
         flats.append(flat[order])
     return (ShortcutCSR(n, rank, indptr, indices), *flats)
+
+
+def extend_slots(
+    csr: ShortcutCSR,
+    new_lo: np.ndarray,
+    new_hi: np.ndarray,
+    *weight_arrays: np.ndarray,
+    fill: float = np.inf,
+) -> tuple:
+    """Grow the store with new ``(lo, hi)`` slots (structural insertion).
+
+    ``slot_keys`` must stay globally sorted for the searchsorted slot
+    resolution, so growth is a sorted merge of the existing slots with
+    the (deduplicated, previously absent) new pairs — one O(m + k)
+    rebuild per *batch* of k slots, which is how the growth cost
+    amortises: the insertion fast path collects a whole batch's closure
+    before calling this once, mirroring how the label store batches its
+    capacity doubling in :meth:`HierarchicalLabelling.extend_label`.
+
+    Every supplied weight array is permuted alongside, with *fill*
+    (default ``inf`` — "allocated but not yet relaxed") at the new
+    slots. Returns ``(new_csr, [new_weights...], new_positions)`` where
+    ``new_positions[i]`` is the slot of pair ``(new_lo[i], new_hi[i])``
+    in the rebuilt store.
+    """
+    new_lo = np.asarray(new_lo, dtype=np.int64)
+    new_hi = np.asarray(new_hi, dtype=np.int64)
+    k = len(new_lo)
+    if k == 0:
+        return (csr, list(weight_arrays), np.empty(0, dtype=np.int64))
+    n = csr.n
+    rank = csr.rank
+    new_keys = new_lo * np.int64(n) + rank[new_hi]
+    if len(np.unique(new_keys)) != k:
+        raise ValueError("extend_slots: duplicate pairs in batch")
+    hit = np.searchsorted(csr.slot_keys, new_keys)
+    hit = np.minimum(hit, max(len(csr.slot_keys) - 1, 0))
+    if len(csr.slot_keys) and np.any(csr.slot_keys[hit] == new_keys):
+        raise ValueError("extend_slots: pair already allocated")
+    order = np.argsort(
+        np.concatenate([csr.slot_keys, new_keys]), kind="stable"
+    )
+    indices = np.concatenate([csr.indices, new_hi])[order]
+    owners = np.concatenate([csr.owners, new_lo])[order]
+    counts = np.bincount(owners, minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    new_csr = ShortcutCSR(n, rank, indptr, indices)
+    dest = np.empty(len(order), dtype=np.int64)
+    dest[order] = np.arange(len(order), dtype=np.int64)
+    new_positions = dest[csr.num_slots :]
+    grown = [
+        np.concatenate([w, np.full(k, fill, dtype=np.float64)])[order]
+        for w in weight_arrays
+    ]
+    return (new_csr, grown, new_positions)
+
+
+def compact_slots(
+    csr: ShortcutCSR, keep: np.ndarray, *weight_arrays: np.ndarray
+) -> tuple:
+    """Drop the slots where *keep* is False (logically dead shortcuts).
+
+    Surviving slots keep their relative order, so rows stay rank-sorted
+    and ``slot_keys`` stays globally ascending; all derived tables are
+    rebuilt by the :class:`ShortcutCSR` constructor. Returns
+    ``(new_csr, [new_weights...])``.
+    """
+    keep = np.asarray(keep, dtype=bool)
+    indices = csr.indices[keep]
+    owners = csr.owners[keep]
+    counts = np.bincount(owners, minlength=csr.n)
+    indptr = np.zeros(csr.n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    new_csr = ShortcutCSR(csr.n, csr.rank, indptr, indices)
+    return (new_csr, [w[keep] for w in weight_arrays])
 
 
 class WeightRow:

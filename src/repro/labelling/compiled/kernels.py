@@ -178,6 +178,13 @@ def shortcut_decrease_sweep(
             else:
                 key = indices[leg] * n + ra
             tslot = _find_slot(slot_keys, key)
+            # A compacted store may have dropped the target pair (it was
+            # inf). Such a candidate is necessarily inf itself on the
+            # weight-maintenance paths this kernel serves (insertion
+            # sweeps run on the guarded array kernel), so skipping it is
+            # exact — the check also keeps the probe in bounds.
+            if tslot >= num_slots or slot_keys[tslot] != key:
+                continue
             if weights[tslot] > cand:
                 if changed[tslot] == 0:
                     changed[tslot] = 1
@@ -271,6 +278,9 @@ def shortcut_increase_sweep(
                 else:
                     key = indices[leg] * n + ra
                 tslot = _find_slot(slot_keys, key)
+                # Pairs dropped by compaction were inf — no suspect.
+                if tslot >= num_slots or slot_keys[tslot] != key:
+                    continue
                 if weights[tslot] == old + weights[leg]:
                     if in_queue[tslot] == 0:
                         in_queue[tslot] = 1

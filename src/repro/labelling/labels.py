@@ -288,6 +288,23 @@ class HierarchicalLabelling:
         """All in-use entries as one flat array (zero-copy when packed)."""
         return self.packed()[0]
 
+    def compact(self) -> int:
+        """Squeeze slack capacity out of the flat buffer, in place.
+
+        The structural compaction pass calls this alongside the shortcut
+        store squeeze so a long-lived index does not keep paying for
+        label slots that :meth:`extend_label` over-allocated. Returns the
+        number of buffer bytes reclaimed (0 when already packed).
+        """
+        before = self.values.nbytes
+        if self.is_packed:
+            return 0
+        values, offsets = self.packed()
+        self.values = values
+        self.offsets = offsets
+        self._views = None
+        return before - self.values.nbytes
+
     # -- bulk properties --------------------------------------------------
     @property
     def num_vertices(self) -> int:

@@ -34,7 +34,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.exceptions import MaintenanceError
+from repro.exceptions import MaintenanceError, StructuralFallbackRequired
 from repro.hierarchy.contraction import ContractionResult
 from repro.hierarchy.update_hierarchy import UpdateHierarchy
 from repro.labelling.labels import HierarchicalLabelling
@@ -146,8 +146,20 @@ def maintain_shortcuts_decrease(
                 continue
             candidate = weight_vw + row[other]
             lo, hi = sc.shortcut_key(w, other)
-            if wup[lo][hi] > candidate:
-                old_weights.setdefault((lo, hi), wup[lo][hi])
+            current = wup[lo].get(hi)
+            if current is None:
+                # The pair was inf when the store was compacted. A pure
+                # weight decrease can never produce a finite candidate
+                # for it (both legs finite implies the target was finite
+                # pre-compaction); an insertion-seeded sweep can, and
+                # then only a rebuild can absorb the result.
+                if math.isfinite(candidate):
+                    raise StructuralFallbackRequired(
+                        "decrease sweep reached a compacted shortcut slot"
+                    )
+                continue
+            if current > candidate:
+                old_weights.setdefault((lo, hi), current)
                 wup[lo][hi] = candidate
                 heap.push((lo, hi), rank_key[lo])
     return old_weights
@@ -200,8 +212,10 @@ def maintain_shortcuts_increase(
                 if other == w:
                     continue
                 lo, hi = sc.shortcut_key(w, other)
-                # Triangles realising the old weight are potentially hit.
-                if wup[lo][hi] == old + row[other]:
+                # Triangles realising the old weight are potentially hit
+                # (pairs removed by compaction were inf — no suspect).
+                target = wup[lo].get(hi)
+                if target is not None and target == old + row[other]:
                     heap.push((lo, hi), rank_key[lo])
             old_weights.setdefault((v, w), old)
             wup[v][w] = w_new

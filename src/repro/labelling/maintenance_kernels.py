@@ -51,7 +51,7 @@ import math
 
 import numpy as np
 
-from repro.exceptions import MaintenanceError
+from repro.exceptions import MaintenanceError, StructuralFallbackRequired
 from repro.labelling.labels import HierarchicalLabelling
 from repro.labelling.maintenance import (
     MaintenanceStats,
@@ -153,6 +153,24 @@ def shortcuts_decrease_array(
             lo_v = np.where(ra < rb, indices[active], indices[legs])
             keys = lo_v * n + np.maximum(ra, rb)
             tslots = np.searchsorted(slot_keys, keys)
+            found = slot_keys[np.minimum(tslots, len(slot_keys) - 1)] == keys
+            if not found.all():
+                # Compaction drops inf slots, so a candidate may target a
+                # missing pair. An inf candidate is harmless (it could
+                # never win a minimum) and is simply dropped. A *finite*
+                # candidate cannot arise from pure weight decreases (both
+                # legs finite now means both were finite — hence the
+                # target too — when the store was compacted); only an
+                # insertion-seeded sweep can produce one, and the store
+                # has no slot to absorb it: hand over to the rebuild
+                # fallback.
+                if np.isfinite(cand[~found]).any():
+                    raise StructuralFallbackRequired(
+                        "decrease sweep reached a compacted shortcut slot"
+                    )
+                tslots, cand = tslots[found], cand[found]
+                if not len(tslots):
+                    break
 
             sort = np.argsort(tslots, kind="stable")
             ts, cs = tslots[sort], cand[sort]
@@ -298,6 +316,14 @@ def shortcuts_increase_array(
                     lo_v = np.where(ra < rb, indices[ch[rep2]], indices[legs])
                     tkeys = lo_v * n + np.maximum(ra, rb)
                     tslots = np.searchsorted(slot_keys, tkeys)
+                    # Pairs removed by compaction were inf — there is no
+                    # suspect behind them to re-deliver; drop the probes.
+                    tfound = (
+                        slot_keys[np.minimum(tslots, len(slot_keys) - 1)]
+                        == tkeys
+                    )
+                    tslots = tslots[tfound]
+                    cand_old = cand_old[tfound]
                     hits = tslots[weights[tslots] == cand_old]
                     if len(hits):
                         next_chunks.append(hits)

@@ -14,6 +14,20 @@ its *net effect* first:
 * the surviving batch splits into increase and decrease sets and runs
   through Algorithms 2-5 once, in the paper's increase-then-decrease
   order.
+
+The buffer also coalesces *structural* traffic (road closures,
+construction) through a per-edge operation state machine:
+
+* insert-then-delete cancels outright — the road never existed as far
+  as the index is concerned;
+* delete-then-restore folds to a plain weight change when the edge
+  still exists at flush time;
+* weight reports on a road queued for insertion fold into the
+  insertion's weight.
+
+Drained structural batches flow through the backend's ``apply_batch``
+(insert/delete fast paths, fallback rebuilds) instead of the pure
+weight-maintenance kernels.
 """
 
 from __future__ import annotations
@@ -28,6 +42,11 @@ __all__ = ["CoalescerStats", "CoalescedBatch", "UpdateCoalescer"]
 WeightChange = tuple[int, int, float]
 EdgeKey = tuple[int, int]
 
+# Per-edge pending operations: the op tag orders the state machine.
+_WEIGHT = "weight"
+_INSERT = "insert"
+_DELETE = "delete"
+
 
 @dataclass(frozen=True)
 class CoalescerStats:
@@ -35,12 +54,17 @@ class CoalescerStats:
     merged_duplicates: int
     noops_dropped: int
     flushes: int
+    #: insert-then-delete pairs that annihilated before ever flushing.
+    cancelled_pairs: int = 0
+    #: structural submissions (inserts + deletes) accepted.
+    structural_submitted: int = 0
 
     def __str__(self) -> str:
         return (
             f"{self.submitted} submitted, "
             f"{self.merged_duplicates} duplicates merged, "
             f"{self.noops_dropped} no-ops dropped, "
+            f"{self.cancelled_pairs} insert/delete pairs cancelled, "
             f"{self.flushes} flushes"
         )
 
@@ -51,11 +75,23 @@ class CoalescedBatch:
 
     increases: list[WeightChange] = field(default_factory=list)
     decreases: list[WeightChange] = field(default_factory=list)
+    insertions: list[WeightChange] = field(default_factory=list)
+    deletions: list[EdgeKey] = field(default_factory=list)
     noops: int = 0
 
     @property
     def size(self) -> int:
-        return len(self.increases) + len(self.decreases)
+        return (
+            len(self.increases)
+            + len(self.decreases)
+            + len(self.insertions)
+            + len(self.deletions)
+        )
+
+    @property
+    def is_structural(self) -> bool:
+        """True when the batch needs the structural ``apply_batch`` path."""
+        return bool(self.insertions or self.deletions)
 
     def changes(self) -> list[WeightChange]:
         """Increases first, then decreases (the paper's batch protocol)."""
@@ -63,34 +99,100 @@ class CoalescedBatch:
 
 
 class UpdateCoalescer:
-    """Streaming buffer of ``(u, v, new_weight)`` with per-edge merging."""
+    """Streaming buffer of weight and structural changes, merged per edge."""
 
-    __slots__ = ("_pending", "_submitted", "_merged", "_flushes", "_noops")
+    __slots__ = (
+        "_pending",
+        "_submitted",
+        "_merged",
+        "_flushes",
+        "_noops",
+        "_cancelled",
+        "_structural",
+    )
 
     def __init__(self) -> None:
-        self._pending: dict[EdgeKey, float] = {}
+        self._pending: dict[EdgeKey, tuple[str, float | None]] = {}
         self._submitted = 0
         self._merged = 0
         self._flushes = 0
         self._noops = 0
+        self._cancelled = 0
+        self._structural = 0
 
     # -- intake ---------------------------------------------------------
     def add(self, u: int, v: int, weight: float) -> None:
+        """Buffer a weight report for edge ``(u, v)``.
+
+        On a road queued for insertion the report folds into the
+        insertion's weight; on one queued for deletion it acts as a
+        restore, folding the delete back into a plain weight change.
+        """
         key = (u, v) if u <= v else (v, u)
         self._submitted += 1
-        if key in self._pending:
+        prior = self._pending.get(key)
+        if prior is not None:
             self._merged += 1
-        self._pending[key] = float(weight)
+            if prior[0] == _INSERT:
+                self._pending[key] = (_INSERT, float(weight))
+                return
+        self._pending[key] = (_WEIGHT, float(weight))
 
     def add_many(self, changes: Iterable[WeightChange]) -> None:
         for u, v, w in changes:
             self.add(u, v, w)
 
+    def add_insert(self, u: int, v: int, weight: float) -> None:
+        """Buffer a road insertion (new-link construction).
+
+        Inserting over a queued deletion folds to a weight change — the
+        edge still exists until the deletion flushes, so the net effect
+        is its new weight. Whether a drained entry really is an
+        insertion is decided against the graph at flush time.
+        """
+        key = (u, v) if u <= v else (v, u)
+        self._submitted += 1
+        self._structural += 1
+        prior = self._pending.get(key)
+        if prior is not None:
+            self._merged += 1
+            if prior[0] == _DELETE:
+                self._pending[key] = (_WEIGHT, float(weight))
+                return
+        self._pending[key] = (_INSERT, float(weight))
+
+    def add_delete(self, u: int, v: int) -> None:
+        """Buffer a road deletion (closure).
+
+        Deleting a road queued for insertion cancels both — neither ever
+        reaches the index.
+        """
+        key = (u, v) if u <= v else (v, u)
+        self._submitted += 1
+        self._structural += 1
+        prior = self._pending.get(key)
+        if prior is not None:
+            self._merged += 1
+            if prior[0] == _INSERT:
+                del self._pending[key]
+                self._cancelled += 1
+                return
+        self._pending[key] = (_DELETE, None)
+
     # -- drain ----------------------------------------------------------
     def drain(self, graph: Graph) -> CoalescedBatch:
         """Empty the buffer into its net batch against *graph*'s weights."""
         batch = CoalescedBatch()
-        for (u, v), w in self._pending.items():
+        has_edge = getattr(graph, "has_edge", None) or graph.has_arc
+        for (u, v), (op, w) in self._pending.items():
+            if op == _DELETE:
+                batch.deletions.append((u, v))
+                continue
+            if not has_edge(u, v):
+                # A weight report on a compacted-away edge is a restore:
+                # it re-enters through the insertion path.
+                batch.insertions.append((u, v, w))
+                continue
             current = graph.weight(u, v)
             if w > current:
                 batch.increases.append((u, v, w))
@@ -120,4 +222,6 @@ class UpdateCoalescer:
             merged_duplicates=self._merged,
             noops_dropped=self._noops,
             flushes=self._flushes,
+            cancelled_pairs=self._cancelled,
+            structural_submitted=self._structural,
         )

@@ -121,6 +121,35 @@ class ExecutionRuntime(abc.ABC):
         buffers, epochs) consistent with :attr:`index` before returning.
         """
 
+    def apply_structural(
+        self,
+        insertions=(),
+        deletions=(),
+        weight_changes=(),
+        workers: int | None = None,
+    ):
+        """Apply one mixed structural batch (insert / delete / reweigh).
+
+        Default: the backend's own ``apply_batch``, in the calling
+        process. Pooled runtimes override to re-sync their substrate
+        through the layout-change republish path afterwards.
+        """
+        return self.index.apply_batch(
+            insertions=insertions,
+            deletions=deletions,
+            weight_changes=weight_changes,
+            workers=workers,
+        )
+
+    def compact(self):
+        """Run the backend's dead-slot compaction pass.
+
+        Safe by default: compaction changes buffer layouts but never
+        query structure, so pooled runtimes recover through the same
+        republish path as :meth:`apply_structural`.
+        """
+        return self.index.compact()
+
     # -- introspection --------------------------------------------------
     def pool_stats(self):
         """Scheduler / delta-sync counters for pooled runtimes.
@@ -452,6 +481,73 @@ class RegionPairScheduler(ExecutionRuntime):
                 self._epochs[sid] += 1
                 self._sync_shard(sid, stats.per_shard[sid].affected_labels)
                 self.stats.epoch_broadcasts += 1
+        return stats
+
+    def apply_structural(
+        self,
+        insertions=(),
+        deletions=(),
+        weight_changes=(),
+        workers: int | None = None,
+    ):
+        """Structural batch in the parent, then whole-buffer republish.
+
+        Label layouts may move arbitrarily under structural maintenance,
+        so every shard rides the full-sync/republish path rather than
+        the per-slot delta. Workers pin the shard *query structure*
+        (H_Q, boundary lists) at startup; batches the parent absorbed
+        with fast paths or same-H_Q rebuilds keep both invariant, but a
+        repartition splice or a boundary-set change (a brand-new cut
+        edge) leaves pooled workers unrecoverably stale — the batch is
+        still applied to the index, and a
+        :class:`~repro.exceptions.ServiceRuntimeError` tells the caller
+        to rebuild the runtime over it.
+        """
+        if self._closed:
+            raise ServiceRuntimeError("runtime is closed")
+        self._reconcile_index_epoch()
+        owner = self.index
+        hq_before = [id(shard.hq) for shard in owner.shards]
+        boundary_before = owner.boundary_global.copy()
+        stats = owner.apply_batch(
+            insertions=insertions,
+            deletions=deletions,
+            weight_changes=weight_changes,
+            workers=workers,
+        )
+        with phase("flush.structural_sync"):
+            self._reconcile_index_epoch()
+        if [id(shard.hq) for shard in owner.shards] != hq_before or not (
+            np.array_equal(owner.boundary_global, boundary_before)
+        ):
+            raise ServiceRuntimeError(
+                "structural batch changed shard query topology (hierarchy "
+                "repartition or boundary-set change); the index is updated "
+                "but pooled workers pin structure at startup — rebuild the "
+                "runtime over the updated index, or serve structural-heavy "
+                "traffic with InProcessRuntime"
+            )
+        return stats
+
+    def compact(self):
+        """Compact in the parent; republish every shard's buffers.
+
+        Sharded compaction only rebuilds boundary structures when it
+        physically removes a cut edge — the same topology-staleness
+        rule as :meth:`apply_structural` applies.
+        """
+        if self._closed:
+            raise ServiceRuntimeError("runtime is closed")
+        owner = self.index
+        boundary_before = owner.boundary_global.copy()
+        stats = owner.compact()
+        with phase("flush.structural_sync"):
+            self._reconcile_index_epoch()
+        if not np.array_equal(owner.boundary_global, boundary_before):
+            raise ServiceRuntimeError(
+                "compaction removed a cut edge and changed the boundary "
+                "set; rebuild the pooled runtime over the updated index"
+            )
         return stats
 
     def _reconcile_index_epoch(self) -> None:

@@ -80,6 +80,15 @@ class ServiceStats:
     #: (:meth:`~repro.service.workers.WorkerPoolStats.as_dict`) when the
     #: runtime pools workers, ``None`` for in-process backends.
     worker_pool: dict | None = None
+    #: Structural flushes (batches carrying insertions or deletions).
+    structural_batches: int = 0
+    #: Compaction passes triggered by the dead-slot threshold (or run
+    #: explicitly through the service).
+    compactions: int = 0
+    #: Dead shortcut slots reclaimed by those compactions.
+    dead_slots_reclaimed: int = 0
+    #: Bytes reclaimed (shortcut slots + label-store slack).
+    bytes_reclaimed: int = 0
 
     def summary(self) -> str:
         lines = [
@@ -93,6 +102,13 @@ class ServiceStats:
             f"  applied : {self.shortcuts_changed} shortcuts, "
             f"{self.labels_changed} label entries",
         ]
+        if self.structural_batches or self.compactions:
+            lines.append(
+                f"  structural: {self.structural_batches} batches, "
+                f"{self.compactions} compactions "
+                f"({self.dead_slots_reclaimed} dead slots, "
+                f"{self.bytes_reclaimed} B reclaimed)"
+            )
         if self.worker_pool is not None:
             wp = self.worker_pool
             lines.append(
@@ -243,6 +259,10 @@ class DistanceService:
         self._batches = 0
         self._shortcuts_changed = 0
         self._labels_changed = 0
+        self._structural_batches = 0
+        self._compactions = 0
+        self._dead_slots_reclaimed = 0
+        self._bytes_reclaimed = 0
         # Last index epoch this service reconciled its cache against.
         # Updates applied directly on the index (structural ops, another
         # caller) advance the epoch without telling us which pairs moved,
@@ -366,6 +386,24 @@ class DistanceService:
         for u, v, w in changes:
             self.submit(u, v, w)
 
+    def submit_insert(self, u: int, v: int, weight: float) -> None:
+        """Buffer a road insertion (new-link construction).
+
+        Coalesces against pending traffic on the same edge — inserting
+        over a queued deletion folds to a weight change; a later
+        :meth:`submit_delete` cancels the pair outright. Flushes route
+        through the backend's structural ``apply_batch`` path.
+        """
+        self.coalescer.add_insert(u, v, weight)
+        if self.coalescer.pending_edges >= self.flush_threshold:
+            self.flush()
+
+    def submit_delete(self, u: int, v: int) -> None:
+        """Buffer a road deletion (closure); see :meth:`submit_insert`."""
+        self.coalescer.add_delete(u, v)
+        if self.coalescer.pending_edges >= self.flush_threshold:
+            self.flush()
+
     @property
     def pending_updates(self) -> int:
         return self.coalescer.pending_edges
@@ -392,11 +430,20 @@ class DistanceService:
             self._m_flush_seconds.observe(timer.seconds)
             registry = observability.registry
             for name, dt in collector.as_dict().items():
-                registry.histogram(
-                    "dhl_maintenance_phase_seconds",
-                    "Wall seconds per maintenance/flush phase, per flush",
-                    labels={"phase": name},
-                ).observe(dt)
+                if name.startswith("structural."):
+                    registry.histogram(
+                        "dhl_structural_phase_seconds",
+                        "Wall seconds per structural-update phase "
+                        "(slot allocation, fast-path sweep, fallback "
+                        "rebuild, compaction), per flush",
+                        labels={"phase": name},
+                    ).observe(dt)
+                else:
+                    registry.histogram(
+                        "dhl_maintenance_phase_seconds",
+                        "Wall seconds per maintenance/flush phase, per flush",
+                        labels={"phase": name},
+                    ).observe(dt)
             if observability.slow_log.note_flush(
                 timer.seconds, edges=applied_edges, epoch=self.index.epoch
             ):
@@ -410,8 +457,23 @@ class DistanceService:
         if not batch.size:
             return MaintenanceStats(), 0
         with Timer() as timer:
-            with phase("flush.apply"):
-                stats = self.runtime.apply_update(batch.changes(), self.workers)
+            if batch.is_structural:
+                with phase("flush.apply_structural"):
+                    result = self.runtime.apply_structural(
+                        insertions=batch.insertions,
+                        deletions=batch.deletions,
+                        weight_changes=batch.changes(),
+                        workers=self.workers,
+                    )
+                # StructuralStats carries its MaintenanceStats in
+                # .maintenance; ShardedMaintenanceStats *is* one.
+                stats = getattr(result, "maintenance", result)
+                self._structural_batches += 1
+            else:
+                with phase("flush.apply"):
+                    stats = self.runtime.apply_update(
+                        batch.changes(), self.workers
+                    )
         self.update_latency.record(timer.seconds, batch.size)
         self._shortcuts_changed += stats.shortcuts_changed
         self._labels_changed += stats.labels_changed
@@ -425,7 +487,42 @@ class DistanceService:
             else:
                 self.cache.invalidate_all(self.index.epoch)
         self._synced_epoch = self.index.epoch
+        if batch.deletions:
+            self._maybe_compact()
         return stats, batch.size
+
+    def _maybe_compact(self) -> None:
+        """Compact the shortcut/label stores once deletions have pushed
+        the dead-slot fraction over ``config.compaction_threshold``.
+
+        Only runs after flushes that carried deletions — those are the
+        only source of new dead slots — so the O(slots) fraction scan
+        never taxes pure weight-change traffic. A threshold of 1.0
+        disables auto-compaction entirely.
+        """
+        threshold = getattr(self.index.config, "compaction_threshold", 1.0)
+        if threshold >= 1.0:
+            return
+        if getattr(self.index, "dead_fraction", 0.0) < threshold:
+            return
+        result = self.runtime.compact()
+        self._compactions += 1
+        self._dead_slots_reclaimed += result.dead_slots_reclaimed
+        self._bytes_reclaimed += result.bytes_reclaimed
+        # Compaction bumps the index epoch; the cache watermark must
+        # follow even though queried distances are unchanged, because
+        # fine-grained state (hubs, slot ids) may have been re-packed.
+        self.cache.invalidate_all(self.index.epoch)
+        self._synced_epoch = self.index.epoch
+
+    def compact(self) -> None:
+        """Force a compaction pass regardless of the dead-slot fraction."""
+        result = self.runtime.compact()
+        self._compactions += 1
+        self._dead_slots_reclaimed += result.dead_slots_reclaimed
+        self._bytes_reclaimed += result.bytes_reclaimed
+        self.cache.invalidate_all(self.index.epoch)
+        self._synced_epoch = self.index.epoch
 
     def _pre_query(self) -> None:
         if self.auto_flush_on_query and self.coalescer:
@@ -480,6 +577,10 @@ class DistanceService:
             labels_changed=self._labels_changed,
             backend=self.runtime.backend,
             worker_pool=pool.as_dict() if pool is not None else None,
+            structural_batches=self._structural_batches,
+            compactions=self._compactions,
+            dead_slots_reclaimed=self._dead_slots_reclaimed,
+            bytes_reclaimed=self._bytes_reclaimed,
         )
 
     def metrics(self) -> dict[str, dict]:
@@ -542,10 +643,21 @@ class DistanceService:
             "merged_duplicates",
             "noops_dropped",
             "flushes",
+            "cancelled_pairs",
+            "structural_submitted",
         ):
             registry.gauge(
                 f"dhl_coalescer_{field_name}", f"Update coalescer {field_name}"
             ).set(getattr(coalescer, field_name))
+        for field_name, value in (
+            ("structural_batches", self._structural_batches),
+            ("compactions", self._compactions),
+            ("dead_slots_reclaimed", self._dead_slots_reclaimed),
+            ("bytes_reclaimed", self._bytes_reclaimed),
+        ):
+            registry.gauge(
+                f"dhl_{field_name}", f"Structural updates: {field_name}"
+            ).set(value)
         registry.gauge(
             "dhl_shortcuts_changed", "Shortcut mutations applied"
         ).set(self._shortcuts_changed)
