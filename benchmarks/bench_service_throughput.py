@@ -489,7 +489,12 @@ def run_socket_quick(
 
     num_pairs = len(commute)
     fan_out_pairs = commute[:256]
-    runtime = SocketShardRuntime(sharded, replicas=replicas)
+    # Supervision clock = wall clock + a hand-advanced offset, so the
+    # respawn drill can skip past the backoff window without sleeping.
+    offset = [0.0]
+    runtime = SocketShardRuntime(
+        sharded, replicas=replicas, clock=lambda: time.monotonic() + offset[0]
+    )
     try:
         expected = index.distances(commute)
         if not np.array_equal(expected, runtime.distances(commute)):
@@ -516,24 +521,50 @@ def run_socket_quick(
         expected = index.distances(commute)
 
         # Failover drill: kill one replica of shard 0, next batch must
-        # fail over and still answer exactly.
+        # fail over and still answer exactly. The first post-kill batch
+        # pays the discovery + retry cost — that is the recovery number.
         victim = runtime._groups[0][0]
         victim.process.terminate()
         victim.process.join(10)
-        for _ in range(replicas):  # round-robin past the corpse
+        started = time.perf_counter()
+        first = runtime.distances(commute)
+        failover_recovery_ms = (time.perf_counter() - started) * 1000
+        if not np.array_equal(expected, first):
+            raise AssertionError("socket pool lost requests on failover")
+        for _ in range(replicas - 1):  # round-robin past the corpse
             if not np.array_equal(expected, runtime.distances(commute)):
                 raise AssertionError("socket pool lost requests on failover")
         scheduler = runtime.stats.as_dict()
         if scheduler["failovers"] < 1:
             raise AssertionError("replica kill never triggered a failover")
 
+        # Respawn drill: one forced supervision poll marks the dead
+        # slot down and arms its backoff; advancing the clock offset
+        # past the ceiling lets the next poll respawn it — downtime is
+        # the supervisor's own spawn+handshake measurement.
+        runtime.supervisor.poll(force=True)
+        offset[0] += runtime.supervisor.policy.max_delay
+        summary = runtime.supervisor.poll(force=True)
+        if summary.get("respawned", 0) < 1:
+            raise AssertionError(
+                f"supervision poll never respawned the killed replica: "
+                f"{summary}"
+            )
+        respawn_downtime_ms = max(runtime.supervisor.recovery_ms)
+        if not np.array_equal(expected, runtime.distances(commute)):
+            raise AssertionError("respawned replica answered wrongly")
+        scheduler = runtime.stats.as_dict()
+
         metrics = {
             "socket_cross_qps": round(socket_cross_qps, 1),
             "socket_fanout_ms": round(fan_out_seconds * 1000, 3),
             "socket_failovers": scheduler["failovers"],
             "socket_resyncs": scheduler["resyncs"],
+            "socket_respawns": scheduler["respawns"],
             "socket_delta_syncs": scheduler["delta_syncs"],
             "socket_republishes": scheduler["republishes"],
+            "failover_recovery_ms": round(failover_recovery_ms, 3),
+            "respawn_downtime_ms": round(respawn_downtime_ms, 3),
         }
         breakdown = {
             "replicas": replicas,

@@ -36,7 +36,13 @@ Machine-independent ratio invariants are also enforced:
   in-process sharded backend on the same pairs (``REPRO_SOCKET_FLOOR``
   overrides; core-aware like the worker-pool gate), its failover drill
   must have counted at least one failover with updates riding inline
-  deltas and zero republishes;
+  deltas and zero republishes; its supervision drill must have
+  respawned the killed replica (``socket_respawns``), and both
+  recovery numbers stay under absolute ceilings —
+  ``failover_recovery_ms`` (first post-kill batch,
+  ``REPRO_FAILOVER_RECOVERY_CEILING_MS`` overrides) and
+  ``respawn_downtime_ms`` (spawn + handshake,
+  ``REPRO_RESPAWN_CEILING_MS`` overrides);
 * the async frontend's concurrent burst must answer at least
   ``MIN_ASYNC_MICROBATCH_SPEEDUP`` times faster than the same burst
   awaited serially (the micro-batching win is the reason the frontend
@@ -147,6 +153,19 @@ MIN_ASYNC_MICROBATCH_SPEEDUP = float(os.environ.get("REPRO_ASYNC_FLOOR", 2.0))
 # order of magnitude; 5x is the acceptance floor — below it the fast
 # path has degenerated into (or is being bypassed for) a rebuild.
 MIN_INSERT_FASTPATH_RATIO = float(os.environ.get("REPRO_FASTPATH_FLOOR", 5.0))
+# Recovery ceilings for the socket-replica drills, milliseconds. Both
+# are absolute wall-clock numbers (the failover is one batch paying the
+# dead-connection discovery + retry; the respawn is one process spawn +
+# spec handshake), so the ceilings are loose enough for a loaded CI
+# runner but still catch a recovery path degenerating into a timeout
+# wait (the 30s request deadline is two orders of magnitude above
+# either ceiling). Override while recalibrating on a slow runner.
+MAX_FAILOVER_RECOVERY_MS = float(
+    os.environ.get("REPRO_FAILOVER_RECOVERY_CEILING_MS", 10_000.0)
+)
+MAX_RESPAWN_DOWNTIME_MS = float(
+    os.environ.get("REPRO_RESPAWN_CEILING_MS", 10_000.0)
+)
 
 
 def _metrics(doc: dict, label: str) -> dict:
@@ -361,6 +380,27 @@ def check(current: dict, baseline: dict, tolerance: float) -> list[str]:
         failures.append(
             f"socket_failovers: {socket_failovers} < 1 "
             "(the replica-kill drill never triggered a failover)"
+        )
+    socket_respawns = _require(cur, "socket_respawns", failures)
+    if socket_respawns is not None and socket_respawns < 1:
+        failures.append(
+            f"socket_respawns: {socket_respawns} < 1 "
+            "(the supervision poll never respawned the killed replica)"
+        )
+    recovery_ms = _require(cur, "failover_recovery_ms", failures)
+    if recovery_ms is not None and recovery_ms > MAX_FAILOVER_RECOVERY_MS:
+        failures.append(
+            f"failover_recovery_ms: {recovery_ms} > "
+            f"{MAX_FAILOVER_RECOVERY_MS} (the first post-kill batch stalled "
+            "— failover is waiting on a timeout instead of failing fast; "
+            "REPRO_FAILOVER_RECOVERY_CEILING_MS overrides)"
+        )
+    downtime_ms = _require(cur, "respawn_downtime_ms", failures)
+    if downtime_ms is not None and downtime_ms > MAX_RESPAWN_DOWNTIME_MS:
+        failures.append(
+            f"respawn_downtime_ms: {downtime_ms} > {MAX_RESPAWN_DOWNTIME_MS} "
+            "(a supervised respawn took too long to spawn and handshake; "
+            "REPRO_RESPAWN_CEILING_MS overrides)"
         )
     socket_deltas = _require(cur, "socket_delta_syncs", failures)
     if socket_deltas is not None and socket_deltas < 1:

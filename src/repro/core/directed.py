@@ -596,12 +596,14 @@ class DirectedDHLIndex:
         save_directed_index(self, Path(path))
 
     @classmethod
-    def load(cls, path: "str | Path", mmap_labels: bool = False) -> "DirectedDHLIndex":
+    def load(
+        cls, path: "str | Path", mmap_labels: bool = False, verify: bool = True
+    ) -> "DirectedDHLIndex":
         """Load an index written by :meth:`save`; ``mmap_labels`` maps the
         two label stores read-only for near-instant start-up."""
         from repro.core.serialization import load_directed_index
 
-        return load_directed_index(Path(path), mmap_labels=mmap_labels)
+        return load_directed_index(Path(path), mmap_labels=mmap_labels, verify=verify)
 
     def stats(self) -> IndexStats:
         self._refresh_size_stats()

@@ -468,7 +468,9 @@ class DHLIndex:
         save_index(self, Path(path))
 
     @classmethod
-    def load(cls, path: str | Path, mmap_labels: bool = False) -> "DHLIndex":
+    def load(
+        cls, path: str | Path, mmap_labels: bool = False, verify: bool = True
+    ) -> "DHLIndex":
         """Load an index previously written by :meth:`save`.
 
         ``mmap_labels=True`` memory-maps the label store read-only, so
@@ -477,7 +479,7 @@ class DHLIndex:
         """
         from repro.core.serialization import load_index
 
-        return load_index(Path(path), mmap_labels=mmap_labels)
+        return load_index(Path(path), mmap_labels=mmap_labels, verify=verify)
 
     def rebuild(self) -> "DHLIndex":
         """Construct a fresh index over the current graph (same config)."""

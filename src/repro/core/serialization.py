@@ -17,16 +17,30 @@ maintenance transparently materialises a writable copy on first update
 Both the undirected :class:`~repro.core.index.DHLIndex` and the
 directed :class:`~repro.core.directed.DirectedDHLIndex` persist here;
 the manifest's ``kind`` field tells the loaders apart.
+
+**Crash safety.** Every save is atomic: the snapshot is written into a
+hidden sibling temp directory, a per-directory ``checksums.json``
+manifest (CRC32 of every file) is added, all files and directories are
+fsynced, and the temp directory is renamed over the destination in one
+step. A crash mid-save leaves the previous snapshot untouched; a crash
+mid-rename leaves either the old or the new snapshot, never a torn mix.
+Loads verify the manifests by default (``verify=False`` opts out) and
+raise :class:`~repro.exceptions.SnapshotCorruptionError` naming the
+first missing or corrupt file; :func:`verify_snapshot` runs the same
+check standalone, e.g. before promoting a replicated snapshot.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import shutil
+import zlib
 from pathlib import Path
 
 import numpy as np
 
-from repro.exceptions import SerializationError
+from repro.exceptions import SerializationError, SnapshotCorruptionError
 from repro.graph.digraph import DiGraph
 from repro.graph.io import graph_from_json, graph_to_json
 from repro.hierarchy.contraction import ContractionResult
@@ -41,6 +55,7 @@ __all__ = [
     "load_directed_index",
     "save_sharded_index",
     "load_sharded_index",
+    "verify_snapshot",
 ]
 
 _FORMAT_VERSION = 2
@@ -48,6 +63,133 @@ _FORMAT_VERSION = 2
 # snapshot directories plus partition metadata, so every shard's label
 # store keeps the mmap fast path.
 _SHARDED_FORMAT_VERSION = 3
+
+
+_CHECKSUM_MANIFEST = "checksums.json"
+
+
+def _crc32_file(path: Path) -> int:
+    crc = 0
+    with path.open("rb") as fh:
+        while True:
+            chunk = fh.read(1 << 20)
+            if not chunk:
+                break
+            crc = zlib.crc32(chunk, crc)
+    return crc
+
+
+def _fsync_path(path: Path) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _write_checksums(root: Path) -> None:
+    """Seal every directory under *root* with a CRC32 manifest.
+
+    Directories that already carry a manifest are left alone — a nested
+    atomic save (each shard of a sharded snapshot) sealed them itself,
+    and re-hashing its label buffers here would double the write cost.
+    """
+    for dirpath, _dirnames, filenames in os.walk(root):
+        d = Path(dirpath)
+        if _CHECKSUM_MANIFEST in filenames:
+            continue
+        files = {
+            name: _crc32_file(d / name)
+            for name in sorted(filenames)
+        }
+        (d / _CHECKSUM_MANIFEST).write_text(
+            json.dumps({"crc32": files}, sort_keys=True)
+        )
+
+
+def _atomic_snapshot(path: Path, writer) -> None:
+    """Run *writer* against a temp directory, seal it, swap it in.
+
+    The destination only ever holds a complete snapshot: *writer*
+    populates ``.{name}.tmp-{pid}``, checksums are recorded, everything
+    is fsynced, and one ``rename`` publishes the result (displacing any
+    previous snapshot, which is removed only after the new one is in
+    place). On failure the temp tree is discarded and the previous
+    snapshot, if any, is restored untouched.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / f".{path.name}.tmp-{os.getpid()}"
+    old = path.parent / f".{path.name}.old-{os.getpid()}"
+    if tmp.exists():
+        shutil.rmtree(tmp)
+    if old.exists():
+        shutil.rmtree(old)
+    tmp.mkdir()
+    try:
+        writer(tmp)
+        _write_checksums(tmp)
+        for dirpath, _dirnames, filenames in os.walk(tmp, topdown=False):
+            for name in filenames:
+                _fsync_path(Path(dirpath) / name)
+            _fsync_path(Path(dirpath))
+        if path.exists():
+            os.rename(path, old)
+        os.rename(tmp, path)
+        _fsync_path(path.parent)
+        if old.exists():
+            shutil.rmtree(old)
+    except BaseException:
+        shutil.rmtree(tmp, ignore_errors=True)
+        if old.exists() and not path.exists():
+            os.rename(old, path)
+        raise
+
+
+def verify_snapshot(path: Path) -> int:
+    """Check every snapshot file against its directory's CRC manifest.
+
+    Walks *path* recursively; each directory must carry the
+    ``checksums.json`` written at save time, every recorded file must
+    exist, and its CRC32 must match. Returns the number of files
+    verified; raises :class:`SnapshotCorruptionError` naming the first
+    torn or corrupt file. Extra files (editor droppings, OS metadata)
+    are ignored.
+    """
+    path = Path(path)
+    if not path.is_dir():
+        raise SnapshotCorruptionError(f"{path} is not a snapshot directory")
+    checked = 0
+    for dirpath, _dirnames, filenames in os.walk(path):
+        d = Path(dirpath)
+        manifest_path = d / _CHECKSUM_MANIFEST
+        if not manifest_path.exists():
+            raise SnapshotCorruptionError(
+                f"{d} has no {_CHECKSUM_MANIFEST}; the snapshot predates "
+                "the checksummed format or its manifest was lost"
+            )
+        try:
+            recorded = json.loads(manifest_path.read_text())["crc32"]
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            raise SnapshotCorruptionError(
+                f"unreadable checksum manifest in {d}: {exc}"
+            ) from exc
+        present = set(filenames)
+        missing = sorted(name for name in recorded if name not in present)
+        if missing:
+            raise SnapshotCorruptionError(
+                f"snapshot {d} is torn: missing {missing}"
+            )
+        for name in sorted(recorded):
+            crc = recorded[name]
+            actual = _crc32_file(d / name)
+            if actual != crc:
+                raise SnapshotCorruptionError(
+                    f"{d / name} is corrupt: manifest records crc32 "
+                    f"{crc:#010x}, file hashes to {actual:#010x}"
+                )
+            checked += 1
+    return checked
 
 
 def _flatten_ragged(rows: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
@@ -167,7 +309,15 @@ def _read_manifest(path: Path, expected_kind: str) -> dict:
 # ---------------------------------------------------------------------------
 
 def save_index(index, path: Path) -> None:
-    """Write *index* (a :class:`~repro.core.index.DHLIndex`) to *path*."""
+    """Write *index* (a :class:`~repro.core.index.DHLIndex`) to *path*.
+
+    Atomic: the snapshot lands complete (checksummed + fsynced +
+    renamed into place) or not at all.
+    """
+    _atomic_snapshot(Path(path), lambda tmp: _write_index_contents(index, tmp))
+
+
+def _write_index_contents(index, path: Path) -> None:
     path.mkdir(parents=True, exist_ok=True)
     hq = index.hq
     hu = index.hu
@@ -208,18 +358,26 @@ def _warmup_for(config) -> None:
         warmup_kernels()
 
 
-def load_index(path: Path, mmap_labels: bool = False):
+def load_index(path: Path, mmap_labels: bool = False, verify: bool = True):
     """Load a :class:`~repro.core.index.DHLIndex` saved by :func:`save_index`.
 
     With ``mmap_labels=True`` the label value buffer is opened with
     ``np.load(mmap_mode="r")``: load returns near-instantly and queries
     stream label pages off disk; the first maintenance batch materialises
     a writable in-memory copy.
+
+    ``verify=True`` (the default) checks every file against the CRC32
+    manifest first and raises :class:`SnapshotCorruptionError` on a torn
+    or damaged snapshot — one streaming pass over the bytes, which also
+    warms the page cache the mmap path will fault in anyway. Pass
+    ``verify=False`` only when the snapshot was just verified elsewhere.
     """
     from repro.core.config import DHLConfig
     from repro.core.index import DHLIndex
     from repro.core.stats import IndexStats
 
+    if verify:
+        verify_snapshot(path)
     manifest = _read_manifest(path, "undirected")
     data = np.load(path / "arrays.npz")
     graph = graph_from_json(json.dumps(manifest["graph"]))
@@ -256,7 +414,16 @@ def load_index(path: Path, mmap_labels: bool = False):
 # ---------------------------------------------------------------------------
 
 def save_directed_index(index, path: Path) -> None:
-    """Write a :class:`~repro.core.directed.DirectedDHLIndex` to *path*."""
+    """Write a :class:`~repro.core.directed.DirectedDHLIndex` to *path*.
+
+    Atomic, like :func:`save_index`.
+    """
+    _atomic_snapshot(
+        Path(path), lambda tmp: _write_directed_contents(index, tmp)
+    )
+
+
+def _write_directed_contents(index, path: Path) -> None:
     path.mkdir(parents=True, exist_ok=True)
     hq = index.hq
     n = index.digraph.num_vertices
@@ -300,16 +467,18 @@ def save_directed_index(index, path: Path) -> None:
     (path / "manifest.json").write_text(json.dumps(manifest))
 
 
-def load_directed_index(path: Path, mmap_labels: bool = False):
+def load_directed_index(path: Path, mmap_labels: bool = False, verify: bool = True):
     """Load an index saved by :func:`save_directed_index`.
 
-    The same ``mmap_labels`` fast path as :func:`load_index` applies to
-    both direction stores.
+    The same ``mmap_labels`` fast path and ``verify`` integrity check as
+    :func:`load_index` apply, covering both direction stores.
     """
     from repro.core.config import DHLConfig
     from repro.core.directed import DirectedDHLIndex
     from repro.core.stats import IndexStats
 
+    if verify:
+        verify_snapshot(path)
     manifest = _read_manifest(path, "directed")
     data = np.load(path / "arrays.npz")
     config = DHLConfig(**manifest["config"])
@@ -372,7 +541,16 @@ def save_sharded_index(index, path: Path) -> None:
     and ``overlay/`` for the boundary index when one exists. Each
     component directory is a complete, individually loadable index with
     bare ``.npy`` label arrays — the mmap fast path applies per shard.
+
+    Atomic at both levels: each shard snapshot is sealed by its own
+    :func:`save_index`, and the whole directory swaps in as one rename.
     """
+    _atomic_snapshot(
+        Path(path), lambda tmp: _write_sharded_contents(index, tmp)
+    )
+
+
+def _write_sharded_contents(index, path: Path) -> None:
     path.mkdir(parents=True, exist_ok=True)
     for i, shard in enumerate(index.shards):
         save_index(shard, path / f"shard_{i:02d}")
@@ -391,16 +569,21 @@ def save_sharded_index(index, path: Path) -> None:
     (path / "manifest.json").write_text(json.dumps(manifest))
 
 
-def load_sharded_index(path: Path, mmap_labels: bool = False):
+def load_sharded_index(path: Path, mmap_labels: bool = False, verify: bool = True):
     """Load an index saved by :func:`save_sharded_index`.
 
     ``mmap_labels=True`` propagates to every shard and the overlay:
     each component's label values open with ``np.load(mmap_mode="r")``.
+    ``verify=True`` checks the whole tree (every shard, the overlay, the
+    partition arrays) in one recursive pass before any component loads,
+    so per-component loads skip their own re-verification.
     """
     from repro.core.config import DHLConfig
     from repro.core.sharded import ShardedDHLIndex, ShardedIndexStats
     from repro.partition.regions import regions_from_assignment
 
+    if verify:
+        verify_snapshot(path)
     manifest_path = path / "manifest.json"
     if not manifest_path.exists():
         raise SerializationError(f"{path} does not contain a saved sharded index")
@@ -428,11 +611,11 @@ def load_sharded_index(path: Path, mmap_labels: bool = False):
             f"{manifest['k']}"
         )
     shards = [
-        load_index(path / f"shard_{i:02d}", mmap_labels=mmap_labels)
+        load_index(path / f"shard_{i:02d}", mmap_labels=mmap_labels, verify=False)
         for i in range(manifest["k"])
     ]
     overlay = (
-        load_index(path / "overlay", mmap_labels=mmap_labels)
+        load_index(path / "overlay", mmap_labels=mmap_labels, verify=False)
         if manifest["has_overlay"]
         else None
     )

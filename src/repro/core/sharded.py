@@ -636,7 +636,7 @@ class ShardedDHLIndex:
 
     @classmethod
     def load(
-        cls, path: str | Path, mmap_labels: bool = False
+        cls, path: str | Path, mmap_labels: bool = False, verify: bool = True
     ) -> "ShardedDHLIndex":
         """Load an index saved by :meth:`save`.
 
@@ -645,7 +645,7 @@ class ShardedDHLIndex:
         """
         from repro.core.serialization import load_sharded_index
 
-        return load_sharded_index(Path(path), mmap_labels=mmap_labels)
+        return load_sharded_index(Path(path), mmap_labels=mmap_labels, verify=verify)
 
     def verify(self) -> None:
         """Run every component's invariant suite (slow; tests only)."""

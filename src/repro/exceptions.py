@@ -19,10 +19,15 @@ __all__ = [
     "MaintenanceError",
     "StructuralFallbackRequired",
     "SerializationError",
+    "SnapshotCorruptionError",
     "ServiceRuntimeError",
     "ProtocolError",
+    "ProtocolTruncationError",
+    "ProtocolCorruptionError",
     "ServiceOverloadError",
     "WorkerEpochError",
+    "ShardUnavailableError",
+    "PartialResultError",
 ]
 
 
@@ -87,6 +92,18 @@ class SerializationError(ReproError):
     """Saving or loading an index failed."""
 
 
+class SnapshotCorruptionError(SerializationError):
+    """A snapshot directory failed its checksum manifest verification.
+
+    Raised by :func:`repro.core.serialization.verify_snapshot` (and the
+    ``load`` entry points that call it) when a file listed in a
+    snapshot's ``checksums.json`` is missing or its CRC32 does not match
+    what was recorded at save time — a torn copy, a partial write that
+    somehow survived the atomic-rename protocol, or bit rot. The message
+    names the offending file so operators know what to restore.
+    """
+
+
 class ServiceRuntimeError(ReproError):
     """A serving execution runtime (worker pool, shared memory) failed."""
 
@@ -101,6 +118,20 @@ class ProtocolError(ServiceRuntimeError):
     """
 
 
+class ProtocolTruncationError(ProtocolError):
+    """A frame stopped early: the peer closed (or the bytes ran out)
+    mid-frame. The header/buffer table that *did* arrive was coherent —
+    this is "replica died mid-send", not "replica is sending garbage",
+    and the supervisor treats it as a crash worth a respawn."""
+
+
+class ProtocolCorruptionError(ProtocolError):
+    """A complete frame failed validation: bad magic, an unparseable
+    meta section, trailing bytes, an implausible length prefix, or a
+    body CRC mismatch. The byte stream can no longer be trusted — the
+    connection must be dropped, not retried."""
+
+
 class ServiceOverloadError(ServiceRuntimeError):
     """The async frontend shed a request because its queue was full.
 
@@ -111,3 +142,41 @@ class ServiceOverloadError(ServiceRuntimeError):
 
 class WorkerEpochError(ServiceRuntimeError):
     """A shard worker refused a batch stamped with an epoch it does not hold."""
+
+
+class ShardUnavailableError(ServiceRuntimeError):
+    """Every replica of a shard is down and its circuit breaker is open.
+
+    Raised on the dispatch path when ``degraded_mode="error"`` (or when
+    a sync cannot reach any replica); under the default ``"shed"`` mode
+    the scheduler converts it into a :class:`PartialResultError` so the
+    rest of the batch still answers.
+    """
+
+    def __init__(self, sid: int, message: str | None = None):
+        super().__init__(
+            message
+            or f"no live replica left for shard {sid}; breaker is open"
+        )
+        self.sid = sid
+
+
+class PartialResultError(ServiceRuntimeError):
+    """A batch answered partially: some pairs were shed by open breakers.
+
+    Graceful degradation, not total failure. ``distances`` holds the
+    full result array with ``nan`` at every shed position, ``shed`` is
+    the sorted array of shed positions, and ``open_shards`` names the
+    shards whose replica pools were down. Callers that can tolerate
+    holes should catch this and keep the served positions.
+    """
+
+    def __init__(self, distances, shed, open_shards):
+        shards = sorted(int(s) for s in open_shards)
+        super().__init__(
+            f"{len(shed)} of {len(distances)} pairs shed: every replica "
+            f"of shard(s) {shards} is down (breaker open)"
+        )
+        self.distances = distances
+        self.shed = shed
+        self.open_shards = tuple(shards)

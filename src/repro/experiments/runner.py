@@ -26,6 +26,7 @@ from repro.experiments.figures import (
 )
 from repro.experiments.report import save_results
 from repro.experiments.service import service_scenarios
+from repro.experiments.service_chaos import service_chaos_scenarios
 from repro.experiments.service_sockets import service_sockets_scenarios
 from repro.experiments.service_workers import service_workers_scenarios
 from repro.experiments.sharded import sharded_scenarios
@@ -49,6 +50,7 @@ EXPERIMENTS = {
     "figure6": figure6_query_sets,
     "figure7": figure7_scalability,
     "service": service_scenarios,
+    "service-chaos": service_chaos_scenarios,
     "service-sockets": service_sockets_scenarios,
     "service-workers": service_workers_scenarios,
     "sharded": sharded_scenarios,

@@ -36,23 +36,28 @@ from repro.observability import NULL_OBSERVABILITY, Observability
 from repro.service.async_frontend import AsyncDistanceService, AsyncFrontendStats
 from repro.service.cache import CacheStats, EpochLRUCache
 from repro.service.coalescer import CoalescedBatch, CoalescerStats, UpdateCoalescer
+from repro.service.faults import FaultEvent, FaultPlan
 from repro.service.metrics import LatencyRecorder, LatencySummary, Timer
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     ComputeBatch,
     EpochDelta,
     FanQuery,
+    HealthCheck,
+    HealthReply,
     SubQuery,
     TraceEnvelope,
 )
 from repro.service.runtime import (
+    CircuitBreaker,
     ExecutionRuntime,
     InProcessRuntime,
     RegionPairScheduler,
+    RetryPolicy,
     WorkerPoolStats,
 )
 from repro.service.service import DistanceService, ServiceStats
-from repro.service.socket_runtime import SocketShardRuntime
+from repro.service.socket_runtime import ReplicaSupervisor, SocketShardRuntime
 from repro.service.workers import ShardExecutor, ShardWorkerRuntime
 from repro.service.workload import (
     Event,
@@ -83,14 +88,21 @@ __all__ = [
     "ComputeBatch",
     "EpochDelta",
     "FanQuery",
+    "HealthCheck",
+    "HealthReply",
     "SubQuery",
     "TraceEnvelope",
+    "CircuitBreaker",
     "ExecutionRuntime",
+    "FaultEvent",
+    "FaultPlan",
     "InProcessRuntime",
     "RegionPairScheduler",
+    "RetryPolicy",
     "WorkerPoolStats",
     "DistanceService",
     "ServiceStats",
+    "ReplicaSupervisor",
     "SocketShardRuntime",
     "ShardExecutor",
     "ShardWorkerRuntime",

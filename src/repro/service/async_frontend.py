@@ -41,7 +41,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.exceptions import ServiceOverloadError
+from repro.exceptions import PartialResultError, ServiceOverloadError
 
 __all__ = ["AsyncDistanceService", "AsyncFrontendStats"]
 
@@ -63,6 +63,9 @@ class AsyncFrontendStats:
     batched_pairs: int = 0
     updates: int = 0
     max_merged: int = 0
+    #: Requests answered partially (their slice of a degraded batch
+    #: contained breaker-shed pairs, resolved with PartialResultError).
+    partial_requests: int = 0
 
     @property
     def merge_ratio(self) -> float:
@@ -292,6 +295,29 @@ class AsyncDistanceService:
             out = await loop.run_in_executor(
                 self._executor, self.service.distances, all_pairs
             )
+        except PartialResultError as exc:
+            # A degraded batch: unfold the merged result so only the
+            # clients whose slice actually contains shed pairs see the
+            # error — everyone else gets their (complete) answers.
+            shed = set(int(i) for i in exc.shed)
+            offset = 0
+            for item in items:
+                n = len(item.pairs)
+                view = np.array(exc.distances[offset : offset + n])
+                item_shed = np.array(
+                    sorted(i - offset for i in shed if offset <= i < offset + n),
+                    dtype=np.int64,
+                )
+                offset += n
+                if len(item_shed):
+                    self.stats.partial_requests += 1
+                    self._resolve(
+                        item.future,
+                        exc=PartialResultError(view, item_shed, exc.open_shards),
+                    )
+                else:
+                    self.stats.answered_requests += 1
+                    self._resolve(item.future, value=view)
         except BaseException as exc:
             for item in items:
                 self._resolve(item.future, exc=exc)

@@ -26,16 +26,25 @@ memory name or inline), :class:`Shutdown`. Replies: :class:`ReadyReply`,
 **Wire format.** One frame per message::
 
     u32 length | b"DHLP" | u16 version | u16 type | u32 meta_len |
-    meta (UTF-8 JSON) | buffer bytes...
+    u32 body_crc32 | meta (UTF-8 JSON) | buffer bytes...
 
 ``meta`` holds scalars and the buffer table (dtype + shape per array);
 array payloads follow as raw little-endian bytes in table order, sliced
-zero-copy with ``np.frombuffer`` on receipt. **No pickle on the hot
-path**: a compute round trip is struct + JSON header parsing plus raw
-buffer views. Frames are validated structurally — wrong magic, an
-unknown version (:data:`PROTOCOL_VERSION` is bumped on any incompatible
-change), a truncated payload, or an unknown message type raise
+zero-copy with ``np.frombuffer`` on receipt. ``body_crc32`` covers
+everything after the header (meta + buffers), so a frame that arrives
+complete but damaged is rejected instead of decoded into garbage
+labels. **No pickle on the hot path**: a compute round trip is struct +
+JSON header parsing plus raw buffer views. Frames are validated
+structurally — wrong magic, an unknown version
+(:data:`PROTOCOL_VERSION` is bumped on any incompatible change), a
+truncated payload, or an unknown message type raise
 :class:`~repro.exceptions.ProtocolError` instead of yielding garbage.
+Failures are classified for the supervisor:
+:class:`~repro.exceptions.ProtocolTruncationError` means the bytes
+stopped early (peer died mid-send — safe to respawn and retry), while
+:class:`~repro.exceptions.ProtocolCorruptionError` means a complete
+frame failed validation (bad magic, unparseable meta, trailing bytes,
+CRC mismatch — the stream itself can no longer be trusted).
 
 Helpers at the bottom adapt the codec to the two byte streams used
 today: ``send_message``/``recv_message`` for sockets (length-prefixed
@@ -48,12 +57,17 @@ from __future__ import annotations
 
 import json
 import struct
+import zlib
 from dataclasses import dataclass, field, fields, replace
 from typing import ClassVar
 
 import numpy as np
 
-from repro.exceptions import ProtocolError
+from repro.exceptions import (
+    ProtocolCorruptionError,
+    ProtocolError,
+    ProtocolTruncationError,
+)
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -65,6 +79,7 @@ __all__ = [
     "EpochDelta",
     "Republish",
     "Shutdown",
+    "HealthCheck",
     "ReadyReply",
     "SubResult",
     "TraceEnvelope",
@@ -73,19 +88,23 @@ __all__ = [
     "StaleReply",
     "ErrorReply",
     "ByeReply",
+    "HealthReply",
     "encode_frame",
     "decode_frame",
     "send_message",
+    "recv_frame",
     "recv_message",
 ]
 
 #: Speak-this-or-nothing protocol revision. Bump on any change that an
 #: older peer could misparse (field reorder, dtype change, new required
 #: field); purely additive optional meta keys do not need a bump.
-PROTOCOL_VERSION = 1
+#: v2 appended a body CRC32 to the header and added the
+#: :class:`HealthCheck`/:class:`HealthReply` pair.
+PROTOCOL_VERSION = 2
 
 _MAGIC = b"DHLP"
-_HEAD = struct.Struct("<4sHHI")  # magic, version, msg_type, meta_len
+_HEAD = struct.Struct("<4sHHII")  # magic, version, msg_type, meta_len, crc32
 _LEN = struct.Struct("<I")
 #: Frames larger than this are rejected before allocation — a corrupted
 #: length prefix must not trigger a multi-gigabyte read.
@@ -154,20 +173,37 @@ def encode_frame(message: Message) -> bytes:
         [arr.dtype.str, list(arr.shape)] for arr in buffers
     ]
     meta_bytes = json.dumps(meta, separators=(",", ":")).encode("utf-8")
-    head = _HEAD.pack(_MAGIC, PROTOCOL_VERSION, message.TYPE, len(meta_bytes))
-    return b"".join([head, meta_bytes, *(arr.tobytes() for arr in buffers)])
+    crc = zlib.crc32(meta_bytes)
+    raw = [arr.tobytes() for arr in buffers]
+    for chunk in raw:
+        crc = zlib.crc32(chunk, crc)
+    head = _HEAD.pack(
+        _MAGIC, PROTOCOL_VERSION, message.TYPE, len(meta_bytes), crc
+    )
+    return b"".join([head, meta_bytes, *raw])
 
 
 def decode_frame(data: bytes) -> Message:
-    """Parse one frame back into its message; validates structurally."""
+    """Parse one frame back into its message; validates structurally.
+
+    Bounds failures (the bytes stop before the header, meta, or a
+    declared buffer ends) raise :class:`ProtocolTruncationError`; a
+    structurally complete frame that fails validation (bad magic,
+    unparseable meta, trailing bytes, CRC mismatch) raises
+    :class:`ProtocolCorruptionError`. Version and unknown-type
+    mismatches stay plain :class:`ProtocolError` — the frame is fine,
+    the peers just disagree on the dialect.
+    """
     if len(data) < _HEAD.size:
-        raise ProtocolError(
+        raise ProtocolTruncationError(
             f"truncated frame: {len(data)} bytes is shorter than the "
             f"{_HEAD.size}-byte header"
         )
-    magic, version, msg_type, meta_len = _HEAD.unpack_from(data)
+    magic, version, msg_type, meta_len, crc = _HEAD.unpack_from(data)
     if magic != _MAGIC:
-        raise ProtocolError(f"bad frame magic {magic!r} (expected {_MAGIC!r})")
+        raise ProtocolCorruptionError(
+            f"bad frame magic {magic!r} (expected {_MAGIC!r})"
+        )
     if version != PROTOCOL_VERSION:
         raise ProtocolError(
             f"protocol version mismatch: peer speaks {version}, "
@@ -178,14 +214,14 @@ def decode_frame(data: bytes) -> Message:
         raise ProtocolError(f"unknown message type {msg_type}")
     offset = _HEAD.size
     if offset + meta_len > len(data):
-        raise ProtocolError(
+        raise ProtocolTruncationError(
             f"truncated frame: meta wants {meta_len} bytes, "
             f"{len(data) - offset} remain"
         )
     try:
         meta = json.loads(data[offset : offset + meta_len].decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise ProtocolError(f"unparseable frame meta: {exc}") from exc
+        raise ProtocolCorruptionError(f"unparseable frame meta: {exc}") from exc
     offset += meta_len
     buffers: list[np.ndarray] = []
     for dtype_str, shape in meta.get("__buffers__", ()):
@@ -193,7 +229,7 @@ def decode_frame(data: bytes) -> Message:
         count = int(np.prod(shape, dtype=np.int64)) if shape else 1
         nbytes = dtype.itemsize * count
         if offset + nbytes > len(data):
-            raise ProtocolError(
+            raise ProtocolTruncationError(
                 f"truncated frame: buffer wants {nbytes} bytes, "
                 f"{len(data) - offset} remain"
             )
@@ -201,8 +237,17 @@ def decode_frame(data: bytes) -> Message:
         buffers.append(arr.reshape(shape))
         offset += nbytes
     if offset != len(data):
-        raise ProtocolError(
+        raise ProtocolCorruptionError(
             f"oversized frame: {len(data) - offset} trailing bytes"
+        )
+    # CRC after the structural walk: a frame that stopped early is
+    # reported as truncation above, so a CRC failure here means every
+    # byte arrived and some of them are wrong.
+    actual = zlib.crc32(data[_HEAD.size :])
+    if actual != crc:
+        raise ProtocolCorruptionError(
+            f"frame body CRC mismatch: header says {crc:#010x}, "
+            f"body hashes to {actual:#010x}"
         )
     try:
         return cls._unpack(meta, buffers)
@@ -510,6 +555,23 @@ class Shutdown(Message):
         return cls()
 
 
+@_register(6)
+@dataclass
+class HealthCheck(Message):
+    """Liveness probe: the worker must echo ``nonce`` in a
+    :class:`HealthReply` without touching its label buffers. The nonce
+    lets the supervisor pair probes with answers across reconnects."""
+
+    nonce: int = 0
+
+    def _pack(self, buffers) -> dict:
+        return {"n": int(self.nonce)}
+
+    @classmethod
+    def _unpack(cls, meta, buffers) -> "HealthCheck":
+        return cls(nonce=int(meta["n"]))
+
+
 # ---------------------------------------------------------------------------
 # replies
 # ---------------------------------------------------------------------------
@@ -612,6 +674,33 @@ class ByeReply(Message):
         return cls()
 
 
+@_register(22)
+@dataclass
+class HealthReply(Message):
+    """Answer to :class:`HealthCheck`: the echoed ``nonce``, the label
+    epoch the worker currently holds, and how many compute batches it
+    has served since startup (a cheap liveness-progress signal)."""
+
+    nonce: int = 0
+    epoch: int = 0
+    served: int = 0
+
+    def _pack(self, buffers) -> dict:
+        return {
+            "n": int(self.nonce),
+            "e": int(self.epoch),
+            "s": int(self.served),
+        }
+
+    @classmethod
+    def _unpack(cls, meta, buffers) -> "HealthReply":
+        return cls(
+            nonce=int(meta["n"]),
+            epoch=int(meta["e"]),
+            served=int(meta["s"]),
+        )
+
+
 # ---------------------------------------------------------------------------
 # stream adapters
 # ---------------------------------------------------------------------------
@@ -630,7 +719,7 @@ def _recv_exact(sock, n: int) -> bytes:
     while remaining:
         chunk = sock.recv(min(remaining, 1 << 20))
         if not chunk:
-            raise ProtocolError(
+            raise ProtocolTruncationError(
                 f"truncated frame: peer closed with {remaining} of {n} "
                 "bytes outstanding"
             )
@@ -639,12 +728,19 @@ def _recv_exact(sock, n: int) -> bytes:
     return b"".join(chunks)
 
 
-def recv_message(sock) -> Message:
-    """Read one length-prefixed frame from a socket and decode it."""
+def recv_frame(sock) -> bytes:
+    """Read one length-prefixed raw frame from a socket (undecoded)."""
     (length,) = _LEN.unpack(_recv_exact(sock, _LEN.size))
     if length > MAX_FRAME_BYTES:
-        raise ProtocolError(f"frame length {length} exceeds {MAX_FRAME_BYTES}")
-    return decode_frame(_recv_exact(sock, length))
+        raise ProtocolCorruptionError(
+            f"frame length {length} exceeds {MAX_FRAME_BYTES}"
+        )
+    return _recv_exact(sock, length)
+
+
+def recv_message(sock) -> Message:
+    """Read one length-prefixed frame from a socket and decode it."""
+    return decode_frame(recv_frame(sock))
 
 
 def message_fields(message: Message) -> dict:

@@ -32,6 +32,7 @@ the service forwards its own ``close()``/context-manager exit.
 from __future__ import annotations
 
 import abc
+import zlib
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Iterable, Sequence
@@ -39,7 +40,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.core.backend import DistanceBackend, WeightChange
-from repro.exceptions import ServiceRuntimeError
+from repro.exceptions import PartialResultError, ServiceRuntimeError
 from repro.labelling.maintenance import MaintenanceStats
 from repro.observability import NULL_OBSERVABILITY, Span, maybe_child, phase
 from repro.service.protocol import FanQuery, SubQuery, SubResult
@@ -49,6 +50,8 @@ __all__ = [
     "InProcessRuntime",
     "RegionPairScheduler",
     "WorkerPoolStats",
+    "RetryPolicy",
+    "CircuitBreaker",
 ]
 
 
@@ -257,9 +260,115 @@ class WorkerPoolStats:
     failovers: int = 0
     #: Stale replicas recovered with a full republish (socket transport).
     resyncs: int = 0
+    #: Dead replicas brought back by the supervisor (socket transport).
+    respawns: int = 0
+    #: Respawn attempts that themselves failed (still backed off).
+    respawn_failures: int = 0
+    #: Health probes that timed out or errored (replica marked dead).
+    heartbeat_timeouts: int = 0
+    #: Per-shard circuit-breaker transitions into the open state.
+    breaker_opens: int = 0
+    #: Per-shard circuit-breaker transitions back to closed.
+    breaker_closes: int = 0
+    #: Breakers currently open (gauge, not a counter).
+    breakers_open: int = 0
+    #: Pairs shed with a typed partial-result error (breaker open).
+    shed_pairs: int = 0
+    #: Pairs answered with overlay-only upper bounds (degraded opt-in).
+    degraded_pairs: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return dict(self.__dict__)
+
+
+# ---------------------------------------------------------------------------
+# fault-tolerance primitives (shared by the supervisor and the breaker)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with deterministic jitter.
+
+    ``delay(attempt)`` grows ``base_delay * multiplier**attempt`` capped
+    at ``max_delay``, then shaves off up to ``jitter`` of itself using a
+    CRC32 hash of ``(seed, attempt)`` — decorrelated like random jitter,
+    but reproducible, so recovery tests never need to tolerate timing
+    slop. ``attempts`` bounds how many respawns are tried before a
+    replica is written off until the next health-poll cycle.
+    """
+
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.25
+    attempts: int = 5
+    seed: int = 0
+
+    def delay(self, attempt: int) -> float:
+        raw = min(
+            self.base_delay * self.multiplier ** max(0, attempt),
+            self.max_delay,
+        )
+        if not self.jitter:
+            return raw
+        unit = zlib.crc32(f"{self.seed}:{attempt}".encode()) / 0xFFFFFFFF
+        return raw * (1.0 - self.jitter * unit)
+
+
+class CircuitBreaker:
+    """Per-shard availability state machine.
+
+    ``closed`` — at least one replica serves; dispatch normally.
+    ``open`` — every replica is down; requests for this shard are shed
+    (or answered overlay-only) without touching the transport.
+    ``half-open`` — the supervisor respawned a replica that handshook
+    and resynced, but no query has proven it yet; dispatch is allowed,
+    and the first success closes the breaker.
+
+    Transitions are counted into a :class:`WorkerPoolStats` when one is
+    attached (``breaker_opens`` / ``breaker_closes`` counters plus the
+    ``breakers_open`` gauge).
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(self, sid: int, stats: WorkerPoolStats | None = None):
+        self.sid = sid
+        self.state = self.CLOSED
+        self.stats = stats
+
+    @property
+    def allows_requests(self) -> bool:
+        return self.state != self.OPEN
+
+    def trip(self) -> None:
+        """Every replica down: stop dispatching to this shard."""
+        if self.state != self.OPEN:
+            self.state = self.OPEN
+            if self.stats is not None:
+                self.stats.breaker_opens += 1
+                self.stats.breakers_open += 1
+
+    def probation(self) -> None:
+        """A replica came back (respawned + resynced) but is unproven."""
+        if self.state == self.OPEN:
+            self.state = self.HALF_OPEN
+
+    def record_success(self) -> None:
+        """A request succeeded: the shard is healthy again."""
+        if self.state != self.CLOSED:
+            was_counted = self.state in (self.OPEN, self.HALF_OPEN)
+            self.state = self.CLOSED
+            if self.stats is not None and was_counted:
+                self.stats.breaker_closes += 1
+                self.stats.breakers_open = max(
+                    0, self.stats.breakers_open - 1
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - repr sugar
+        return f"CircuitBreaker(sid={self.sid}, state={self.state!r})"
 
 
 # ---------------------------------------------------------------------------
@@ -294,6 +403,14 @@ class RegionPairScheduler(ExecutionRuntime):
     # Sharded distances have no per-pair hub certificate (see
     # ShardedDHLIndex); the cache must use epoch invalidation.
     supports_fine_grained_eviction = False
+    #: What happens when a shard's every replica is down: ``"error"``
+    #: hard-fails the batch (the only behavior non-replicated transports
+    #: can have), ``"shed"`` answers the rest of the batch and raises a
+    #: typed :class:`~repro.exceptions.PartialResultError` carrying the
+    #: holes, ``"overlay"`` additionally fills the holes with
+    #: parent-side boundary-route answers (exact for cross-region
+    #: pairs, upper bounds for intra-region pairs).
+    degraded_mode = "error"
 
     def __init__(self, index):
         from repro.core.sharded import ShardedDHLIndex
@@ -372,13 +489,22 @@ class RegionPairScheduler(ExecutionRuntime):
         has_overlay = owner.overlay is not None
         overlay_epoch = owner.overlay.epoch if has_overlay else 0
 
-        from repro.sharding.engine import min_plus_compact, region_pair_groups
+        from repro.sharding.engine import (
+            boundary_fan,
+            min_plus_compact,
+            region_pair_groups,
+        )
 
         groups: list[tuple[np.ndarray, int, int]] = []
         requests: dict[int, list[tuple[tuple[int, int], SubQuery]]] = {}
+        # Slots each group is owed, with the shard that owes them — the
+        # shed detector: a group whose dispatched slots did not all come
+        # back lost (at least) one shard to an open breaker.
+        expected: dict[int, list[tuple[tuple[int, int], int]]] = {}
 
         def enqueue(sid: int, slot: tuple[int, int], sub: SubQuery) -> None:
             requests.setdefault(sid, []).append((slot, sub))
+            expected.setdefault(slot[0], []).append((slot, sid))
             self.stats.sub_batches += 1
 
         engine = owner.engine  # overlay blocks + their epoch cache
@@ -428,10 +554,30 @@ class RegionPairScheduler(ExecutionRuntime):
 
         # Cross-shard combines need both workers' fans, so they run in
         # the parent — spread across the I/O threads (numpy releases
-        # the GIL for the large intermediates).
+        # the GIL for the large intermediates). Groups missing a
+        # dispatched slot lost a shard to an open breaker: they are
+        # either answered overlay-only in the parent (degraded opt-in)
+        # or shed with a typed partial-result error.
         combines = []
+        overlay_fallbacks = []
+        open_shards: set[int] = set()
+        shed_mask = np.zeros(len(s), dtype=bool)
         for g, (idx, i, j) in enumerate(groups):
-            if i == j:
+            lost = [
+                sid for slot, sid in expected.get(g, ()) if slot not in replies
+            ]
+            if lost:
+                open_shards.update(lost)
+                fan = (
+                    has_overlay
+                    and len(owner.boundary_local[i])
+                    and len(owner.boundary_local[j])
+                )
+                if self.degraded_mode == "overlay" and fan:
+                    overlay_fallbacks.append((g, idx, i, j))
+                else:
+                    shed_mask[idx] = True
+            elif i == j:
                 out[idx] = replies[(g, "final")].final
             elif (g, "src") in replies:
                 combines.append((g, idx, i, j))
@@ -448,6 +594,29 @@ class RegionPairScheduler(ExecutionRuntime):
                 dst.dt_inverse,
             )
 
+        def overlay_answer(item):
+            # Boundary-route answer computed on the parent's own
+            # authoritative shard engines: exact for cross-region pairs
+            # (every route crosses the boundary), an upper bound for
+            # intra-region pairs (the direct intra path is missed).
+            g, idx, i, j = item
+            ds = boundary_fan(
+                owner.shards[i].engine,
+                local_s[idx],
+                owner.boundary_local[i],
+                compact=True,
+            )
+            dt = boundary_fan(
+                owner.shards[j].engine,
+                local_t[idx],
+                owner.boundary_local[j],
+                compact=True,
+            )
+            out[idx] = min_plus_compact(
+                ds[0], ds[1], engine.overlay_block(i, j), dt[0], dt[1]
+            )
+            self.stats.degraded_pairs += len(idx)
+
         with maybe_child(request_span, "min_plus_combine") as combine_span:
             if combine_span is not None:
                 combine_span.annotate(groups=len(combines))
@@ -455,9 +624,19 @@ class RegionPairScheduler(ExecutionRuntime):
                 list(self._pool.map(combine, combines))
             elif combines:
                 combine(combines[0])
+            for item in overlay_fallbacks:
+                overlay_answer(item)
+        # Self-pairs are trivially zero — even inside a shed group, so
+        # the shed mask never reports a pair no shard was needed for.
+        if shed_mask.any():
+            out[shed_mask] = np.nan
         out[s == t] = 0.0
         self.stats.batches += 1
         self.stats.pairs += len(s)
+        shed_positions = np.flatnonzero(shed_mask & (s != t))
+        if len(shed_positions):
+            self.stats.shed_pairs += len(shed_positions)
+            raise PartialResultError(out, shed_positions, open_shards)
         return out
 
     # ------------------------------------------------------------------

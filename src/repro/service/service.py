@@ -41,6 +41,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.core.backend import DistanceBackend
+from repro.exceptions import PartialResultError
 from repro.labelling.maintenance import MaintenanceStats
 from repro.observability import (
     NULL_OBSERVABILITY,
@@ -89,6 +90,12 @@ class ServiceStats:
     dead_slots_reclaimed: int = 0
     #: Bytes reclaimed (shortcut slots + label-store slack).
     bytes_reclaimed: int = 0
+    #: Pairs shed by open circuit breakers (answered ``nan`` inside a
+    #: :class:`~repro.exceptions.PartialResultError`).
+    shed_pairs: int = 0
+    #: Query batches that raised :class:`PartialResultError` — served
+    #: partially because a shard's replica pool was down.
+    partial_batches: int = 0
 
     def summary(self) -> str:
         lines = [
@@ -102,6 +109,11 @@ class ServiceStats:
             f"  applied : {self.shortcuts_changed} shortcuts, "
             f"{self.labels_changed} label entries",
         ]
+        if self.partial_batches:
+            lines.append(
+                f"  degraded: {self.partial_batches} partial batches, "
+                f"{self.shed_pairs} pairs shed by open breakers"
+            )
         if self.structural_batches or self.compactions:
             lines.append(
                 f"  structural: {self.structural_batches} batches, "
@@ -245,6 +257,14 @@ class DistanceService:
         self._m_slow_flushes = registry.counter(
             "dhl_slow_flushes_total", "Flushes over the slow-flush threshold"
         )
+        self._m_shed_pairs = registry.counter(
+            "dhl_shed_pairs_total",
+            "Pairs shed (answered nan) because a shard's breaker was open",
+        )
+        self._m_partial_batches = registry.counter(
+            "dhl_partial_batches_total",
+            "Query batches degraded to a PartialResultError",
+        )
         self.cache = EpochLRUCache(cache_capacity)
         self.coalescer = UpdateCoalescer()
         self.fine_grained_eviction = (
@@ -263,6 +283,8 @@ class DistanceService:
         self._compactions = 0
         self._dead_slots_reclaimed = 0
         self._bytes_reclaimed = 0
+        self._shed_pairs = 0
+        self._partial_batches = 0
         # Last index epoch this service reconciled its cache against.
         # Updates applied directly on the index (structural ops, another
         # caller) advance the epoch without telling us which pairs moved,
@@ -345,19 +367,46 @@ class DistanceService:
                     miss_positions.setdefault(key, []).append(idx)
         if miss_positions:
             keys = list(miss_positions)
+            shed_keys: set[tuple[int, int]] = set()
+            open_shards: tuple[int, ...] = ()
             with tracer.trace("runtime", misses=len(keys)):
                 if self.fine_grained_eviction:
                     values, hubs = self.runtime.distances_with_hubs(keys)
                     hubs = hubs.tolist()
                 else:
-                    values = self.runtime.distances(keys)
+                    try:
+                        values = self.runtime.distances(keys)
+                    except PartialResultError as exc:
+                        # Degraded batch: the runtime answered what it
+                        # could and nan'd pairs owned by breaker-open
+                        # shards. Keep the served values (and cache
+                        # them), then re-raise re-aligned over the
+                        # caller's positions.
+                        values = exc.distances
+                        shed_keys = {keys[int(i)] for i in exc.shed}
+                        open_shards = exc.open_shards
                     hubs = [-1] * len(keys)
             epoch = self.index.epoch
             with tracer.trace("cache_fill"):
                 for key, value, hub in zip(keys, values, hubs):
-                    cache.put(key, float(value), int(hub), epoch)
+                    if key not in shed_keys:
+                        cache.put(key, float(value), int(hub), epoch)
                     for idx in miss_positions[key]:
                         out[idx] = value
+            if shed_keys:
+                shed_positions = np.array(
+                    sorted(
+                        idx
+                        for key in shed_keys
+                        for idx in miss_positions[key]
+                    ),
+                    dtype=np.int64,
+                )
+                self._partial_batches += 1
+                self._shed_pairs += len(shed_positions)
+                self._m_partial_batches.inc()
+                self._m_shed_pairs.inc(len(shed_positions))
+                raise PartialResultError(out, shed_positions, open_shards)
         return out
 
     def k_nearest(
@@ -581,6 +630,8 @@ class DistanceService:
             compactions=self._compactions,
             dead_slots_reclaimed=self._dead_slots_reclaimed,
             bytes_reclaimed=self._bytes_reclaimed,
+            shed_pairs=self._shed_pairs,
+            partial_batches=self._partial_batches,
         )
 
     def metrics(self) -> dict[str, dict]:
@@ -658,6 +709,12 @@ class DistanceService:
             registry.gauge(
                 f"dhl_{field_name}", f"Structural updates: {field_name}"
             ).set(value)
+        registry.gauge(
+            "dhl_shed_pairs", "Pairs shed by open circuit breakers"
+        ).set(self._shed_pairs)
+        registry.gauge(
+            "dhl_partial_batches", "Query batches degraded to partial results"
+        ).set(self._partial_batches)
         registry.gauge(
             "dhl_shortcuts_changed", "Shortcut mutations applied"
         ).set(self._shortcuts_changed)

@@ -15,12 +15,43 @@ copy, kept current by inline
 
 **Replicas + failover.** Reads round-robin across a shard's replicas.
 A request that times out or loses its connection marks the replica
-dead (its process exits on disconnect; there are no restarts) and is
-retried **once** on a sibling replica — counted in
-``pool_stats().failovers``. Because every retry re-sends the full
-:class:`~repro.service.protocol.ComputeBatch` (overlay blocks are
-elided per replica, re-shipped when the sibling holds none), a replica
-kill mid-batch loses zero requests.
+dead (its process exits on disconnect) and is retried on a sibling
+replica — counted in ``pool_stats().failovers``. Because every retry
+re-sends the full :class:`~repro.service.protocol.ComputeBatch`
+(overlay blocks are elided per replica, re-shipped when the sibling
+holds none), a replica kill mid-batch loses zero requests.
+
+**Supervision + respawn.** Dead replicas no longer stay dead: the
+:class:`ReplicaSupervisor` (driven opportunistically at batch
+dispatch, or explicitly via :meth:`ReplicaSupervisor.poll`) probes
+live replicas with :class:`~repro.service.protocol.HealthCheck`
+frames, marks unresponsive ones dead (``heartbeat_timeouts``), and
+respawns dead ones with exponential backoff + deterministic jitter
+(:class:`~repro.service.runtime.RetryPolicy`). A respawned replica
+handshakes with the shard's *current* label buffers stamped at the
+*current* epoch — a full resync by construction — and any later
+divergence heals through the existing ``StaleReply`` → ``Republish``
+path. Respawns are counted (``respawns`` / ``respawn_failures``) and
+their downtime is observed in the ``dhl_recovery_ms`` histogram.
+
+**Circuit breakers + degraded serving.** Each shard has a
+:class:`~repro.service.runtime.CircuitBreaker`. When the last replica
+of a shard dies mid-batch the breaker trips open and, instead of
+hard-failing the whole batch, the scheduler *sheds* that shard's pairs
+and raises a typed :class:`~repro.exceptions.PartialResultError`
+carrying the served distances (``degraded_mode="shed"``, the
+default); ``degraded_mode="overlay"`` fills the holes with parent-side
+boundary-route answers instead (exact for cross-region pairs, upper
+bounds for intra), and ``degraded_mode="error"`` restores the strict
+pre-supervisor behavior (:class:`~repro.exceptions
+.ShardUnavailableError`). A successful respawn moves the breaker to
+half-open; the first served batch closes it.
+
+**Fault injection.** Every parent-side request passes through an
+optional :class:`~repro.service.faults.FaultPlan` — a deterministic,
+scriptable schedule of kills, timeouts, and torn frames keyed by
+``(shard, replica, incarnation, request#)`` — so every recovery path
+above is testable without flaky sleeps.
 
 **Consistency.** Updates broadcast an inline ``EpochDelta`` (changed
 label arrays, spliced worker-side) to *every* replica of a touched
@@ -46,12 +77,17 @@ from __future__ import annotations
 import itertools
 import socket
 import threading
+import time
 from multiprocessing import get_context
-from typing import Iterable
+from typing import Callable, Iterable
 
 import numpy as np
 
-from repro.exceptions import ServiceRuntimeError, WorkerEpochError
+from repro.exceptions import (
+    ServiceRuntimeError,
+    ShardUnavailableError,
+    WorkerEpochError,
+)
 from repro.observability import Span
 from repro.service.protocol import (
     AckReply,
@@ -59,6 +95,8 @@ from repro.service.protocol import (
     ComputeBatch,
     EpochDelta,
     ErrorReply,
+    HealthCheck,
+    HealthReply,
     Message,
     ReadyReply,
     Republish,
@@ -70,13 +108,14 @@ from repro.service.protocol import (
     recv_message,
     send_message,
 )
-from repro.service.runtime import RegionPairScheduler
+from repro.service.runtime import CircuitBreaker, RegionPairScheduler, RetryPolicy
 from repro.service.workers import ShardExecutor
 
-__all__ = ["SocketShardRuntime"]
+__all__ = ["SocketShardRuntime", "ReplicaSupervisor"]
 
 _STARTUP_TIMEOUT = 120.0
 _SHUTDOWN_TIMEOUT = 5.0
+_DEGRADED_MODES = ("shed", "overlay", "error")
 
 
 # ---------------------------------------------------------------------------
@@ -131,6 +170,8 @@ def _socket_worker_main(bootstrap) -> None:
                     reply = executor.compute(message)
                 elif isinstance(message, EpochDelta):
                     reply = executor.apply_delta(message)
+                elif isinstance(message, HealthCheck):
+                    reply = executor.health(message)
                 elif isinstance(message, Republish):
                     executor.bind(
                         np.array(message.values, dtype=np.float64),
@@ -164,16 +205,35 @@ class _ReplicaHandle:
 
     Owns the process and the connected socket. :meth:`request` applies
     the per-request timeout; any timeout or socket error marks the
-    handle dead permanently (the transport's failover unit is the whole
-    replica — no reconnects, matching how a remote host would be
-    drained). A lock serialises cross-batch races, as in the pipe
-    transport.
+    handle dead (the transport's failover unit is the whole replica —
+    no reconnects to a broken connection, matching how a remote host
+    would be drained). A dead handle is *replaced*, not revived: the
+    supervisor spawns a fresh process with ``incarnation + 1``. A lock
+    serialises cross-batch races, as in the pipe transport.
     """
 
-    def __init__(self, ctx, sid: int, replica: int, index, *, timeout: float):
+    def __init__(
+        self,
+        ctx,
+        sid: int,
+        replica: int,
+        index,
+        *,
+        timeout: float,
+        epoch: int = 0,
+        incarnation: int = 0,
+        faults=None,
+    ):
         self.sid = sid
         self.replica = replica
         self.timeout = timeout
+        self.epoch = epoch
+        self.incarnation = incarnation
+        self.faults = faults
+        #: Requests issued through this handle (the fault-plan clock).
+        self.requests = 0
+        #: Health probes issued through this handle.
+        self.health_requests = 0
         self.process = None
         self.sock: socket.socket | None = None
         self.alive = False
@@ -185,7 +245,7 @@ class _ReplicaHandle:
             self.process = ctx.Process(
                 target=_socket_worker_main,
                 args=(child_bootstrap,),
-                name=f"dhl-socket-shard-{sid}-r{replica}",
+                name=f"dhl-socket-shard-{sid}-r{replica}-i{incarnation}",
                 daemon=True,
             )
             self.process.start()
@@ -204,6 +264,7 @@ class _ReplicaHandle:
                 self.sock,
                 SpecRequest(
                     payload=index.shard_worker_payload(sid),
+                    epoch=epoch,
                     values=values,
                     offsets=offsets,
                 ),
@@ -229,6 +290,8 @@ class _ReplicaHandle:
                     f"shard {self.sid} replica {self.replica} is dead"
                 )
             try:
+                if self.faults is not None:
+                    self.faults.apply(self, message)
                 send_message(self.sock, message)
                 reply = recv_message(self.sock)
             except Exception as exc:
@@ -270,6 +333,183 @@ class _ReplicaHandle:
 
 
 # ---------------------------------------------------------------------------
+# the replica supervisor
+# ---------------------------------------------------------------------------
+
+class ReplicaSupervisor:
+    """Detects dead replicas and brings them back.
+
+    The supervisor is deliberately *pull-based and deterministic*: it
+    owns no thread. :meth:`poll` is driven opportunistically at batch
+    dispatch (rate-limited by ``interval`` against the injectable
+    *clock*) or explicitly by tests/operators with ``force=True`` — so
+    recovery behavior is reproducible without sleeps.
+
+    One poll does two things per shard:
+
+    * **Health checks.** Every live replica gets a
+      :class:`~repro.service.protocol.HealthCheck` with a fresh nonce;
+      a timeout, error, or wrong echo marks it dead
+      (``heartbeat_timeouts``). A healthy replica reporting a stale
+      epoch is resynced through the existing republish path
+      (``resyncs``).
+    * **Respawns.** Every dead slot past its backoff deadline
+      (``policy.delay(attempt)``, deterministic jitter) is replaced by
+      a fresh process with ``incarnation + 1``, handshaking with the
+      shard's current buffers at the current epoch. Success counts a
+      ``respawn``, records downtime in ``recovery_ms`` (and the
+      ``dhl_recovery_ms`` histogram), and moves the shard's breaker to
+      half-open; failure counts a ``respawn_failure`` and backs off
+      further, giving up after ``policy.attempts`` tries.
+    """
+
+    def __init__(
+        self,
+        runtime: "SocketShardRuntime",
+        *,
+        policy: RetryPolicy,
+        interval: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.runtime = runtime
+        self.policy = policy
+        self.interval = interval
+        self.clock = clock
+        self._next_poll = clock()
+        #: Respawn attempt counter per (sid, replica) slot.
+        self._attempts: dict[tuple[int, int], int] = {}
+        #: Earliest clock reading the next respawn of a slot may run.
+        self._not_before: dict[tuple[int, int], float] = {}
+        #: When each slot was first seen dead (downtime measurement).
+        self._down_since: dict[tuple[int, int], float] = {}
+        self._nonce = itertools.count(1)
+        #: Downtime of every successful respawn, milliseconds.
+        self.recovery_ms: list[float] = []
+
+    # ------------------------------------------------------------------
+    def poll(self, force: bool = False) -> dict:
+        """One supervision cycle; returns what it did.
+
+        Rate-limited: a call before ``interval`` elapsed is a no-op
+        unless *force* is set. The summary maps ``checked`` /
+        ``timeouts`` / ``respawned`` / ``failed`` / ``gave_up`` to
+        counts (plus ``skipped=True`` for the rate-limited no-op).
+        """
+        now = self.clock()
+        if not force and now < self._next_poll:
+            return {"skipped": True}
+        self._next_poll = now + self.interval
+        runtime = self.runtime
+        summary = {
+            "checked": 0,
+            "timeouts": 0,
+            "respawned": 0,
+            "failed": 0,
+            "gave_up": 0,
+        }
+        for sid, group in enumerate(runtime._groups):
+            for slot, handle in enumerate(group):
+                if handle.alive:
+                    summary["checked"] += 1
+                    if not self._health_check(handle):
+                        summary["timeouts"] += 1
+                        self._mark_down((sid, slot), now)
+            # Second pass: respawn every dead slot whose backoff elapsed
+            # (including slots that just failed their health check —
+            # those come back next cycle once their delay passes).
+            for slot, handle in enumerate(group):
+                if handle.alive:
+                    continue
+                key = (sid, slot)
+                self._mark_down(key, now)
+                attempt = self._attempts.get(key, 0)
+                if attempt >= self.policy.attempts:
+                    summary["gave_up"] += 1
+                    continue
+                if now < self._not_before.get(key, now):
+                    continue
+                if self._respawn(key, handle, now):
+                    summary["respawned"] += 1
+                else:
+                    summary["failed"] += 1
+        return summary
+
+    # ------------------------------------------------------------------
+    def _mark_down(self, key: tuple[int, int], now: float) -> None:
+        if key not in self._down_since:
+            self._down_since[key] = now
+            self._not_before[key] = now + self.policy.delay(0)
+
+    def _health_check(self, handle: _ReplicaHandle) -> bool:
+        """Probe one live replica; marks it dead on any failure."""
+        runtime = self.runtime
+        nonce = next(self._nonce)
+        try:
+            reply = handle.request(HealthCheck(nonce=nonce))
+        except ServiceRuntimeError:
+            handle.alive = False
+            runtime.stats.heartbeat_timeouts += 1
+            return False
+        if not isinstance(reply, HealthReply) or reply.nonce != nonce:
+            handle.alive = False
+            runtime.stats.heartbeat_timeouts += 1
+            return False
+        if reply.epoch != runtime._epochs[handle.sid]:
+            # Alive but behind (a delta send it missed): heal through
+            # the existing republish path rather than killing it.
+            try:
+                runtime._resync_replica(handle)
+            except ServiceRuntimeError:
+                return False
+        return True
+
+    def _respawn(
+        self, key: tuple[int, int], dead: _ReplicaHandle, now: float
+    ) -> bool:
+        """Replace one dead handle with a fresh process; True on success."""
+        runtime = self.runtime
+        sid, slot = key
+        attempt = self._attempts.get(key, 0)
+        self._attempts[key] = attempt + 1
+        try:
+            dead.destroy()
+        except Exception:  # pragma: no cover - reaping best effort
+            pass
+        started = time.monotonic()
+        try:
+            fresh = _ReplicaHandle(
+                runtime._ctx,
+                sid,
+                dead.replica,
+                runtime.index,
+                timeout=runtime.request_timeout,
+                epoch=runtime._epochs[sid],
+                incarnation=dead.incarnation + 1,
+                faults=runtime.fault_plan,
+            )
+        except ServiceRuntimeError:
+            runtime.stats.respawn_failures += 1
+            self._not_before[key] = now + self.policy.delay(attempt + 1)
+            return False
+        runtime._groups[sid][slot] = fresh
+        # The handshake shipped current buffers at the current epoch, so
+        # the published-layout bookkeeping holds for this replica too.
+        runtime.stats.respawns += 1
+        self._attempts[key] = 0
+        self._down_since.pop(key, None)
+        self._not_before.pop(key, None)
+        downtime_ms = (time.monotonic() - started) * 1000.0
+        self.recovery_ms.append(downtime_ms)
+        runtime.observability.registry.histogram(
+            "dhl_recovery_ms",
+            "Downtime of a supervised replica respawn, milliseconds",
+            bounds=(1.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0),
+        ).observe(downtime_ms)
+        runtime._breakers[sid].probation()
+        return True
+
+
+# ---------------------------------------------------------------------------
 # the runtime
 # ---------------------------------------------------------------------------
 
@@ -290,6 +530,27 @@ class SocketShardRuntime(RegionPairScheduler):
         over to a sibling replica.
     start_method:
         ``multiprocessing`` start method (``spawn`` by default).
+    degraded_mode:
+        What a batch does when a shard's every replica is down:
+        ``"shed"`` (default) answers the rest and raises a typed
+        :class:`~repro.exceptions.PartialResultError`, ``"overlay"``
+        fills the holes with parent-side boundary-route answers, and
+        ``"error"`` hard-fails with
+        :class:`~repro.exceptions.ShardUnavailableError`.
+    retry_policy:
+        Backoff schedule for supervised respawns
+        (:class:`~repro.service.runtime.RetryPolicy`; a sensible
+        default when ``None``).
+    supervise_interval:
+        Seconds between opportunistic supervisor polls at batch
+        dispatch; ``0.0`` polls every batch. Explicit
+        ``runtime.supervisor.poll(force=True)`` always runs.
+    clock:
+        Injectable monotonic clock for the supervisor (tests drive
+        recovery deterministically by advancing a fake clock).
+    fault_plan:
+        Optional :class:`~repro.service.faults.FaultPlan` applied to
+        every parent-side request — the deterministic chaos harness.
     """
 
     kind = "socket-pool"
@@ -301,14 +562,29 @@ class SocketShardRuntime(RegionPairScheduler):
         replicas: int = 2,
         request_timeout: float = 30.0,
         start_method: str = "spawn",
+        degraded_mode: str = "shed",
+        retry_policy: RetryPolicy | None = None,
+        supervise_interval: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+        fault_plan=None,
     ):
         if replicas < 1:
             raise ValueError(f"replicas must be >= 1, got {replicas}")
+        if degraded_mode not in _DEGRADED_MODES:
+            raise ValueError(
+                f"degraded_mode must be one of {_DEGRADED_MODES}, "
+                f"got {degraded_mode!r}"
+            )
         super().__init__(index)
         self.replicas = replicas
         self.request_timeout = request_timeout
+        self.degraded_mode = degraded_mode
+        self.fault_plan = fault_plan
         self._groups: list[list[_ReplicaHandle]] = [[] for _ in range(index.k)]
         self._rr = [itertools.count() for _ in range(index.k)]
+        self._breakers = [
+            CircuitBreaker(sid, self.stats) for sid in range(index.k)
+        ]
         # Label layout each shard's replicas hold (the ``delta_applicable``
         # check of the shared-memory transport): a delta may only be
         # spliced while the live store still fits the shipped offsets.
@@ -316,12 +592,19 @@ class SocketShardRuntime(RegionPairScheduler):
             np.array(index.shard_buffers(sid)[1], dtype=np.int64)
             for sid in range(index.k)
         ]
-        ctx = get_context(start_method)
+        self._ctx = get_context(start_method)
+        self.supervisor = ReplicaSupervisor(
+            self,
+            policy=retry_policy or RetryPolicy(),
+            interval=supervise_interval,
+            clock=clock,
+        )
         try:
             futures = [
                 self._pool.submit(
-                    _ReplicaHandle, ctx, sid, r, index,
+                    _ReplicaHandle, self._ctx, sid, r, index,
                     timeout=request_timeout,
+                    faults=fault_plan,
                 )
                 for sid in range(index.k)
                 for r in range(replicas)
@@ -335,6 +618,8 @@ class SocketShardRuntime(RegionPairScheduler):
                     errors.append(exc)
             if errors:
                 raise errors[0]
+            for group in self._groups:
+                group.sort(key=lambda handle: handle.replica)
         except BaseException:
             self.close()
             raise
@@ -359,16 +644,30 @@ class SocketShardRuntime(RegionPairScheduler):
     # transport hooks
     # ------------------------------------------------------------------
     def _pick(self, sid: int, exclude=()) -> _ReplicaHandle:
-        """Round-robin over the shard's live replicas."""
+        """Round-robin over the shard's live replicas.
+
+        Trips the shard's circuit breaker (and raises the typed
+        :class:`~repro.exceptions.ShardUnavailableError`) when *no*
+        replica is live at all; raises a plain error when live replicas
+        exist but all already failed this batch (an epoch bug, not an
+        availability event).
+        """
         group = [
             handle
             for handle in self._groups[sid]
             if handle.alive and handle not in exclude
         ]
         if not group:
+            if not self.alive_replicas(sid):
+                self._breakers[sid].trip()
+                raise ShardUnavailableError(
+                    sid,
+                    f"no live replica left for shard {sid}; breaker open "
+                    "until the supervisor respawns one",
+                )
             raise ServiceRuntimeError(
-                f"no live replica left for shard {sid}; "
-                "the runtime must be closed"
+                f"every live replica of shard {sid} already failed "
+                "this batch"
             )
         return group[next(self._rr[sid]) % len(group)]
 
@@ -417,25 +716,40 @@ class SocketShardRuntime(RegionPairScheduler):
                 worker_span.annotate(subs=len(items))
             want_trace = worker_span is not None
             try:
-                attempt = self._pick(sid)
-                tried = [attempt]
-                while True:
-                    try:
-                        reply = send_to(attempt, items, want_trace)
-                        break
-                    except ServiceRuntimeError:
-                        # The replica timed out or dropped: fail over to
-                        # a sibling not yet tried this batch (which may
-                        # need the blocks re-sent). _pick raises once no
-                        # live sibling remains.
-                        self.stats.failovers += 1
-                        if worker_span is not None:
-                            worker_span.annotate(failover=True)
-                        attempt = self._pick(sid, exclude=tried)
-                        tried.append(attempt)
+                try:
+                    attempt = self._pick(sid)
+                    tried = [attempt]
+                    while True:
+                        try:
+                            reply = send_to(attempt, items, want_trace)
+                            break
+                        except ShardUnavailableError:
+                            raise
+                        except ServiceRuntimeError:
+                            # The replica timed out or dropped: fail over
+                            # to a sibling not yet tried this batch (which
+                            # may need the blocks re-sent). _pick raises
+                            # once no live sibling remains.
+                            self.stats.failovers += 1
+                            if worker_span is not None:
+                                worker_span.annotate(failover=True)
+                            attempt = self._pick(sid, exclude=tried)
+                            tried.append(attempt)
+                except ShardUnavailableError:
+                    # Every replica is down and the breaker tripped.
+                    # Under a degraded mode the shard's slots are simply
+                    # not answered — the scheduler sheds (or
+                    # overlay-answers) the affected groups; "error"
+                    # restores the strict hard failure.
+                    if self.degraded_mode == "error":
+                        raise
+                    if worker_span is not None:
+                        worker_span.annotate(shed=True)
+                    return []
             finally:
                 if worker_span is not None:
                     worker_span.finish()
+            self._breakers[sid].record_success()
             if worker_span is not None and reply.trace is not None:
                 worker_span.graft(reply.trace.spans)
             return [
@@ -443,6 +757,10 @@ class SocketShardRuntime(RegionPairScheduler):
                 for (slot, _), result in zip(items, reply.results)
             ]
 
+        # Opportunistic supervision: dead replicas come back (and
+        # wedged ones are detected) as part of serving traffic, without
+        # a background thread. Rate-limited by the supervisor interval.
+        self.supervisor.poll()
         futures = [
             self._pool.submit(run, sid, items) for sid, items in requests.items()
         ]
@@ -452,21 +770,26 @@ class SocketShardRuntime(RegionPairScheduler):
                 replies[slot] = result
         return replies
 
+    def _resync_replica(self, handle: _ReplicaHandle) -> None:
+        """Push a full republish to one behind replica (the stale-resync
+        path, also used by the supervisor on an epoch-skewed heartbeat)."""
+        values, offsets = self.index.shards[handle.sid].labels.export_buffers()
+        self._published_offsets[handle.sid] = np.array(offsets, dtype=np.int64)
+        handle.request(
+            Republish(
+                epoch=self._epochs[handle.sid],
+                values=values,
+                offsets=offsets,
+            )
+        )
+        self.stats.resyncs += 1
+
     def _handle_stale(
         self, handle: _ReplicaHandle, stale: StaleReply, subs, want_trace
     ):
         """Resync a behind replica with a full republish, retry once."""
         if stale.stamped > stale.held:
-            values, offsets = self.index.shards[handle.sid].labels.export_buffers()
-            self._published_offsets[handle.sid] = np.array(offsets, dtype=np.int64)
-            handle.request(
-                Republish(
-                    epoch=self._epochs[handle.sid],
-                    values=values,
-                    offsets=offsets,
-                )
-            )
-            self.stats.resyncs += 1
+            self._resync_replica(handle)
             retry = handle.request(
                 ComputeBatch(
                     epoch=self._epochs[handle.sid],
@@ -517,10 +840,18 @@ class SocketShardRuntime(RegionPairScheduler):
             except ServiceRuntimeError:
                 continue  # dead replica: reads will fail over past it
         if not synced:
-            raise ServiceRuntimeError(
-                f"no live replica left for shard {sid}; "
-                "the runtime must be closed"
-            )
+            # Every replica is down *during maintenance*: the epoch
+            # already advanced in the parent, so trip the breaker and
+            # move on — a respawned replica handshakes with the current
+            # buffers at the current epoch and needs no delta.
+            self._breakers[sid].trip()
+            if self.degraded_mode == "error":
+                raise ShardUnavailableError(
+                    sid,
+                    f"no live replica left for shard {sid} to sync; "
+                    "breaker open until the supervisor respawns one",
+                )
+            return
         self.stats.delta_syncs += 1
 
     def _full_sync(self, sid: int) -> None:
@@ -541,10 +872,14 @@ class SocketShardRuntime(RegionPairScheduler):
             except ServiceRuntimeError:
                 continue
         if not synced:
-            raise ServiceRuntimeError(
-                f"no live replica left for shard {sid}; "
-                "the runtime must be closed"
-            )
+            self._breakers[sid].trip()
+            if self.degraded_mode == "error":
+                raise ShardUnavailableError(
+                    sid,
+                    f"no live replica left for shard {sid} to republish; "
+                    "breaker open until the supervisor respawns one",
+                )
+            return
         self.stats.republishes += 1
 
     def _close_transport(self) -> None:

@@ -64,6 +64,8 @@ from repro.service.protocol import (
     ComputeReply,
     EpochDelta,
     ErrorReply,
+    HealthCheck,
+    HealthReply,
     Message,
     ReadyReply,
     Republish,
@@ -167,6 +169,7 @@ class ShardExecutor:
         self.index = None
         self.boundary_local = None
         self.epoch = 0
+        self.served = 0
         self.values: np.ndarray | None = None
         self.offsets: np.ndarray | None = None
         self._block: np.ndarray | None = None
@@ -235,6 +238,7 @@ class ShardExecutor:
         """
         if batch.epoch != self.epoch:
             return StaleReply(held=self.epoch, stamped=batch.epoch)
+        self.served += 1
         from repro.sharding.engine import boundary_fan, min_plus_compact
 
         worker_span = Span("shard_compute") if batch.want_trace else None
@@ -309,6 +313,13 @@ class ShardExecutor:
             return self._block
         return None
 
+    # -- health ---------------------------------------------------------
+    def health(self, probe: HealthCheck) -> HealthReply:
+        """Answer a liveness probe without touching the label buffers."""
+        return HealthReply(
+            nonce=probe.nonce, epoch=self.epoch, served=self.served
+        )
+
 
 # ---------------------------------------------------------------------------
 # the worker process (pipe transport)
@@ -360,6 +371,8 @@ def _worker_main(conn) -> None:
                     reply = executor.compute(message)
                 elif isinstance(message, EpochDelta):
                     reply = executor.apply_delta(message)
+                elif isinstance(message, HealthCheck):
+                    reply = executor.health(message)
                 elif isinstance(message, Republish):
                     old = shms
                     shms, values, offsets = _attach_views(message)

@@ -1,0 +1,146 @@
+"""Failover edge cases the happy-path suites do not reach.
+
+Each test stages a precise race deterministically — processes are
+killed *without* telling the parent, round-robin position is burned to
+a known offset, epochs are skewed by hand — so the recovery path under
+test is the only one that can answer:
+
+* a replica that dies while an ``EpochDelta`` broadcast is in flight is
+  noticed by the broadcast itself, and the surviving sibling still
+  syncs;
+* a failover retry that lands on a *stale* sibling resolves through the
+  ``StaleReply`` → republish → retry path, stacking both counters in
+  one request;
+* losing the last replica mid-batch under ``degraded_mode="error"``
+  hard-fails with the typed :class:`ShardUnavailableError`;
+* the pipe transport (no replicas, no resync loop) surfaces an epoch
+  skew as :class:`WorkerEpochError` directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import DHLConfig
+from repro.core.sharded import ShardedDHLIndex
+from repro.exceptions import ShardUnavailableError, WorkerEpochError
+from repro.graph.generators import delaunay_network
+from repro.service.socket_runtime import SocketShardRuntime
+from repro.service.workers import ShardWorkerRuntime
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def build_sharded(graph, k=2):
+    return ShardedDHLIndex.build(
+        graph.copy(), k=k, config=DHLConfig(seed=0), build_workers=1
+    )
+
+
+@pytest.fixture(scope="module")
+def edge_stack():
+    graph = delaunay_network(130, seed=35, style="city", edge_factor=1.35)
+    return graph, build_sharded(graph)
+
+
+def shard_pairs(sharded, sid, count=5):
+    vertices = [int(v) for v in sharded.shard_vertices[sid]]
+    return [(vertices[i], vertices[-1 - i]) for i in range(count)]
+
+
+def silent_kill(handle):
+    """Kill the process without telling the parent-side handle."""
+    handle.process.terminate()
+    handle.process.join(10)
+    assert handle.alive  # the parent must discover it on its own
+
+
+def make_runtime(sharded, **kwargs):
+    kwargs.setdefault("clock", FakeClock())
+    kwargs.setdefault("supervise_interval", 1000.0)
+    return SocketShardRuntime(sharded, **kwargs)
+
+
+def test_failover_races_inflight_epoch_delta(edge_stack):
+    """The delta broadcast is the first to touch a silently-dead
+    replica: the send fails, the handle is marked dead, and the
+    surviving sibling still receives the sync — later queries agree
+    with the authoritative parent."""
+    graph, sharded = edge_stack
+    pairs = shard_pairs(sharded, 0)
+    with make_runtime(sharded, replicas=2) as runtime:
+        runtime.distances(pairs)  # burns the construction-time poll
+        victim = runtime._groups[0][0]
+        silent_kill(victim)
+        u, v, w = next(
+            (u, v, w)
+            for u, v, w in graph.edges()
+            if sharded.region_of[u] == 0 and sharded.region_of[v] == 0
+        )
+        before_syncs = runtime.stats.delta_syncs + runtime.stats.republishes
+        runtime.apply_update([(u, v, float(max(1, round(2 * w))))])
+        assert not victim.alive  # the broadcast noticed the death
+        assert runtime.stats.delta_syncs + runtime.stats.republishes > before_syncs
+        for _ in range(2):  # both round-robin positions post-update
+            np.testing.assert_array_equal(
+                runtime.distances(pairs), sharded.distances(pairs)
+            )
+
+
+def test_failover_retry_lands_on_stale_replica_and_resyncs(edge_stack):
+    """One request that needs *both* recovery paths: the round-robin
+    pick is a dead replica (failover), and the retry sibling holds a
+    stale epoch (StaleReply -> republish -> retry)."""
+    graph, sharded = edge_stack
+    pairs = shard_pairs(sharded, 0)
+    expected = sharded.distances(pairs)
+    with make_runtime(sharded, replicas=2) as runtime:
+        # Burn the round-robin counter to an even position so the next
+        # pick for shard 0 is replica slot 0 — the one we kill.
+        runtime.distances(pairs)
+        runtime.distances(pairs)
+        victim = runtime._groups[0][0]
+        silent_kill(victim)
+        runtime._epochs[0] += 1  # every replica of shard 0 is now behind
+        before_f = runtime.stats.failovers
+        before_r = runtime.stats.resyncs
+        np.testing.assert_array_equal(runtime.distances(pairs), expected)
+        assert runtime.stats.failovers > before_f
+        assert runtime.stats.resyncs > before_r
+
+
+def test_mid_batch_last_replica_loss_hard_errors_in_error_mode(edge_stack):
+    _, sharded = edge_stack
+    pairs = shard_pairs(sharded, 0)
+    with make_runtime(sharded, replicas=1, degraded_mode="error") as runtime:
+        runtime.distances(pairs)  # burns the construction-time poll
+        for sid in range(sharded.k):
+            silent_kill(runtime._groups[sid][0])
+        before = runtime.stats.failovers
+        with pytest.raises(ShardUnavailableError, match="breaker open"):
+            runtime.distances(pairs)
+        # The loss was discovered mid-batch: a real request failed first,
+        # then the exhausted pick tripped the breaker.
+        assert runtime.stats.failovers > before
+        assert runtime.stats.breaker_opens >= 1
+
+
+def test_pipe_transport_epoch_skew_is_worker_epoch_error(edge_stack):
+    """The shared-memory pipe transport has no replica to fail over to
+    and no resync loop: a stale worker is a hard, typed error."""
+    _, sharded = edge_stack
+    pairs = shard_pairs(sharded, 0)
+    with ShardWorkerRuntime(sharded) as runtime:
+        np.testing.assert_array_equal(
+            runtime.distances(pairs), sharded.distances(pairs)
+        )
+        runtime._epochs[0] += 1  # fabricate a broadcast the worker missed
+        with pytest.raises(WorkerEpochError, match="missed epoch broadcast"):
+            runtime.distances(pairs)

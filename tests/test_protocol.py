@@ -19,7 +19,11 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.exceptions import ProtocolError
+from repro.exceptions import (
+    ProtocolCorruptionError,
+    ProtocolError,
+    ProtocolTruncationError,
+)
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     AckReply,
@@ -29,6 +33,8 @@ from repro.service.protocol import (
     EpochDelta,
     ErrorReply,
     FanQuery,
+    HealthCheck,
+    HealthReply,
     ReadyReply,
     Republish,
     Shutdown,
@@ -373,3 +379,75 @@ def test_recv_message_rejects_peer_disconnect_mid_frame():
     with pytest.raises(ProtocolError, match="truncated"):
         recv_message(server)
     server.close()
+
+
+# ---------------------------------------------------------------------------
+# CRC hardening: truncation vs corruption classification
+# ---------------------------------------------------------------------------
+
+def test_flipped_body_byte_is_classified_as_corruption():
+    """A complete frame with a damaged payload byte fails the CRC and
+    raises the *corruption* subclass — the 'peer is sending garbage'
+    signal, distinct from a died-mid-frame truncation."""
+    frame = bytearray(
+        encode_frame(
+            Republish(
+                epoch=3,
+                values=np.linspace(0.0, 1.0, 16),
+                offsets=np.arange(17, dtype=np.int64),
+            )
+        )
+    )
+    frame[-1] ^= 0xFF  # stomp one byte inside the value buffer
+    with pytest.raises(ProtocolCorruptionError, match="CRC mismatch"):
+        decode_frame(bytes(frame))
+
+
+def test_flipped_meta_byte_fails_loud():
+    """Damage inside the JSON meta raises a ProtocolError subclass —
+    either the parse or the CRC catches it, never silence."""
+    frame = bytearray(encode_frame(StaleReply(held=1, stamped=2)))
+    for i in range(16, len(frame)):
+        damaged = bytearray(frame)
+        damaged[i] ^= 0x5A
+        with pytest.raises(ProtocolError):
+            decode_frame(bytes(damaged))
+
+
+def test_cut_frame_is_classified_as_truncation():
+    """Every strict prefix raises the *truncation* subclass (the
+    'replica died mid-frame' signal), never the corruption one — the
+    CRC check must not run before the structural walk completes."""
+    frame = encode_frame(
+        ComputeBatch(
+            epoch=1,
+            subs=[
+                SubQuery(
+                    s=np.array([0, 1], dtype=np.int64),
+                    t=np.array([2, 3], dtype=np.int64),
+                )
+            ],
+        )
+    )
+    for n in range(len(frame)):
+        with pytest.raises(ProtocolTruncationError):
+            decode_frame(frame[:n])
+
+
+def test_health_messages_roundtrip():
+    probe = decode_frame(encode_frame(HealthCheck(nonce=41)))
+    assert isinstance(probe, HealthCheck) and probe.nonce == 41
+    reply = decode_frame(encode_frame(HealthReply(nonce=41, epoch=7, served=99)))
+    assert isinstance(reply, HealthReply)
+    assert (reply.nonce, reply.epoch, reply.served) == (41, 7, 99)
+
+
+def test_recv_frame_rejects_oversized_length_prefix():
+    server, client = socket.socketpair()
+    try:
+        client.sendall(struct.pack("<I", (1 << 31) + 5))
+        with pytest.raises(ProtocolCorruptionError, match="exceeds"):
+            recv_message(server)
+    finally:
+        server.close()
+        client.close()

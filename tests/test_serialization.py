@@ -94,3 +94,94 @@ class TestDirectedLogicalDeletionRoundTrip:
         pairs = [(s, t) for s in range(0, 30, 5) for t in range(0, 30, 7)]
         for s, t in pairs:
             assert loaded.distance(s, t) == index.distance(s, t)
+
+
+class TestCrashSafeSnapshots:
+    """Atomic save + per-directory CRC manifests + verified loads."""
+
+    def test_save_seals_snapshot_with_checksum_manifest(
+        self, small_index, tmp_path
+    ):
+        from repro.core.serialization import verify_snapshot
+
+        small_index.save(tmp_path / "idx")
+        manifest = json.loads(
+            (tmp_path / "idx" / "checksums.json").read_text()
+        )
+        assert "label_values.npy" in manifest["crc32"]
+        assert "manifest.json" in manifest["crc32"]
+        assert verify_snapshot(tmp_path / "idx") >= 4
+
+    def test_corrupt_label_bytes_detected_on_load(self, small_index, tmp_path):
+        from repro.exceptions import SnapshotCorruptionError
+
+        small_index.save(tmp_path / "idx")
+        victim = tmp_path / "idx" / "label_values.npy"
+        blob = bytearray(victim.read_bytes())
+        blob[-1] ^= 0xFF  # bit rot in the last label value
+        victim.write_bytes(blob)
+        with pytest.raises(SnapshotCorruptionError, match="corrupt"):
+            DHLIndex.load(tmp_path / "idx")
+        # Explicit opt-out still loads (the caller owns the risk).
+        DHLIndex.load(tmp_path / "idx", verify=False)
+
+    def test_torn_snapshot_missing_file_detected(self, small_index, tmp_path):
+        from repro.exceptions import SnapshotCorruptionError
+
+        small_index.save(tmp_path / "idx")
+        (tmp_path / "idx" / "label_offsets.npy").unlink()
+        with pytest.raises(SnapshotCorruptionError, match="torn"):
+            DHLIndex.load(tmp_path / "idx")
+
+    def test_missing_checksum_manifest_detected(self, small_index, tmp_path):
+        from repro.exceptions import SnapshotCorruptionError
+
+        small_index.save(tmp_path / "idx")
+        (tmp_path / "idx" / "checksums.json").unlink()
+        with pytest.raises(SnapshotCorruptionError, match="checksums.json"):
+            DHLIndex.load(tmp_path / "idx")
+
+    def test_save_leaves_no_temp_directories(self, small_index, tmp_path):
+        small_index.save(tmp_path / "idx")
+        small_index.save(tmp_path / "idx")  # overwrite path, same guarantee
+        assert [p.name for p in tmp_path.iterdir()] == ["idx"]
+        DHLIndex.load(tmp_path / "idx")
+
+    def test_failed_save_preserves_previous_snapshot(
+        self, small_index, tmp_path
+    ):
+        from repro.core.serialization import _atomic_snapshot
+
+        small_index.save(tmp_path / "idx")
+        before = sorted(p.name for p in (tmp_path / "idx").iterdir())
+
+        def exploding_writer(tmp):
+            (tmp / "half-written.npy").write_bytes(b"partial")
+            raise RuntimeError("disk full")
+
+        with pytest.raises(RuntimeError, match="disk full"):
+            _atomic_snapshot(tmp_path / "idx", exploding_writer)
+        assert sorted(p.name for p in (tmp_path / "idx").iterdir()) == before
+        DHLIndex.load(tmp_path / "idx")  # still verifies and loads
+
+    def test_sharded_snapshot_verifies_recursively(self, tmp_path):
+        from repro.core.sharded import ShardedDHLIndex
+        from repro.core.serialization import verify_snapshot
+        from repro.exceptions import SnapshotCorruptionError
+        from repro.graph.generators import delaunay_network
+
+        graph = delaunay_network(60, seed=11)
+        index = ShardedDHLIndex.build(
+            graph, k=2, config=DHLConfig(seed=0), build_workers=1
+        )
+        index.save(tmp_path / "sharded")
+        # Every component directory carries its own manifest.
+        assert (tmp_path / "sharded" / "checksums.json").exists()
+        assert (tmp_path / "sharded" / "shard_00" / "checksums.json").exists()
+        verify_snapshot(tmp_path / "sharded")
+        victim = tmp_path / "sharded" / "shard_01" / "label_values.npy"
+        blob = bytearray(victim.read_bytes())
+        blob[len(blob) // 2] ^= 0x01
+        victim.write_bytes(blob)
+        with pytest.raises(SnapshotCorruptionError, match="shard_01"):
+            ShardedDHLIndex.load(tmp_path / "sharded")
